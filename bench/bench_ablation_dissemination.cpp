@@ -1,0 +1,61 @@
+// Ablation of a simulator/protocol design choice (DESIGN.md §3): block and
+// batch dissemination via gossip fanout trees vs naive unicast-to-all.
+// Subgroup members relay state-carrying batches into whole groups; with
+// unicast each relay serializes k copies through its own 20 Mbps uplink,
+// with gossip the serialization load spreads across the tree.  This is why
+// the Jenga implementation gossips (and why real sharded chains do too).
+#include <cstdio>
+#include <vector>
+
+#include "report.hpp"
+#include "simnet/network.hpp"
+
+int main() {
+  using namespace jenga;
+  using namespace jenga::bench;
+
+  header("Ablation — gossip tree vs unicast-to-all dissemination latency",
+         "DESIGN.md design-choice ablation (not a paper figure)");
+
+  struct Payload : sim::Payload {};
+
+  std::printf("%-12s %-14s %-18s %-18s %-8s\n", "group size", "payload", "unicast last (s)",
+              "gossip last (s)", "speedup");
+  bool gossip_wins_large = true;
+  for (std::uint32_t k : {16u, 64u, 240u}) {
+    for (std::uint32_t bytes : {4u * 1024u, 256u * 1024u, 2u * 1024u * 1024u}) {
+      SimTime last[2] = {0, 0};
+      for (int mode = 0; mode < 2; ++mode) {
+        sim::Simulator sim;
+        sim::Network net(sim, sim::NetConfig{}, Rng(9));
+        std::vector<NodeId> group;
+        for (std::uint32_t i = 0; i < k; ++i) {
+          group.push_back(NodeId{i});
+          net.register_node(NodeId{i}, [&sim, &last, mode](const sim::Message&) {
+            last[mode] = std::max(last[mode], sim.now());
+          });
+        }
+        sim::Message msg;
+        msg.type = sim::MsgType::kStateGrant;
+        msg.from = NodeId{0};
+        msg.size_bytes = bytes;
+        msg.payload = std::make_shared<Payload>();
+        if (mode == 0) {
+          net.multicast(NodeId{0}, group, msg, sim::TrafficClass::kIntraShard);
+        } else {
+          net.gossip(NodeId{0}, group, msg, sim::TrafficClass::kIntraShard);
+        }
+        sim.run_until_idle();
+      }
+      const double unicast_s = static_cast<double>(last[0]) / kSecond;
+      const double gossip_s = static_cast<double>(last[1]) / kSecond;
+      std::printf("%-12u %-14u %-18.3f %-18.3f %.1fx\n", k, bytes, unicast_s, gossip_s,
+                  gossip_s > 0 ? unicast_s / gossip_s : 0.0);
+      if (k >= 64 && bytes >= 256 * 1024) gossip_wins_large = gossip_wins_large && gossip_s < unicast_s;
+    }
+  }
+  std::printf("\n");
+  shape_check(gossip_wins_large,
+              "gossip dissemination beats unicast-to-all for large payloads/groups");
+  return finish("bench_ablation_dissemination");
+}

@@ -1,0 +1,49 @@
+// Fig. 3a / 3c / 3d: workload measurement study — share of contract
+// transactions, average steps per contract tx, and average contracts per
+// contract tx, over sampled block windows (synthetic trace calibrated to the
+// paper's Ethereum measurements; DESIGN.md §2).
+#include <cstdio>
+#include <vector>
+
+#include "report.hpp"
+#include "workload/trace.hpp"
+
+int main() {
+  using namespace jenga;
+  using namespace jenga::bench;
+
+  header("Fig. 3a/3c/3d — contract-tx share, steps/tx, contracts/tx over block windows",
+         "paper Fig. 3a, 3c, 3d");
+
+  workload::TraceConfig cfg;
+  cfg.num_contracts = 2000;
+  cfg.num_accounts = 20'000;
+  workload::TraceGenerator gen(cfg, Rng(42));
+
+  std::printf("%-16s %-20s %-14s %-18s\n", "block (x1e5)", "contract-tx share", "avg steps",
+              "avg contracts");
+  std::vector<workload::WindowStats> rows;
+  for (std::uint64_t w = 0; w <= 10; ++w) {
+    const std::uint64_t height = w * 100'000;
+    const auto st = sample_window(gen, height, 4000);
+    rows.push_back(st);
+    std::printf("%-16llu %-20.3f %-14.2f %-18.2f\n", static_cast<unsigned long long>(w),
+                st.contract_tx_ratio, st.avg_steps, st.avg_contracts);
+  }
+  std::printf("\n");
+
+  const auto& first = rows.front();
+  const auto& last = rows.back();
+  shape_check(last.contract_tx_ratio > 0.66 && last.contract_tx_ratio < 0.78,
+              "Fig.3a: recent blocks reach ~70% contract transactions");
+  shape_check(first.contract_tx_ratio < last.contract_tx_ratio,
+              "Fig.3a: contract-tx share trends upward");
+  shape_check(last.avg_steps > 8.5 && last.avg_steps < 11.5,
+              "Fig.3c: average steps per contract tx reaches ~10");
+  shape_check(first.avg_steps < last.avg_steps, "Fig.3c: steps per tx trend upward");
+  shape_check(last.avg_contracts > 4.0 && last.avg_contracts < 5.4,
+              "Fig.3d: average contracts per tx reaches ~4.7");
+  shape_check(first.avg_contracts < last.avg_contracts,
+              "Fig.3d: contracts per tx trend upward");
+  return finish("bench_fig3_trace");
+}

@@ -1,0 +1,44 @@
+// Fig. 3b: TPS of the Cross-Shard Function Call prototype when processing
+// plain transfer transactions vs smart-contract transactions, across shard
+// counts.  The paper measures contract throughput at roughly 1/3 of transfer
+// throughput.
+#include <cstdio>
+
+#include "bench_config.hpp"
+#include "report.hpp"
+
+int main() {
+  using namespace jenga;
+  using namespace jenga::bench;
+  using namespace jenga::harness;
+
+  header("Fig. 3b — CX Func TPS: transfer vs smart-contract transactions",
+         "paper Fig. 3b");
+
+  std::printf("%-8s %-12s %-16s %-16s %-8s\n", "Shards", "nodes/shard", "transfer TPS",
+              "contract TPS", "ratio");
+  double ratios_sum = 0;
+  bool transfer_wins_everywhere = true;
+  int rows = 0;
+  for (std::uint32_t s : kShardCounts) {
+    RunConfig transfers = perf_config(SystemKind::kCxFunc, s);
+    transfers.transfer_txs = transfers.contract_txs;
+    transfers.contract_txs = 0;
+    RunConfig contracts = perf_config(SystemKind::kCxFunc, s);
+    const auto rt = run_experiment(transfers);
+    const auto rc = run_experiment(contracts);
+    const double ratio = rc.tps > 0 ? rt.tps / rc.tps : 0;
+    std::printf("%-8u %-12u %-16.1f %-16.1f %.2fx\n", s, rt.nodes_per_shard, rt.tps, rc.tps,
+                ratio);
+    ratios_sum += ratio;
+    transfer_wins_everywhere = transfer_wins_everywhere && rt.tps > rc.tps;
+    ++rows;
+  }
+  const double avg_ratio = ratios_sum / rows;
+  std::printf("\naverage transfer/contract TPS ratio: %.2fx\n\n", avg_ratio);
+  shape_check(transfer_wins_everywhere,
+              "Fig.3b: transfer TPS exceeds contract TPS at every shard count");
+  shape_check(avg_ratio > 1.8,
+              "Fig.3b: contract processing costs a large factor (paper: ~3x)");
+  return finish("bench_fig3b_transfer_vs_contract");
+}

@@ -1,0 +1,58 @@
+// Fig. 5a: system throughput (TPS) of Single Shard, CX Func, Pyramid and
+// Jenga across shard counts.  Paper headline numbers at 12 shards: Jenga is
+// ~14.3x Single Shard, ~2.3x CX Func and ~1.5x Pyramid; doubling the shard
+// count scales Jenga's throughput by up to ~1.8x.
+#include <cstdio>
+#include <map>
+
+#include "bench_config.hpp"
+#include "report.hpp"
+
+int main() {
+  using namespace jenga;
+  using namespace jenga::bench;
+  using namespace jenga::harness;
+
+  header("Fig. 5a — system throughput (TPS) vs number of shards", "paper Fig. 5a");
+
+  const SystemKind systems[] = {SystemKind::kSingleShard, SystemKind::kCxFunc,
+                                SystemKind::kPyramid, SystemKind::kJenga};
+  std::map<std::pair<int, std::uint32_t>, double> tps;
+
+  std::printf("%-14s", "TPS");
+  for (std::uint32_t s : kShardCounts) std::printf("  S=%-8u", s);
+  std::printf("\n");
+  for (int i = 0; i < 4; ++i) {
+    std::printf("%-14s", system_name(systems[i]));
+    for (std::uint32_t s : kShardCounts) {
+      const auto r = run_experiment(perf_config(systems[i], s));
+      tps[{i, s}] = r.tps;
+      std::printf("  %-10.1f", r.tps);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+
+  const double jenga12 = tps[{3, 12}];
+  const double pyramid12 = tps[{2, 12}];
+  const double cxf12 = tps[{1, 12}];
+  const double ss12 = tps[{0, 12}];
+  std::printf("at 12 shards: Jenga/SingleShard=%.2fx  Jenga/CXFunc=%.2fx  Jenga/Pyramid=%.2fx\n",
+              jenga12 / ss12, jenga12 / cxf12, jenga12 / pyramid12);
+  std::printf("Jenga scaling 6->12 shards: %.2fx\n\n", tps[{3, 12}] / tps[{3, 6}]);
+
+  shape_check(jenga12 > pyramid12 && pyramid12 > cxf12,
+              "Fig.5a: Jenga > Pyramid > CX Func at 12 shards");
+  shape_check(jenga12 > ss12 * 1.8,
+              "Fig.5a: Jenga decisively beats Single Shard at 12 shards (paper: 14.3x)");
+  shape_check(jenga12 / cxf12 > 1.5,
+              "Fig.5a: Jenga vs CX Func gap is a large factor (paper: up to 2.3x)");
+  shape_check(jenga12 / pyramid12 > 1.15,
+              "Fig.5a: Jenga vs Pyramid gap (paper: 1.5x)");
+  shape_check(tps[{3, 12}] > tps[{3, 6}] * 1.15,
+              "Fig.5a: Jenga throughput scales when doubling shards (paper: up to 1.8x)");
+  shape_check(tps[{0, 12}] < tps[{0, 4}] * 1.3,
+              "Fig.5a: Single Shard throughput does not scale with shards");
+  return finish("bench_fig5a_throughput");
+}

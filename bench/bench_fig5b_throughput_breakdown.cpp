@@ -1,0 +1,52 @@
+// Fig. 5b: throughput breakdown of Jenga's two design points.  The paper
+// attributes up to ~2.1x of the gain to Network-Wide Logic Storage (removing
+// multi-round cross-shard execution) and ~1.2x to the Orthogonal Lattice
+// Structure (removing cross-shard state movement).
+#include <cstdio>
+#include <map>
+
+#include "bench_config.hpp"
+#include "report.hpp"
+
+int main() {
+  using namespace jenga;
+  using namespace jenga::bench;
+  using namespace jenga::harness;
+
+  header("Fig. 5b — throughput breakdown (ablations of the two designs)",
+         "paper Fig. 5b");
+
+  const SystemKind systems[] = {SystemKind::kJengaNoGlobalLogic, SystemKind::kJengaNoLattice,
+                                SystemKind::kJenga};
+  std::map<std::pair<int, std::uint32_t>, double> tps;
+  std::printf("%-16s", "TPS");
+  for (std::uint32_t s : kShardCounts) std::printf("  S=%-8u", s);
+  std::printf("\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-16s", system_name(systems[i]));
+    for (std::uint32_t s : kShardCounts) {
+      RunConfig cfg = perf_config(systems[i], s);
+      cfg.contract_txs /= 4;       // ratios need less volume than absolutes
+      cfg.closed_loop_window /= 4;
+      const auto r = run_experiment(cfg);
+      tps[{i, s}] = r.tps;
+      std::printf("  %-10.1f", r.tps);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  const double full12 = tps[{2, 12}];
+  const double no_nwls12 = tps[{0, 12}];
+  const double no_ols12 = tps[{1, 12}];
+  std::printf("\nat 12 shards: NWLS gain %.2fx (full vs w/o NWLS), OLS gain %.2fx (full vs w/o OLS)\n\n",
+              full12 / no_nwls12, full12 / no_ols12);
+
+  shape_check(full12 > no_nwls12,
+              "Fig.5b: Network-Wide Logic Storage contributes throughput gain");
+  shape_check(full12 > no_ols12,
+              "Fig.5b: Orthogonal Lattice Structure contributes throughput gain");
+  shape_check(full12 / no_nwls12 > full12 / no_ols12,
+              "Fig.5b: NWLS contributes MORE than OLS (paper: 2.1x vs 1.2x)");
+  return finish("bench_fig5b_throughput_breakdown");
+}

@@ -1,0 +1,47 @@
+// Fig. 6b: latency breakdown of Jenga's design points.  Paper at 12 shards:
+// Network-Wide Logic Storage cuts confirmation latency by ~51.5% (no more
+// multi-round cross-shard execution); the Orthogonal Lattice Structure cuts
+// another ~15.8% (no cross-shard state fetch/return).
+#include <cstdio>
+#include <map>
+
+#include "bench_config.hpp"
+#include "report.hpp"
+
+int main() {
+  using namespace jenga;
+  using namespace jenga::bench;
+  using namespace jenga::harness;
+
+  header("Fig. 6b — latency breakdown (ablations of the two designs)", "paper Fig. 6b");
+
+  const SystemKind systems[] = {SystemKind::kJengaNoGlobalLogic, SystemKind::kJengaNoLattice,
+                                SystemKind::kJenga};
+  std::map<std::pair<int, std::uint32_t>, double> lat;
+  std::printf("%-16s", "latency (s)");
+  for (std::uint32_t s : kShardCounts) std::printf("  S=%-8u", s);
+  std::printf("\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-16s", system_name(systems[i]));
+    for (std::uint32_t s : kShardCounts) {
+      RunConfig cfg = perf_config(systems[i], s);
+      cfg.contract_txs /= 4;       // ratios need less volume than absolutes
+      cfg.closed_loop_window /= 4;
+      const auto r = run_experiment(cfg);
+      lat[{i, s}] = r.latency_s;
+      std::printf("  %-10.2f", r.latency_s);
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  const double no_nwls12 = lat[{0, 12}], no_ols12 = lat[{1, 12}], full12 = lat[{2, 12}];
+  std::printf("\nat 12 shards: NWLS saves %.1f%% (paper: 51.5%%), OLS saves %.1f%% (paper: 15.8%%)\n\n",
+              100 * (1 - full12 / no_nwls12), 100 * (1 - full12 / no_ols12));
+
+  shape_check(full12 < no_nwls12, "Fig.6b: NWLS reduces confirmation latency");
+  shape_check(full12 < no_ols12, "Fig.6b: OLS reduces confirmation latency");
+  shape_check((1 - full12 / no_nwls12) > (1 - full12 / no_ols12),
+              "Fig.6b: NWLS saves more latency than OLS (paper: 51.5% vs 15.8%)");
+  return finish("bench_fig6b_latency_breakdown");
+}

@@ -1,0 +1,54 @@
+// Fig. 7a: average per-node storage vs number of shards.  Paper: Jenga and
+// CX Func decrease with shard count (storage scalability); Pyramid grows
+// (merged committees replicate more shards); Jenga pays only a small logic
+// premium over CX Func (<200 MB) and saves up to 65.2% vs Pyramid at 12
+// shards.
+#include <cstdio>
+#include <map>
+
+#include "bench_config.hpp"
+#include "report.hpp"
+
+int main() {
+  using namespace jenga;
+  using namespace jenga::bench;
+  using namespace jenga::harness;
+
+  header("Fig. 7a — average per-node storage (MB) vs number of shards", "paper Fig. 7a");
+
+  const SystemKind systems[] = {SystemKind::kCxFunc, SystemKind::kPyramid, SystemKind::kJenga};
+  std::map<std::pair<int, std::uint32_t>, StorageReport> store;
+  std::printf("%-14s", "storage (MB)");
+  for (std::uint32_t s : kShardCounts) std::printf("  S=%-8u", s);
+  std::printf("\n");
+  for (int i = 0; i < 3; ++i) {
+    std::printf("%-14s", system_name(systems[i]));
+    for (std::uint32_t s : kShardCounts) {
+      const auto r = run_experiment(storage_config(systems[i], s));
+      store[{i, s}] = r.storage;
+      std::printf("  %-10.1f", mb(r.storage.total()));
+      std::fflush(stdout);
+    }
+    std::printf("\n");
+  }
+
+  const double cxf12 = mb(store[{0, 12}].total());
+  const double pyr12 = mb(store[{1, 12}].total());
+  const double jenga12 = mb(store[{2, 12}].total());
+  const double jenga_logic = mb(store[{2, 12}].logic_bytes_per_node);
+  std::printf("\nat 12 shards: Jenga=%.1f MB (logic premium %.1f MB), CX Func=%.1f MB, Pyramid=%.1f MB\n",
+              jenga12, jenga_logic, cxf12, pyr12);
+  std::printf("Jenga saves %.1f%% vs Pyramid (paper: 65.2%%)\n\n", 100 * (1 - jenga12 / pyr12));
+
+  shape_check(mb(store[{2, 12}].total()) < mb(store[{2, 4}].total()),
+              "Fig.7a: Jenga per-node storage decreases with more shards");
+  shape_check(mb(store[{0, 12}].total()) < mb(store[{0, 4}].total()),
+              "Fig.7a: CX Func per-node storage decreases with more shards");
+  shape_check(mb(store[{1, 12}].total()) > mb(store[{1, 4}].total()) * 0.95,
+              "Fig.7a: Pyramid per-node storage does NOT shrink (paper: it grows)");
+  shape_check(jenga12 < pyr12 * 0.6,
+              "Fig.7a: Jenga stores far less per node than Pyramid at 12 shards (paper: -65.2%)");
+  shape_check(jenga12 > cxf12 && jenga12 - cxf12 < 200,
+              "Fig.7a: Jenga pays only a small logic premium over CX Func (paper: <200 MB)");
+  return finish("bench_fig7a_storage");
+}

@@ -1,0 +1,134 @@
+// Micro-benchmarks (google-benchmark) for the hot primitives underneath the
+// experiment harness: hashing, curve arithmetic, signatures, the VM, the
+// Merkle tree, and a full simulated consensus round.
+#include <benchmark/benchmark.h>
+
+#include "consensus/bft.hpp"
+#include "consensus/messages.hpp"
+#include "crypto/fastcrypto.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+#include "ledger/portable_state.hpp"
+#include "vm/assembler.hpp"
+#include "vm/interpreter.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace jenga;
+
+void BM_Sha256_1KiB(benchmark::State& state) {
+  std::vector<std::uint8_t> data(1024, 0xAB);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sha256(data));
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KiB);
+
+void BM_Secp256k1_ScalarMulG(benchmark::State& state) {
+  const crypto::U256 k = crypto::U256::from_hex("deadbeefcafebabe1234567890");
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::point_mul_g(k));
+}
+BENCHMARK(BM_Secp256k1_ScalarMulG);
+
+void BM_Schnorr_Sign(benchmark::State& state) {
+  const auto kp = crypto::keypair_from_seed(1);
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4};
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::sign(kp, msg));
+}
+BENCHMARK(BM_Schnorr_Sign);
+
+void BM_Schnorr_Verify(benchmark::State& state) {
+  const auto kp = crypto::keypair_from_seed(1);
+  const std::vector<std::uint8_t> msg{1, 2, 3, 4};
+  const auto sig = crypto::sign(kp, msg);
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::verify(kp.public_key, msg, sig));
+}
+BENCHMARK(BM_Schnorr_Verify);
+
+void BM_FastCrypto_AggregateVerify64(benchmark::State& state) {
+  std::vector<crypto::FastKey> keys;
+  std::vector<std::uint64_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    keys.push_back(crypto::fast_keypair(i));
+    ids.push_back(keys.back().public_id);
+  }
+  const Hash256 msg = crypto::sha256("m");
+  std::vector<bool> part(64, true);
+  const auto agg = crypto::fast_aggregate(keys, part, msg);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(crypto::fast_verify_multisig(ids, msg, agg));
+}
+BENCHMARK(BM_FastCrypto_AggregateVerify64);
+
+void BM_Merkle_Root4096(benchmark::State& state) {
+  std::vector<Hash256> leaves;
+  for (int i = 0; i < 4096; ++i) leaves.push_back(crypto::sha256("leaf" + std::to_string(i)));
+  for (auto _ : state) benchmark::DoNotOptimize(crypto::merkle_root(leaves));
+}
+BENCHMARK(BM_Merkle_Root4096);
+
+void BM_Vm_GeneratedContractTx(benchmark::State& state) {
+  workload::TraceConfig cfg;
+  cfg.num_contracts = 64;
+  workload::TraceGenerator gen(cfg, Rng(3));
+  const auto tx = gen.contract_tx(1'000'000, 0);
+  for (auto _ : state) {
+    ledger::PortableState st;
+    for (std::size_t s = 0; s < tx.contracts.size(); ++s)
+      st.contracts[tx.contracts[s]] = gen.initial_state(tx.contracts[s].value);
+    st.balances[tx.sender] = 1'000'000;
+    ledger::PortableStateView view(std::move(st));
+    std::vector<const vm::ContractLogic*> logic;
+    for (auto c : tx.contracts) logic.push_back(gen.contracts()[c.value].get());
+    vm::ExecLimits limits;
+    limits.gas_limit = 100'000'000;
+    vm::Interpreter interp(logic, view, limits);
+    benchmark::DoNotOptimize(interp.run(tx.sender, tx.steps));
+  }
+}
+BENCHMARK(BM_Vm_GeneratedContractTx);
+
+/// One full simulated BFT height over a 32-node group (the building block of
+/// every experiment): measures simulator + consensus machinery overhead.
+void BM_Simulated_ConsensusRound(benchmark::State& state) {
+  using namespace jenga::consensus;
+  struct App : BftApp {
+    std::uint64_t decided = 0;
+    std::optional<ConsensusValue> propose(std::uint64_t height) override {
+      if (height > 0) return std::nullopt;
+      ConsensusValue v;
+      v.digest = crypto::sha256("v");
+      v.size_bytes = 4096;
+      return v;
+    }
+    bool validate(std::uint64_t, const ConsensusValue&) override { return true; }
+    void on_decide(std::uint64_t, const ConsensusValue&, const QuorumCert&) override {
+      ++decided;
+    }
+  };
+  for (auto _ : state) {
+    sim::Simulator sim;
+    sim::Network net(sim, sim::NetConfig{}, Rng(1));
+    auto cfg = std::make_shared<BftConfig>();
+    for (std::uint32_t i = 0; i < 32; ++i) cfg->members.push_back(NodeId{i});
+    std::vector<std::unique_ptr<App>> apps;
+    std::vector<std::unique_ptr<Replica>> replicas;
+    for (std::uint32_t i = 0; i < 32; ++i) {
+      apps.push_back(std::make_unique<App>());
+      replicas.push_back(std::make_unique<Replica>(net, NodeId{i}, cfg, *apps.back()));
+    }
+    for (std::uint32_t i = 0; i < 32; ++i) {
+      Replica* r = replicas[i].get();
+      net.register_node(NodeId{i}, [r](const sim::Message& m) { r->on_message(m); });
+    }
+    for (auto& r : replicas) r->start();
+    sim.run_until(5 * kSecond);
+    benchmark::DoNotOptimize(apps[0]->decided);
+  }
+}
+BENCHMARK(BM_Simulated_ConsensusRound)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

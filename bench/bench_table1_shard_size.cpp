@@ -1,0 +1,41 @@
+// Table I: choice of the number of nodes per shard and the corresponding
+// epoch failure probability (Eq. 1–3, f = 20%, target 2^-17).
+#include <cstdio>
+
+#include "report.hpp"
+#include "security/failure.hpp"
+
+int main() {
+  using namespace jenga;
+  using namespace jenga::bench;
+  using namespace jenga::security;
+
+  header("Table I — choice of number of nodes per shard and failure probability",
+         "paper Table I");
+
+  std::printf("%-8s %-18s %-24s %-22s %-10s\n", "Shards", "paper nodes/shard",
+              "paper p_system (x1e-6)", "our p_system (x1e-6)", "our chooser");
+  const std::pair<std::uint32_t, std::uint64_t> paper_rows[] = {
+      {4, 180}, {6, 200}, {8, 210}, {10, 230}, {12, 240}};
+  const double paper_probs[] = {1.6, 6.1, 5.1, 5.3, 2.8};
+
+  bool all_match = true;
+  bool all_safe = true;
+  int i = 0;
+  for (const auto& [s, k] : paper_rows) {
+    const double ours = system_failure_probability(k * s, s, 0.20) * 1e6;
+    const std::uint64_t chosen = choose_shard_size(s, 0.20);
+    std::printf("%-8u %-18llu %-24.1f %-22.2f %llu\n", s,
+                static_cast<unsigned long long>(k), paper_probs[i], ours,
+                static_cast<unsigned long long>(chosen));
+    all_match = all_match && std::abs(ours - paper_probs[i]) < 0.15;
+    all_safe = all_safe && ours * 1e-6 < kFailureTarget;
+    ++i;
+  }
+  std::printf("\n");
+  shape_check(all_match, "our Eq.1-3 reproduce the paper's Table I probabilities exactly");
+  shape_check(all_safe, "every paper (S, k) choice is below the 7.6e-6 target");
+  shape_check(choose_shard_size(8, 0.25) > choose_shard_size(8, 0.15),
+              "more Byzantine nodes require bigger shards");
+  return finish("bench_table1_shard_size");
+}

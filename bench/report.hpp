@@ -1,0 +1,39 @@
+// Shared reporting helpers for the experiment benches: aligned tables plus
+// "paper-shape checks" — qualitative assertions (who wins, rough factors,
+// crossovers) matching the claims of the paper's evaluation section.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace jenga::bench {
+
+inline int g_shape_failures = 0;
+inline int g_shape_passes = 0;
+
+inline void shape_check(bool ok, const std::string& claim) {
+  std::printf("  shape %-4s | %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+  if (ok) {
+    ++g_shape_passes;
+  } else {
+    ++g_shape_failures;
+  }
+}
+
+/// Prints the summary; returns 0 so a failed shape check is visible but does
+/// not abort a bench sweep.
+inline int finish(const char* name) {
+  std::printf("\n%s: %d shape checks passed, %d failed\n", name, g_shape_passes,
+              g_shape_failures);
+  return 0;
+}
+
+inline void header(const char* title, const char* paper_ref) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", title);
+  std::printf("(reproduces %s)\n", paper_ref);
+  std::printf("==============================================================\n");
+}
+
+}  // namespace jenga::bench

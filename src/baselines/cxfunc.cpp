@@ -1,0 +1,105 @@
+#include "baselines/cxfunc.hpp"
+
+#include "ledger/portable_state.hpp"
+#include "vm/interpreter.hpp"
+
+namespace jenga::baselines {
+
+using ledger::PortableState;
+using ledger::Transaction;
+
+std::pair<ShardId, WorkItem> CxFuncSystem::classify_tx(const TxPtr& tx) {
+  WorkItem item;
+  item.kind = WorkItem::Kind::kStepExec;
+  item.tx = tx;
+  item.aux = 0;
+  const ShardId first = home_of_contract(tx->contracts[tx->steps.front().contract_slot]);
+  return {first, std::move(item)};
+}
+
+CxFuncSystem::GroupResult CxFuncSystem::exec_step_group(Shard& shard, const Transaction& tx,
+                                                        std::uint32_t from) {
+  // Lock every declared contract homed here (idempotent re-lock by owner).
+  for (auto c : tx.contracts) {
+    if (home_of_contract(c) == shard.id && !shard.locks.lock_contract(c, tx.hash))
+      return {GroupResult::Status::kLocked, from};
+  }
+
+  // View over this shard's slice: store values overlaid with updates
+  // buffered by earlier visits of the same transaction.
+  PortableState slice;
+  for (auto c : tx.contracts) {
+    if (home_of_contract(c) != shard.id) continue;
+    const auto* st = shard.store.contract_state(c);
+    slice.contracts[c] = st ? *st : ledger::ContractState{};
+  }
+  for (auto a : tx.accounts) {
+    if (home_of_account(a) == shard.id)
+      slice.balances[a] = shard.store.balance(a).value_or(0);
+  }
+  if (const auto buffered = shard.buffered.find(tx.hash); buffered != shard.buffered.end())
+    slice.merge(buffered->second);
+
+  std::uint32_t end = from;
+  while (end < tx.steps.size() &&
+         home_of_contract(tx.contracts[tx.steps[end].contract_slot]) == shard.id)
+    ++end;
+
+  std::vector<const vm::ContractLogic*> logic;
+  for (auto c : tx.contracts) logic.push_back(shard.logic.get(c));
+
+  ledger::PortableStateView view(std::move(slice));
+  vm::ExecLimits limits;
+  limits.gas_limit = tx.gas_limit;
+  vm::Interpreter interp(logic, view, limits);
+  // Snapshot balances so untouched ones are NOT written back at commit:
+  // accounts are not locked here, and restoring a stale balance would undo a
+  // concurrent transaction's fee/debit.
+  const auto balance_snapshot = view.state().balances;
+  const auto r = interp.run(tx.sender, std::span(tx.steps.data() + from, end - from));
+  if (!r.ok()) return {GroupResult::Status::kFailed, from};
+  auto updated = view.take();
+  for (const auto& [a, bal] : balance_snapshot) {
+    const auto it = updated.balances.find(a);
+    if (it != updated.balances.end() && it->second == bal) updated.balances.erase(it);
+  }
+  shard.buffered[tx.hash] = std::move(updated);
+  return {GroupResult::Status::kOk, end};
+}
+
+void CxFuncSystem::process_item(Shard& shard, NodeId decider, const WorkItem& item,
+                                BlockCtx& ctx) {
+  switch (item.kind) {
+    case WorkItem::Kind::kStepExec: {
+      const Transaction& tx = *item.tx;
+      const auto r = exec_step_group(shard, tx, item.aux);
+      if (r.status == GroupResult::Status::kLocked) {
+        retry_or_abort(shard, decider, item);
+        break;
+      }
+      if (r.status == GroupResult::Status::kFailed) {
+        broadcast_commit(shard, decider, item.tx, /*ok=*/false);
+        break;
+      }
+      if (r.next >= tx.steps.size()) {
+        broadcast_commit(shard, decider, item.tx, /*ok=*/true);
+        break;
+      }
+      WorkItem hand_off;
+      hand_off.kind = WorkItem::Kind::kStepExec;
+      hand_off.tx = item.tx;
+      hand_off.aux = r.next;
+      send_cross(decider, shard.id,
+                 home_of_contract(tx.contracts[tx.steps[r.next].contract_slot]),
+                 std::move(hand_off));
+      break;
+    }
+    case WorkItem::Kind::kCommit:
+      apply_commit(shard, item, ctx);
+      break;
+    default:
+      break;
+  }
+}
+
+}  // namespace jenga::baselines

@@ -1,0 +1,239 @@
+#include "baselines/pyramid.hpp"
+
+#include <algorithm>
+
+#include "ledger/portable_state.hpp"
+#include "vm/interpreter.hpp"
+
+namespace jenga::baselines {
+
+using ledger::PortableState;
+using ledger::Transaction;
+
+namespace {
+
+/// aux packing for kStepExec: (b-shard << 16) | next step index.
+constexpr std::uint32_t pack_aux(std::uint32_t b, std::uint32_t step) {
+  return (b << 16) | step;
+}
+constexpr std::uint32_t aux_bshard(std::uint32_t aux) { return aux >> 16; }
+constexpr std::uint32_t aux_step(std::uint32_t aux) { return aux & 0xFFFF; }
+
+}  // namespace
+
+std::pair<ShardId, WorkItem> PyramidSystem::classify_tx(const TxPtr& tx) {
+  // Route to the b-shard covering the most declared contracts (one b-shard
+  // is anchored at every shard).
+  const std::uint32_t num_b = config_.num_shards;
+  std::uint32_t best = 0, best_cover = 0;
+  for (std::uint32_t b = 0; b < num_b; ++b) {
+    std::uint32_t cover = 0;
+    for (auto c : tx->contracts)
+      if (in_span(b, home_of_contract(c))) ++cover;
+    if (cover > best_cover) {
+      best_cover = cover;
+      best = b;
+    }
+  }
+  WorkItem item;
+  item.kind = WorkItem::Kind::kExec;
+  item.tx = tx;
+  item.aux = best;
+  return {bshard_committee(best), std::move(item)};
+}
+
+std::uint32_t PyramidSystem::next_out_of_span_step(const Transaction& tx, std::uint32_t b,
+                                                   std::uint32_t from) const {
+  for (std::uint32_t i = from; i < tx.steps.size(); ++i) {
+    if (!in_span(b, home_of_contract(tx.contracts[tx.steps[i].contract_slot]))) return i;
+  }
+  return static_cast<std::uint32_t>(tx.steps.size());
+}
+
+void PyramidSystem::continue_out_of_span(Shard& shard, NodeId decider, const WorkItem& item,
+                                         std::uint32_t from) {
+  const Transaction& tx = *item.tx;
+  const std::uint32_t b = aux_bshard(item.aux);
+  const std::uint32_t next = next_out_of_span_step(tx, b, from);
+  if (next >= tx.steps.size()) {
+    broadcast_commit(shard, decider, item.tx, /*ok=*/true);
+    return;
+  }
+  WorkItem hand_off;
+  hand_off.kind = WorkItem::Kind::kStepExec;
+  hand_off.tx = item.tx;
+  hand_off.aux = pack_aux(b, next);
+  send_cross(decider, shard.id,
+             home_of_contract(tx.contracts[tx.steps[next].contract_slot]),
+             std::move(hand_off));
+}
+
+void PyramidSystem::process_item(Shard& shard, NodeId decider, const WorkItem& item,
+                                 BlockCtx& ctx) {
+  const Transaction& tx = *item.tx;
+  switch (item.kind) {
+    case WorkItem::Kind::kExec: {
+      // Merged-committee round: lock + execute every in-span step at once.
+      const std::uint32_t b = item.aux;
+      bool lock_failed = false;
+      for (auto c : tx.contracts) {
+        const ShardId home = home_of_contract(c);
+        if (!in_span(b, home)) continue;
+        if (!shards_[home.value]->locks.lock_contract(c, tx.hash)) {
+          lock_failed = true;
+          break;
+        }
+      }
+      if (lock_failed) {
+        retry_or_abort(shard, decider, item);
+        break;
+      }
+      bool ok = true;
+      {
+        PortableState bundle;
+        std::vector<const vm::ContractLogic*> logic;
+        for (auto c : tx.contracts) {
+          const ShardId home = home_of_contract(c);
+          if (in_span(b, home)) {
+            const auto* st = shards_[home.value]->store.contract_state(c);
+            bundle.contracts[c] = st ? *st : ledger::ContractState{};
+            logic.push_back(shards_[home.value]->logic.get(c));
+          } else {
+            logic.push_back(nullptr);  // out-of-span: executed later elsewhere
+          }
+        }
+        for (auto a : tx.accounts) {
+          const ShardId home = home_of_account(a);
+          if (in_span(b, home))
+            bundle.balances[a] = shards_[home.value]->store.balance(a).value_or(0);
+        }
+        // The in-span subsequence, order preserved.
+        std::vector<vm::CallStep> steps;
+        for (const auto& s : tx.steps)
+          if (in_span(b, home_of_contract(tx.contracts[s.contract_slot])))
+            steps.push_back(s);
+        ledger::PortableStateView view(std::move(bundle));
+        const auto balance_snapshot = view.state().balances;
+        vm::ExecLimits limits;
+        limits.gas_limit = tx.gas_limit;
+        vm::Interpreter interp(logic, view, limits);
+        ok = interp.run(tx.sender, steps).ok();
+        if (ok) {
+          // Buffer updates on each owning member shard for the commit round.
+          // Unchanged balances are dropped: accounts are not locked, and a
+          // stale write-back would clobber concurrent fee deductions.
+          PortableState updated = view.take();
+          for (auto& [c, st] : updated.contracts)
+            shards_[home_of_contract(c).value]->buffered[tx.hash].contracts[c] = std::move(st);
+          for (auto& [a, bal] : updated.balances) {
+            const auto snap = balance_snapshot.find(a);
+            if (snap != balance_snapshot.end() && snap->second == bal) continue;
+            shards_[home_of_account(a).value]->buffered[tx.hash].balances[a] = bal;
+          }
+        }
+      }
+      if (!ok) {
+        broadcast_commit(shard, decider, item.tx, /*ok=*/false);
+        break;
+      }
+      WorkItem continuation = item;
+      continuation.aux = pack_aux(b, 0);
+      continue_out_of_span(shard, decider, continuation, 0);
+      break;
+    }
+    case WorkItem::Kind::kStepExec: {
+      const std::uint32_t b = aux_bshard(item.aux);
+      const std::uint32_t from = aux_step(item.aux);
+      // Lock the declared contracts homed here.
+      bool lock_failed = false;
+      for (auto c : tx.contracts) {
+        if (home_of_contract(c) == shard.id && !shard.locks.lock_contract(c, tx.hash)) {
+          lock_failed = true;
+          break;
+        }
+      }
+      if (lock_failed) {
+        retry_or_abort(shard, decider, item);
+        break;
+      }
+      bool ok = true;
+      std::uint32_t next = from;
+      {
+        // Execute the maximal run of out-of-span steps homed here (skipping
+        // in-span steps, which the merged committee already ran).
+        std::vector<vm::CallStep> steps;
+        while (next < tx.steps.size()) {
+          const ShardId home = home_of_contract(tx.contracts[tx.steps[next].contract_slot]);
+          if (in_span(b, home)) {
+            ++next;
+            continue;
+          }
+          if (home != shard.id) break;
+          steps.push_back(tx.steps[next]);
+          ++next;
+        }
+        PortableState slice;
+        std::vector<const vm::ContractLogic*> logic;
+        for (auto c : tx.contracts) {
+          if (home_of_contract(c) == shard.id) {
+            const auto* st = shard.store.contract_state(c);
+            slice.contracts[c] = st ? *st : ledger::ContractState{};
+            logic.push_back(shard.logic.get(c));
+          } else {
+            logic.push_back(nullptr);
+          }
+        }
+        for (auto a : tx.accounts)
+          if (home_of_account(a) == shard.id)
+            slice.balances[a] = shard.store.balance(a).value_or(0);
+        if (const auto buffered = shard.buffered.find(tx.hash);
+            buffered != shard.buffered.end())
+          slice.merge(buffered->second);
+        ledger::PortableStateView view(std::move(slice));
+        const auto balance_snapshot = view.state().balances;
+        vm::ExecLimits limits;
+        limits.gas_limit = tx.gas_limit;
+        vm::Interpreter interp(logic, view, limits);
+        ok = interp.run(tx.sender, steps).ok();
+        if (ok) {
+          auto updated = view.take();
+          for (const auto& [a, bal] : balance_snapshot) {
+            const auto it = updated.balances.find(a);
+            if (it != updated.balances.end() && it->second == bal) updated.balances.erase(it);
+          }
+          shard.buffered[tx.hash] = std::move(updated);
+        }
+      }
+      if (!ok) {
+        broadcast_commit(shard, decider, item.tx, /*ok=*/false);
+        break;
+      }
+      continue_out_of_span(shard, decider, item, next);
+      break;
+    }
+    case WorkItem::Kind::kCommit:
+      apply_commit(shard, item, ctx);
+      break;
+    default:
+      break;
+  }
+}
+
+StorageReport PyramidSystem::storage_report() const {
+  StorageReport r = BaselineSystem::storage_report();
+  // Every node additionally replicates the other `span-1` shards of its
+  // b-shard: state, logic and chain; averaged over all N nodes.
+  std::uint64_t extra = 0;
+  const std::uint32_t span = std::min(config_.merge_span, config_.num_shards);
+  for (std::uint32_t b = 0; b < config_.num_shards; ++b) {
+    for (std::uint32_t off = 1; off < span; ++off) {
+      const std::uint32_t s = (b + off) % config_.num_shards;
+      extra += shards_[s]->store.state_storage_bytes() +
+               shards_[s]->logic.logic_storage_bytes() + shards_[s]->chain.total_bytes();
+    }
+  }
+  r.extra_bytes_per_node = extra / config_.num_shards;
+  return r;
+}
+
+}  // namespace jenga::baselines

@@ -1,0 +1,137 @@
+// Byte-oriented serialization codec.
+//
+// Fixed-width little-endian integers plus length-prefixed containers.  Used
+// for hashing protocol objects canonically and for charging realistic wire
+// sizes in the network simulator.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.hpp"
+#include "common/types.hpp"
+
+namespace jenga {
+
+class Writer {
+ public:
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v) { put_le(v); }
+  void u32(std::uint32_t v) { put_le(v); }
+  void u64(std::uint64_t v) { put_le(v); }
+  void i64(std::int64_t v) { put_le(static_cast<std::uint64_t>(v)); }
+
+  void bytes(std::span<const std::uint8_t> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  /// Length-prefixed (u32) blob.
+  void blob(std::span<const std::uint8_t> data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    bytes(data);
+  }
+
+  void str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+  }
+
+  void hash(const Hash256& h) { bytes(std::span(h.bytes)); }
+
+  template <typename Tag, typename Rep>
+  void id(StrongId<Tag, Rep> v) {
+    if constexpr (sizeof(Rep) == 4)
+      u32(static_cast<std::uint32_t>(v.value));
+    else
+      u64(static_cast<std::uint64_t>(v.value));
+  }
+
+  [[nodiscard]] const std::vector<std::uint8_t>& data() const { return buf_; }
+  [[nodiscard]] std::size_t size() const { return buf_.size(); }
+  std::vector<std::uint8_t> take() { return std::move(buf_); }
+
+ private:
+  template <typename T>
+  void put_le(T v) {
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class Reader {
+ public:
+  explicit Reader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  [[nodiscard]] bool failed() const { return failed_; }
+  [[nodiscard]] std::size_t remaining() const { return data_.size() - pos_; }
+  [[nodiscard]] bool exhausted() const { return remaining() == 0; }
+
+  std::uint8_t u8() { return take_le<std::uint8_t>(); }
+  std::uint16_t u16() { return take_le<std::uint16_t>(); }
+  std::uint32_t u32() { return take_le<std::uint32_t>(); }
+  std::uint64_t u64() { return take_le<std::uint64_t>(); }
+  std::int64_t i64() { return static_cast<std::int64_t>(take_le<std::uint64_t>()); }
+
+  std::vector<std::uint8_t> blob() {
+    auto n = u32();
+    std::vector<std::uint8_t> out;
+    if (failed_ || remaining() < n) {
+      failed_ = true;
+      return out;
+    }
+    out.assign(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+               data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string str() {
+    auto b = blob();
+    return {b.begin(), b.end()};
+  }
+
+  Hash256 hash() {
+    Hash256 h;
+    if (remaining() < 32) {
+      failed_ = true;
+      return h;
+    }
+    std::memcpy(h.bytes.data(), data_.data() + pos_, 32);
+    pos_ += 32;
+    return h;
+  }
+
+  template <typename Id>
+  Id id() {
+    using Rep = decltype(Id{}.value);
+    if constexpr (sizeof(Rep) == 4)
+      return Id{static_cast<Rep>(u32())};
+    else
+      return Id{static_cast<Rep>(u64())};
+  }
+
+ private:
+  template <typename T>
+  T take_le() {
+    if (remaining() < sizeof(T)) {
+      failed_ = true;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i)
+      v = static_cast<T>(v | (static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i)));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace jenga

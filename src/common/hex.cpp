@@ -1,0 +1,51 @@
+#include "common/hex.hpp"
+
+namespace jenga {
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (auto b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+std::string to_hex(const Hash256& h) { return to_hex(std::span(h.bytes)); }
+
+std::optional<std::vector<std::uint8_t>> from_hex(std::string_view hex) {
+  if (hex.starts_with("0x") || hex.starts_with("0X")) hex.remove_prefix(2);
+  if (hex.size() % 2 != 0) return std::nullopt;
+  std::vector<std::uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    int hi = nibble(hex[i]);
+    int lo = nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<std::uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+std::optional<Hash256> hash_from_hex(std::string_view hex) {
+  auto bytes = from_hex(hex);
+  if (!bytes || bytes->size() != 32) return std::nullopt;
+  Hash256 h;
+  std::copy(bytes->begin(), bytes->end(), h.bytes.begin());
+  return h;
+}
+
+}  // namespace jenga

@@ -1,0 +1,27 @@
+// Hex encoding/decoding for byte spans and Hash256.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jenga {
+
+/// Lower-case hex encoding of an arbitrary byte span.
+[[nodiscard]] std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Hex encoding of a digest.
+[[nodiscard]] std::string to_hex(const Hash256& h);
+
+/// Decodes a hex string (with or without "0x" prefix).  Returns nullopt on
+/// odd length or non-hex characters.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> from_hex(std::string_view hex);
+
+/// Decodes exactly 32 bytes of hex into a digest.
+[[nodiscard]] std::optional<Hash256> hash_from_hex(std::string_view hex);
+
+}  // namespace jenga

@@ -1,0 +1,32 @@
+// Tiny leveled logger.  Simulation code logs with the simulated timestamp.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+namespace jenga {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; defaults to kWarn so tests/benches stay quiet.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, const std::string& msg);
+}
+
+template <typename... Args>
+void log_at(LogLevel level, const char* fmt, Args... args) {
+  if (level < log_level()) return;
+  char buf[1024];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  detail::log_line(level, buf);
+}
+
+#define JENGA_LOG_DEBUG(...) ::jenga::log_at(::jenga::LogLevel::kDebug, __VA_ARGS__)
+#define JENGA_LOG_INFO(...) ::jenga::log_at(::jenga::LogLevel::kInfo, __VA_ARGS__)
+#define JENGA_LOG_WARN(...) ::jenga::log_at(::jenga::LogLevel::kWarn, __VA_ARGS__)
+#define JENGA_LOG_ERROR(...) ::jenga::log_at(::jenga::LogLevel::kError, __VA_ARGS__)
+
+}  // namespace jenga

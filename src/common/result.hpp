@@ -1,0 +1,99 @@
+// Minimal Result<T, E>: value-or-error return type used by fallible APIs.
+//
+// C++20 has no std::expected; this is a small, assert-checked subset of it.
+// Programmer errors (accessing the wrong alternative) abort in all builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace jenga {
+
+template <typename E>
+class Err {
+ public:
+  explicit Err(E e) : error_(std::move(e)) {}
+  E& get() { return error_; }
+  const E& get() const { return error_; }
+
+ private:
+  E error_;
+};
+
+template <typename E>
+Err(E) -> Err<E>;
+
+template <typename T, typename E = std::string>
+class Result {
+ public:
+  // NOLINTNEXTLINE(google-explicit-constructor): intentional, mirrors expected.
+  Result(T value) : storage_(std::in_place_index<0>, std::move(value)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Result(Err<E> err) : storage_(std::in_place_index<1>, std::move(err.get())) {}
+
+  [[nodiscard]] bool ok() const { return storage_.index() == 0; }
+  explicit operator bool() const { return ok(); }
+
+  T& value() & {
+    check(ok(), "Result::value() on error");
+    return std::get<0>(storage_);
+  }
+  const T& value() const& {
+    check(ok(), "Result::value() on error");
+    return std::get<0>(storage_);
+  }
+  T&& value() && {
+    check(ok(), "Result::value() on error");
+    return std::get<0>(std::move(storage_));
+  }
+
+  E& error() & {
+    check(!ok(), "Result::error() on value");
+    return std::get<1>(storage_);
+  }
+  const E& error() const& {
+    check(!ok(), "Result::error() on value");
+    return std::get<1>(storage_);
+  }
+
+  T value_or(T fallback) const& { return ok() ? std::get<0>(storage_) : std::move(fallback); }
+
+ private:
+  static void check(bool cond, const char* msg) {
+    if (!cond) {
+      std::fprintf(stderr, "fatal: %s\n", msg);
+      std::abort();
+    }
+  }
+
+  std::variant<T, E> storage_;
+};
+
+/// Result specialization-alike for operations with no value on success.
+template <typename E = std::string>
+class Status {
+ public:
+  Status() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Status(Err<E> err) : error_(std::move(err.get())), has_error_(true) {}
+
+  [[nodiscard]] bool ok() const { return !has_error_; }
+  explicit operator bool() const { return ok(); }
+
+  const E& error() const {
+    if (!has_error_) {
+      std::fprintf(stderr, "fatal: Status::error() on ok\n");
+      std::abort();
+    }
+    return error_;
+  }
+
+ private:
+  E error_{};
+  bool has_error_ = false;
+};
+
+}  // namespace jenga

@@ -1,0 +1,41 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace jenga {
+
+std::uint64_t Rng::geometric_mean(double mean) {
+  if (mean <= 1.0) return 1;
+  const double p = 1.0 / mean;
+  // Inverse-CDF sampling of Geometric(p) supported on {1, 2, ...}.
+  double u = uniform01();
+  if (u >= 1.0) u = std::nextafter(1.0, 0.0);
+  auto k = static_cast<std::uint64_t>(std::ceil(std::log1p(-u) / std::log1p(-p)));
+  return k == 0 ? 1 : k;
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Box–Muller; one sample per call keeps the stream position predictable.
+  double u1 = uniform01();
+  double u2 = uniform01();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(2.0 * M_PI * u2);
+}
+
+Rng Rng::fork(std::string_view label) const {
+  // Hash the current state together with the label into a fresh seed.
+  std::uint64_t h = 0x6a09e667f3bcc908ULL;
+  for (auto word : s_) {
+    std::uint64_t x = word;
+    h ^= splitmix64(x);
+    h = (h << 13) | (h >> 51);
+  }
+  for (char c : label) {
+    std::uint64_t x = h ^ static_cast<std::uint8_t>(c);
+    h = splitmix64(x) + 0x9E3779B97F4A7C15ULL * static_cast<std::uint8_t>(c);
+  }
+  return Rng(h);
+}
+
+}  // namespace jenga

@@ -1,0 +1,94 @@
+// Deterministic random number generation for the whole system.
+//
+// Every source of randomness in a simulation run (node keys, epoch
+// randomness, workload draws, network jitter) derives from a single master
+// seed via named sub-streams, so any experiment replays bit-identically.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace jenga {
+
+/// SplitMix64: used for seeding and cheap hashing of seeds.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality PRNG.  Satisfies UniformRandomBitGenerator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0xC0FFEE) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    for (auto& word : s_) word = splitmix64(seed);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound).  bound must be > 0.
+  std::uint64_t uniform(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(uniform(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() { return static_cast<double>(next() >> 11) * 0x1.0p-53; }
+
+  /// Bernoulli trial with probability p.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Geometric-ish positive integer with given mean (>= 1).
+  std::uint64_t geometric_mean(double mean);
+
+  /// Truncated normal sample, clamped to [lo, hi].
+  double normal(double mean, double stddev);
+
+  /// Derive an independent child stream named by a label (order-insensitive).
+  [[nodiscard]] Rng fork(std::string_view label) const;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace jenga

@@ -1,0 +1,47 @@
+// Cross-system experiment statistics (shared by Jenga and the baselines).
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace jenga {
+
+/// Transaction-level outcomes and latency accounting.
+struct TxStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t committed = 0;
+  std::uint64_t aborted = 0;
+  SimTime total_commit_latency = 0;  // Σ (commit_time - submit_time)
+  SimTime first_submit_time = 0;
+  SimTime last_commit_time = 0;
+  std::uint64_t fees_charged = 0;
+
+  [[nodiscard]] double tps() const {
+    const SimTime span = last_commit_time - first_submit_time;
+    if (span <= 0) return 0.0;
+    return static_cast<double>(committed) /
+           (static_cast<double>(span) / static_cast<double>(kSecond));
+  }
+
+  [[nodiscard]] double avg_latency_seconds() const {
+    if (committed == 0) return 0.0;
+    return static_cast<double>(total_commit_latency) /
+           (static_cast<double>(committed) * static_cast<double>(kSecond));
+  }
+};
+
+/// Per-node storage accounting at the end of a run.
+struct StorageReport {
+  std::uint64_t chain_bytes_per_node = 0;   // this node's shard chain
+  std::uint64_t state_bytes_per_node = 0;   // this node's state partition
+  std::uint64_t logic_bytes_per_node = 0;   // contract logic the node holds
+  std::uint64_t extra_bytes_per_node = 0;   // merged-shard overhead (Pyramid)
+
+  [[nodiscard]] std::uint64_t total() const {
+    return chain_bytes_per_node + state_bytes_per_node + logic_bytes_per_node +
+           extra_bytes_per_node;
+  }
+};
+
+}  // namespace jenga

@@ -1,0 +1,101 @@
+// Core strong types shared by every Jenga module.
+//
+// The simulator, ledger and protocol layers all speak in terms of these
+// identifiers.  They are deliberately thin wrappers over integers so that the
+// compiler rejects category errors (passing a ShardId where a ChannelId is
+// expected) without any runtime cost.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+namespace jenga {
+
+/// Simulated time in microseconds since simulation start.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000 * kMicrosecond;
+inline constexpr SimTime kSecond = 1000 * kMillisecond;
+
+/// A 256-bit digest (SHA-256 output, transaction / block / contract ids).
+struct Hash256 {
+  std::array<std::uint8_t, 32> bytes{};
+
+  constexpr auto operator<=>(const Hash256&) const = default;
+
+  /// First 8 bytes interpreted as a big-endian integer; used for cheap
+  /// modular placement decisions (shard-of-contract, channel-of-tx).
+  [[nodiscard]] std::uint64_t prefix_u64() const {
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | bytes[static_cast<std::size_t>(i)];
+    return v;
+  }
+
+  [[nodiscard]] bool is_zero() const {
+    for (auto b : bytes)
+      if (b != 0) return false;
+    return true;
+  }
+};
+
+/// Strongly-typed integer id.  `Tag` distinguishes unrelated id spaces.
+template <typename Tag, typename Rep = std::uint32_t>
+struct StrongId {
+  Rep value{};
+
+  constexpr StrongId() = default;
+  constexpr explicit StrongId(Rep v) : value(v) {}
+
+  constexpr auto operator<=>(const StrongId&) const = default;
+};
+
+struct NodeTag {};
+struct ShardTag {};
+struct ChannelTag {};
+struct AccountTag {};
+struct ContractTag {};
+struct EpochTag {};
+
+/// Global node index in [0, N).
+using NodeId = StrongId<NodeTag>;
+/// State shard index in [0, S).
+using ShardId = StrongId<ShardTag>;
+/// Execution channel index in [0, S).
+using ChannelId = StrongId<ChannelTag>;
+/// Client account id.
+using AccountId = StrongId<AccountTag, std::uint64_t>;
+/// Smart contract id (derived from deploy-tx hash in the real system; a dense
+/// index in the simulator for O(1) lookup).
+using ContractId = StrongId<ContractTag, std::uint64_t>;
+/// Reshuffle epoch counter.
+using EpochId = StrongId<EpochTag, std::uint64_t>;
+
+/// Block height within one shard's chain.
+using BlockHeight = std::uint64_t;
+
+}  // namespace jenga
+
+namespace std {
+
+template <>
+struct hash<jenga::Hash256> {
+  size_t operator()(const jenga::Hash256& h) const noexcept {
+    size_t v = 0;
+    std::memcpy(&v, h.bytes.data(), sizeof(v));
+    return v;
+  }
+};
+
+template <typename Tag, typename Rep>
+struct hash<jenga::StrongId<Tag, Rep>> {
+  size_t operator()(const jenga::StrongId<Tag, Rep>& id) const noexcept {
+    return std::hash<Rep>{}(id.value);
+  }
+};
+
+}  // namespace std

@@ -1,0 +1,457 @@
+#include "consensus/bft.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "consensus/messages.hpp"
+#include "crypto/sha256.hpp"
+
+namespace jenga::consensus {
+namespace {
+
+Hash256 vote_digest(const Hash256& value_digest, std::uint64_t height, std::uint32_t view,
+                    bool commit_phase) {
+  crypto::Sha256 h;
+  h.update(commit_phase ? "jenga/bft-commit" : "jenga/bft-prepare");
+  h.update(value_digest);
+  h.update_u64(height);
+  h.update_u64(view);
+  return h.finish();
+}
+
+}  // namespace
+
+Replica::Replica(sim::Network& net, NodeId self, std::shared_ptr<const BftConfig> config,
+                 BftApp& app)
+    : net_(net), self_(self), config_(std::move(config)), app_(app) {
+  keys_.reserve(config_->members.size());
+  for (std::size_t i = 0; i < config_->members.size(); ++i) {
+    keys_.push_back(crypto::fast_keypair(config_->crypto_seed * 0x9E3779B9ULL + i));
+    public_ids_.push_back(keys_.back().public_id);
+  }
+}
+
+void Replica::start() {
+  started_ = true;
+  enter_height(next_height_);
+}
+
+NodeId Replica::leader_for(std::uint32_t view) const {
+  const std::size_t n = config_->members.size();
+  return config_->members[(next_height_ + view) % n];
+}
+
+std::optional<std::size_t> Replica::member_index(NodeId id) const {
+  for (std::size_t i = 0; i < config_->members.size(); ++i)
+    if (config_->members[i] == id) return i;
+  return std::nullopt;
+}
+
+bool Replica::verify_cert(const QuorumCert& cert) const {
+  if (cert.sig.signer_count() < quorum()) return false;
+  const Hash256 digest =
+      vote_digest(cert.value_digest, cert.height, cert.view, /*commit inferred upstream*/ false);
+  // Certificates for prepare and commit phases are distinguished by the
+  // message type they ride in; verify against the prepare digest first and
+  // fall back to the commit digest.
+  if (crypto::fast_verify_multisig(public_ids_, digest, cert.sig)) return true;
+  const Hash256 commit_digest = vote_digest(cert.value_digest, cert.height, cert.view, true);
+  return crypto::fast_verify_multisig(public_ids_, commit_digest, cert.sig);
+}
+
+void Replica::broadcast(const sim::Message& msg, bool gossip) {
+  if (gossip && config_->use_gossip_for_proposal) {
+    net_.gossip(self_, config_->members, msg, config_->traffic);
+  } else {
+    net_.multicast(self_, config_->members, msg, config_->traffic);
+  }
+}
+
+void Replica::send_to(NodeId to, const sim::Message& msg) {
+  if (to == self_) {
+    // Local hand-off: no network traversal.
+    net_.simulator().schedule_after(0, [this, msg] { on_message(msg); });
+    return;
+  }
+  net_.send(self_, to, msg, config_->traffic);
+}
+
+void Replica::enter_height(std::uint64_t height) {
+  next_height_ = height;
+  view_ = 0;
+  proposal_.reset();
+  prepare_votes_.assign(config_->members.size(), false);
+  commit_votes_.assign(config_->members.size(), false);
+  prepared_cert_sent_ = false;
+  commit_cert_sent_ = false;
+  current_value_.reset();
+  sent_prepare_ = false;
+  sent_commit_ = false;
+  prepared_cert_.reset();
+  view_votes_.clear();
+  next_view_vote_ = 0;
+  arm_view_timer();
+  if (is_leader()) {
+    net_.simulator().schedule_after(0, [this, height] {
+      if (next_height_ == height) try_propose();
+    });
+  }
+  if (!future_.empty()) {
+    std::vector<sim::Message> replay;
+    replay.swap(future_);
+    for (auto& msg : replay) on_message(msg);
+  }
+}
+
+void Replica::arm_view_timer() {
+  const std::uint64_t gen = ++timer_generation_;
+  const std::uint64_t h = next_height_;
+  const std::uint32_t v = view_;
+  net_.simulator().schedule_after(config_->view_timeout, [this, gen, h, v] {
+    if (timer_generation_ == gen) on_view_timeout(h, v);
+  });
+}
+
+void Replica::on_view_timeout(std::uint64_t height, std::uint32_t view) {
+  if (next_height_ != height || view_ != view) return;
+  if (byz_ == ByzantineMode::kSilent) return;
+  // Escalate one view further on each consecutive timeout, so a run of dead
+  // leaders is eventually skipped.
+  const std::uint32_t new_view = std::max(view + 1, next_view_vote_ + 1);
+  next_view_vote_ = new_view;
+  auto payload = std::make_shared<ViewChangePayload>();
+  payload->group = config_->group_tag;
+  payload->height = height;
+  payload->new_view = new_view;
+  payload->member_index = member_index(self_).value_or(0);
+  if (prepared_cert_ && current_value_) {
+    payload->prepared = *prepared_cert_;
+    payload->prepared_value = *current_value_;
+  }
+  sim::Message msg;
+  msg.type = sim::MsgType::kBftViewChange;
+  msg.from = self_;
+  msg.size_bytes = kViewChangeWireBytes;
+  msg.payload = std::move(payload);
+
+  // The prospective new leader for (height, new_view).
+  const std::size_t n = config_->members.size();
+  send_to(config_->members[(height + new_view) % n], msg);
+  arm_view_timer();  // keep escalating if this view also stalls
+}
+
+void Replica::try_propose() {
+  if (!started_ || !is_leader() || proposal_.has_value()) return;
+  if (byz_ == ByzantineMode::kSilent || byz_ == ByzantineMode::kMuteProposer) return;
+
+  auto value = app_.propose(next_height_);
+  if (!value) {
+    const std::uint64_t h = next_height_;
+    net_.simulator().schedule_after(config_->propose_retry, [this, h] {
+      if (next_height_ == h && is_leader()) try_propose();
+    });
+    return;
+  }
+
+  proposal_ = *value;
+  current_value_ = *value;
+  auto payload = std::make_shared<ProposalPayload>();
+  payload->group = config_->group_tag;
+  payload->height = next_height_;
+  payload->view = view_;
+  payload->value = *value;
+  sim::Message msg;
+  msg.type = sim::MsgType::kBftPrePrepare;
+  msg.from = self_;
+  msg.size_bytes = kProposalOverheadBytes + value->size_bytes;
+  msg.payload = std::move(payload);
+
+  // The leader spends the block-assembly/execution time before the proposal
+  // leaves its machine.
+  const std::uint64_t h = next_height_;
+  const std::uint32_t v = view_;
+  net_.simulator().schedule_after(value->exec_delay, [this, h, v, msg] {
+    if (next_height_ != h || view_ != v) return;
+    broadcast(msg, /*gossip=*/true);
+    const auto idx = member_index(self_);
+    if (idx) {
+      prepare_votes_[*idx] = true;
+      sent_prepare_ = true;
+      leader_try_assemble(/*prepared_phase=*/true);
+    }
+  });
+}
+
+namespace {
+
+/// Height carried by any BFT payload (for future-height buffering).
+std::uint64_t message_height(const sim::Message& msg) {
+  switch (msg.type) {
+    case sim::MsgType::kBftPrePrepare:
+      return sim::payload_as<ProposalPayload>(msg).height;
+    case sim::MsgType::kBftPrepareVote:
+    case sim::MsgType::kBftCommitVote:
+      return sim::payload_as<VotePayload>(msg).height;
+    case sim::MsgType::kBftPreparedCert:
+    case sim::MsgType::kBftCommitCert:
+      return sim::payload_as<CertPayload>(msg).cert.height;
+    case sim::MsgType::kBftViewChange:
+      return sim::payload_as<ViewChangePayload>(msg).height;
+    case sim::MsgType::kBftNewView:
+      return sim::payload_as<NewViewPayload>(msg).height;
+    default:
+      return 0;
+  }
+}
+
+}  // namespace
+
+void Replica::on_message(const sim::Message& msg) {
+  if (byz_ == ByzantineMode::kSilent) return;
+  // Drop messages belonging to a different consensus group on this node.
+  const auto* tagged = dynamic_cast<const GroupPayload*>(msg.payload.get());
+  if (tagged == nullptr || tagged->group != config_->group_tag) return;
+  if (message_height(msg) > next_height_) {
+    // Delivered ahead of this replica's progress; replay after we catch up.
+    if (future_.size() < 4096) future_.push_back(msg);
+    return;
+  }
+  switch (msg.type) {
+    case sim::MsgType::kBftPrePrepare: handle_pre_prepare(msg); break;
+    case sim::MsgType::kBftPrepareVote: handle_prepare_vote(msg); break;
+    case sim::MsgType::kBftPreparedCert: handle_prepared_cert(msg); break;
+    case sim::MsgType::kBftCommitVote: handle_commit_vote(msg); break;
+    case sim::MsgType::kBftCommitCert: handle_commit_cert(msg); break;
+    case sim::MsgType::kBftViewChange: handle_view_change(msg); break;
+    case sim::MsgType::kBftNewView: handle_new_view(msg); break;
+    default: break;
+  }
+}
+
+void Replica::handle_pre_prepare(const sim::Message& msg) {
+  const auto& p = sim::payload_as<ProposalPayload>(msg);
+  if (p.height != next_height_ || p.view != view_) return;
+  if (msg.from != leader_for(view_)) return;  // only the leader proposes
+  if (sent_prepare_) return;
+  if (!app_.validate(p.height, p.value)) return;
+
+  current_value_ = p.value;
+  sent_prepare_ = true;
+
+  const auto idx = member_index(self_);
+  if (!idx) return;
+  auto vote = std::make_shared<VotePayload>();
+  vote->group = config_->group_tag;
+  vote->height = p.height;
+  vote->view = p.view;
+  vote->digest = p.value.digest;
+  vote->member_index = *idx;
+  vote->signature =
+      crypto::fast_sign(keys_[*idx], vote_digest(p.value.digest, p.height, p.view, false));
+  sim::Message out;
+  out.type = sim::MsgType::kBftPrepareVote;
+  out.from = self_;
+  out.size_bytes = kVoteWireBytes;
+  out.payload = std::move(vote);
+  // Verification (re-execution) time before the vote leaves this replica.
+  const std::uint64_t h = p.height;
+  const std::uint32_t v = p.view;
+  const NodeId leader = leader_for(view_);
+  net_.simulator().schedule_after(p.value.exec_delay, [this, h, v, leader, out] {
+    if (next_height_ != h || view_ != v) return;
+    send_to(leader, out);
+  });
+}
+
+void Replica::handle_prepare_vote(const sim::Message& msg) {
+  const auto& v = sim::payload_as<VotePayload>(msg);
+  if (v.height != next_height_ || v.view != view_ || !is_leader() || !proposal_) return;
+  if (!(v.digest == proposal_->digest)) return;
+  if (v.member_index >= keys_.size()) return;
+  const Hash256 digest = vote_digest(v.digest, v.height, v.view, false);
+  if (!crypto::fast_verify(public_ids_[v.member_index], digest, v.signature)) return;
+  prepare_votes_[v.member_index] = true;
+  leader_try_assemble(/*prepared_phase=*/true);
+}
+
+void Replica::leader_try_assemble(bool prepared_phase) {
+  if (!proposal_) return;
+  auto& votes = prepared_phase ? prepare_votes_ : commit_votes_;
+  auto& sent = prepared_phase ? prepared_cert_sent_ : commit_cert_sent_;
+  if (sent) return;
+  const std::size_t count = static_cast<std::size_t>(
+      std::count(votes.begin(), votes.end(), true));
+  if (count < quorum()) return;
+  sent = true;
+
+  QuorumCert cert;
+  cert.value_digest = proposal_->digest;
+  cert.height = next_height_;
+  cert.view = view_;
+  const Hash256 digest = vote_digest(cert.value_digest, cert.height, cert.view, !prepared_phase);
+  cert.sig = crypto::fast_aggregate(keys_, votes, digest);
+
+  auto payload = std::make_shared<CertPayload>();
+  payload->group = config_->group_tag;
+  payload->cert = cert;
+  payload->value = *proposal_;
+  sim::Message out;
+  out.type = prepared_phase ? sim::MsgType::kBftPreparedCert : sim::MsgType::kBftCommitCert;
+  out.from = self_;
+  out.size_bytes = cert.wire_size();
+  out.payload = std::move(payload);
+  broadcast(out, /*gossip=*/false);
+  // Deliver to self directly (broadcast skips the sender).
+  on_message(out);
+}
+
+void Replica::handle_prepared_cert(const sim::Message& msg) {
+  const auto& p = sim::payload_as<CertPayload>(msg);
+  if (p.cert.height != next_height_ || p.cert.view != view_) return;
+  if (sent_commit_) return;
+  if (p.cert.sig.signer_count() < quorum()) return;
+  const Hash256 digest = vote_digest(p.cert.value_digest, p.cert.height, p.cert.view, false);
+  if (!crypto::fast_verify_multisig(public_ids_, digest, p.cert.sig)) return;
+
+  if (!current_value_) current_value_ = p.value;  // recover value if gossip missed us
+  prepared_cert_ = p.cert;
+  sent_commit_ = true;
+
+  const auto idx = member_index(self_);
+  if (!idx) return;
+  auto vote = std::make_shared<VotePayload>();
+  vote->group = config_->group_tag;
+  vote->height = p.cert.height;
+  vote->view = p.cert.view;
+  vote->digest = p.cert.value_digest;
+  vote->member_index = *idx;
+  vote->signature = crypto::fast_sign(
+      keys_[*idx], vote_digest(p.cert.value_digest, p.cert.height, p.cert.view, true));
+  sim::Message out;
+  out.type = sim::MsgType::kBftCommitVote;
+  out.from = self_;
+  out.size_bytes = kVoteWireBytes;
+  out.payload = std::move(vote);
+  send_to(leader_for(view_), out);
+}
+
+void Replica::handle_commit_vote(const sim::Message& msg) {
+  const auto& v = sim::payload_as<VotePayload>(msg);
+  if (v.height != next_height_ || v.view != view_ || !is_leader() || !proposal_) return;
+  if (!(v.digest == proposal_->digest)) return;
+  if (v.member_index >= keys_.size()) return;
+  const Hash256 digest = vote_digest(v.digest, v.height, v.view, true);
+  if (!crypto::fast_verify(public_ids_[v.member_index], digest, v.signature)) return;
+  commit_votes_[v.member_index] = true;
+  leader_try_assemble(/*prepared_phase=*/false);
+}
+
+void Replica::handle_commit_cert(const sim::Message& msg) {
+  const auto& p = sim::payload_as<CertPayload>(msg);
+  if (p.cert.height != next_height_) return;
+  if (p.cert.sig.signer_count() < quorum()) return;
+  const Hash256 digest = vote_digest(p.cert.value_digest, p.cert.height, p.cert.view, true);
+  if (!crypto::fast_verify_multisig(public_ids_, digest, p.cert.sig)) return;
+
+  ConsensusValue value = current_value_ && current_value_->digest == p.cert.value_digest
+                             ? *current_value_
+                             : p.value;
+  if (!(value.digest == p.cert.value_digest)) return;
+  decide(value, p.cert);
+}
+
+void Replica::decide(const ConsensusValue& value, const QuorumCert& cert) {
+  const std::uint64_t decided = next_height_;
+  app_.on_decide(decided, value, cert);
+  enter_height(decided + 1);
+}
+
+void Replica::handle_view_change(const sim::Message& msg) {
+  const auto& p = sim::payload_as<ViewChangePayload>(msg);
+  if (p.height != next_height_ || p.new_view <= view_) return;
+  if (p.member_index >= config_->members.size()) return;
+  auto& votes = view_votes_[p.new_view];
+  if (votes.empty()) votes.assign(config_->members.size(), false);
+  votes[p.member_index] = true;
+
+  // Adopt the strongest prepared certificate seen so far, so a potentially
+  // decided value survives the view change.
+  if (p.prepared && p.prepared->height == next_height_ &&
+      (!prepared_cert_ || prepared_cert_->view < p.prepared->view)) {
+    prepared_cert_ = p.prepared;
+    current_value_ = p.prepared_value;
+  }
+
+  const std::size_t count =
+      static_cast<std::size_t>(std::count(votes.begin(), votes.end(), true));
+  if (count < quorum()) return;
+  // Only the designated leader of new_view may assemble NEW_VIEW.
+  if (config_->members[(p.height + p.new_view) % config_->members.size()] != self_) return;
+
+  // Quorum reached: this node becomes the leader of new_view.
+  auto payload = std::make_shared<NewViewPayload>();
+  payload->group = config_->group_tag;
+  payload->height = p.height;
+  payload->new_view = p.new_view;
+  if (prepared_cert_ && current_value_) {
+    payload->prepared = *prepared_cert_;
+    payload->prepared_value = *current_value_;
+  }
+  sim::Message out;
+  out.type = sim::MsgType::kBftNewView;
+  out.from = self_;
+  out.size_bytes = kViewChangeWireBytes;
+  out.payload = std::move(payload);
+  broadcast(out, /*gossip=*/false);
+  on_message(out);
+}
+
+void Replica::handle_new_view(const sim::Message& msg) {
+  const auto& p = sim::payload_as<NewViewPayload>(msg);
+  if (p.height != next_height_ || p.new_view <= view_) return;
+  const std::size_t n = config_->members.size();
+  const NodeId expected_leader = config_->members[(p.height + p.new_view) % n];
+  if (msg.from != expected_leader) return;
+
+  view_ = p.new_view;
+  proposal_.reset();
+  prepare_votes_.assign(n, false);
+  commit_votes_.assign(n, false);
+  prepared_cert_sent_ = false;
+  commit_cert_sent_ = false;
+  sent_prepare_ = false;
+  sent_commit_ = false;
+  if (p.prepared) {
+    prepared_cert_ = p.prepared;
+    current_value_ = p.prepared_value;
+  }
+  arm_view_timer();
+
+  if (is_leader()) {
+    if (current_value_ && prepared_cert_) {
+      // Must re-propose the locked value.
+      proposal_ = current_value_;
+      auto payload = std::make_shared<ProposalPayload>();
+      payload->group = config_->group_tag;
+      payload->height = next_height_;
+      payload->view = view_;
+      payload->value = *current_value_;
+      sim::Message out;
+      out.type = sim::MsgType::kBftPrePrepare;
+      out.from = self_;
+      out.size_bytes = kProposalOverheadBytes + current_value_->size_bytes;
+      out.payload = std::move(payload);
+      broadcast(out, /*gossip=*/true);
+      const auto idx = member_index(self_);
+      if (idx) {
+        prepare_votes_[*idx] = true;
+        sent_prepare_ = true;
+        leader_try_assemble(true);
+      }
+    } else {
+      try_propose();
+    }
+  }
+}
+
+}  // namespace jenga::consensus

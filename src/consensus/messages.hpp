@@ -1,0 +1,57 @@
+// Wire payloads for the BFT engine.
+#pragma once
+
+#include <optional>
+
+#include "consensus/bft.hpp"
+#include "simnet/message.hpp"
+
+namespace jenga::consensus {
+
+/// Every BFT payload carries the group tag of the consensus instance it
+/// belongs to: one node may sit in several groups (a state shard AND an
+/// execution channel), and replicas drop messages tagged for other groups.
+struct GroupPayload : sim::Payload {
+  std::uint64_t group = 0;
+};
+
+struct ProposalPayload : GroupPayload {
+  std::uint64_t height = 0;
+  std::uint32_t view = 0;
+  ConsensusValue value;
+};
+
+struct VotePayload : GroupPayload {
+  std::uint64_t height = 0;
+  std::uint32_t view = 0;
+  Hash256 digest;
+  std::size_t member_index = 0;
+  std::uint64_t signature = 0;
+};
+
+struct CertPayload : GroupPayload {
+  QuorumCert cert;
+  ConsensusValue value;  // same shared data as the proposal; not re-charged
+};
+
+struct ViewChangePayload : GroupPayload {
+  std::uint64_t height = 0;
+  std::uint32_t new_view = 0;
+  std::size_t member_index = 0;
+  std::optional<QuorumCert> prepared;
+  ConsensusValue prepared_value;  // meaningful only when `prepared` is set
+};
+
+struct NewViewPayload : GroupPayload {
+  std::uint64_t height = 0;
+  std::uint32_t new_view = 0;
+  std::optional<QuorumCert> prepared;
+  ConsensusValue prepared_value;
+};
+
+/// Wire sizes (bytes) for the small control messages.
+inline constexpr std::uint32_t kVoteWireBytes = 96;
+inline constexpr std::uint32_t kProposalOverheadBytes = 128;
+inline constexpr std::uint32_t kViewChangeWireBytes = 192;
+
+}  // namespace jenga::consensus

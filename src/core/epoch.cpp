@@ -1,0 +1,70 @@
+#include "core/epoch.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace jenga::core {
+
+EpochManager::EpochManager(std::vector<crypto::Point> committee_keys,
+                           std::uint64_t vdf_iterations, std::size_t vdf_checkpoints)
+    : committee_(std::move(committee_keys)),
+      vdf_iterations_(vdf_iterations),
+      vdf_checkpoints_(vdf_checkpoints),
+      randomness_(crypto::sha256("jenga/genesis-randomness")),
+      accepted_(committee_.size()) {}
+
+std::vector<std::uint8_t> EpochManager::beacon_input(EpochId epoch) const {
+  crypto::Sha256 h;
+  h.update("jenga/beacon-input");
+  h.update(randomness_);
+  h.update_u64(epoch.value);
+  const Hash256 digest = h.finish();
+  return {digest.bytes.begin(), digest.bytes.end()};
+}
+
+RandomnessContribution EpochManager::contribute(NodeId node, const crypto::KeyPair& key,
+                                                EpochId epoch) const {
+  const auto input = beacon_input(epoch);
+  const auto out = crypto::vrf_evaluate(key, input);
+  return RandomnessContribution{node, out.beta, out.proof};
+}
+
+bool EpochManager::accept(const RandomnessContribution& contribution, EpochId epoch) {
+  if (epoch.value != epoch_.value + 1) return false;
+  if (contribution.node.value >= committee_.size()) return false;
+  if (accepted_[contribution.node.value].has_value()) return false;
+  const auto input = beacon_input(epoch);
+  const auto beta =
+      crypto::vrf_verify(committee_[contribution.node.value], input, contribution.proof);
+  if (!beta || !(*beta == contribution.beta)) return false;
+  accepted_[contribution.node.value] = contribution.beta;
+  return true;
+}
+
+std::optional<Hash256> EpochManager::advance_epoch(std::size_t min_contributions) {
+  std::size_t have = 0;
+  Hash256 combined;
+  for (const auto& beta : accepted_) {
+    if (!beta) continue;
+    ++have;
+    for (std::size_t i = 0; i < combined.bytes.size(); ++i)
+      combined.bytes[i] ^= beta->bytes[i];
+  }
+  if (have < min_contributions || have == 0) return std::nullopt;
+
+  // Delay function: the final randomness cannot be predicted until well
+  // after the last contribution was chosen.
+  const auto proof = crypto::vdf_evaluate(combined, vdf_iterations_, vdf_checkpoints_);
+  if (!crypto::vdf_verify_full(proof)) return std::nullopt;  // defensive
+
+  randomness_ = proof.output;
+  epoch_ = EpochId{epoch_.value + 1};
+  accepted_.assign(committee_.size(), std::nullopt);
+  return randomness_;
+}
+
+Lattice EpochManager::build_lattice(std::uint32_t num_shards, std::uint32_t nodes_per_shard,
+                                    std::uint64_t key_seed) const {
+  return make_epoch_lattice(num_shards, nodes_per_shard, key_seed, randomness_);
+}
+
+}  // namespace jenga::core

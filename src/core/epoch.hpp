@@ -1,0 +1,79 @@
+// Epoch management: the per-epoch distributed randomness beacon and the
+// reshuffle it drives (paper §V-D).
+//
+// Each epoch (typically one day) the node-to-(shard, channel) assignment is
+// recomputed from fresh unbiased randomness so a slowly-adaptive adversary
+// cannot concentrate corrupted nodes in one group.  The beacon combines:
+//   1. per-member VRF evaluations over (previous randomness, epoch number) —
+//      unpredictable and individually verifiable;
+//   2. an XOR-combine of the VRF outputs — any single honest contribution
+//      randomizes the result;
+//   3. a VDF pass over the combination — the output is unknowable until ~T
+//      sequential steps after the last contribution, closing the
+//      last-revealer bias window.
+// The result seeds the epoch's Lattice via the paper's XOR/rank rule.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/lattice.hpp"
+#include "crypto/vdf.hpp"
+#include "crypto/vrf.hpp"
+
+namespace jenga::core {
+
+/// One member's verifiable contribution to an epoch's randomness.
+struct RandomnessContribution {
+  NodeId node;
+  Hash256 beta;
+  crypto::VrfProof proof;
+};
+
+class EpochManager {
+ public:
+  /// `committee_keys[i]` is the public key of the i-th beacon member; node
+  /// ids index into this list.  `vdf_iterations` trades bias-resistance for
+  /// beacon latency.
+  EpochManager(std::vector<crypto::Point> committee_keys, std::uint64_t vdf_iterations = 4096,
+               std::size_t vdf_checkpoints = 16);
+
+  [[nodiscard]] EpochId current_epoch() const { return epoch_; }
+  [[nodiscard]] const Hash256& current_randomness() const { return randomness_; }
+
+  /// The message a member's VRF must sign for `epoch`:
+  /// H(prev_randomness || epoch).
+  [[nodiscard]] std::vector<std::uint8_t> beacon_input(EpochId epoch) const;
+
+  /// Produces this member's contribution (the member holds `key`).
+  [[nodiscard]] RandomnessContribution contribute(NodeId node, const crypto::KeyPair& key,
+                                                  EpochId epoch) const;
+
+  /// Verifies and records a contribution for the *next* epoch.  Returns
+  /// false on unknown node, wrong epoch proof, or duplicate.
+  bool accept(const RandomnessContribution& contribution, EpochId epoch);
+
+  [[nodiscard]] std::size_t contributions() const { return accepted_.size(); }
+
+  /// Finalizes the next epoch once at least `min_contributions` arrived:
+  /// XOR-combines the betas, runs the VDF, verifies it, and advances the
+  /// epoch.  Returns the new randomness, or nullopt if not enough
+  /// contributions.
+  std::optional<Hash256> advance_epoch(std::size_t min_contributions);
+
+  /// Builds the lattice for the current epoch.
+  [[nodiscard]] Lattice build_lattice(std::uint32_t num_shards, std::uint32_t nodes_per_shard,
+                                      std::uint64_t key_seed) const;
+
+ private:
+  std::vector<crypto::Point> committee_;
+  std::uint64_t vdf_iterations_;
+  std::size_t vdf_checkpoints_;
+  EpochId epoch_{0};
+  Hash256 randomness_;  // genesis randomness for epoch 0
+  std::vector<std::optional<Hash256>> accepted_;  // per member, next epoch
+};
+
+}  // namespace jenga::core

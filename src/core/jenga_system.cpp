@@ -1,0 +1,1274 @@
+#include "core/jenga_system.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "consensus/messages.hpp"
+#include "crypto/sha256.hpp"
+#include "ledger/placement.hpp"
+#include "vm/interpreter.hpp"
+
+namespace jenga::core {
+namespace {
+
+using ledger::PortableState;
+using ledger::Transaction;
+using ledger::TxKind;
+
+constexpr std::uint64_t kShardGroupTag = 0x5AAD0000ULL;
+constexpr std::uint64_t kChannelGroupTag = 0xC4A70000ULL;
+
+/// One committed (or aborted) transaction within a shard block.
+struct CommitItem {
+  TxPtr tx;
+  bool ok = true;
+  PortableState updates;  // this shard's slice only
+
+  [[nodiscard]] std::uint32_t wire_size() const {
+    return ledger::kTxWireBytes + updates.wire_size();
+  }
+};
+
+/// Transfer-processing item (stage 0: debit at source, 1: credit at dest,
+/// 2: finalize at source after the 2PC ack).
+struct TransferItem {
+  TxPtr tx;
+  std::uint8_t stage = 0;
+};
+
+/// Multi-round execution visit (kNoGlobalLogic): run the step group starting
+/// at `next_step` on this shard, then hand the bundle onward.
+struct ExecVisit {
+  TxPtr tx;
+  PortableState gathered;
+  std::uint32_t next_step = 0;
+  bool aborted = false;  // Phase 1 failed; just fan the abort out
+};
+
+/// A phase-1 candidate with its lock-retry budget consumed so far.
+struct DetermineItem {
+  TxPtr tx;
+  std::uint32_t retries = 0;
+};
+
+/// What a state shard's consensus decides on.
+struct ShardBlockPayload : sim::Payload {
+  ShardId shard;
+  std::vector<DetermineItem> determine;  // phase-1 state determination
+  std::vector<CommitItem> commits;   // phase-3 commits/aborts
+  std::vector<TransferItem> transfers;
+  std::vector<ExecVisit> visits;     // kNoGlobalLogic step groups
+  // kNoLattice: this shard doubles as an execution site; results it computed.
+  std::vector<std::pair<TxPtr, ExecResult>> exec_entries;
+
+  [[nodiscard]] std::size_t item_count() const {
+    return determine.size() + commits.size() + transfers.size() + visits.size() +
+           exec_entries.size();
+  }
+};
+
+/// What an execution channel's consensus decides on (kFull pipeline).
+struct ChannelBlockPayload : sim::Payload {
+  ChannelId channel;
+  std::vector<std::pair<TxPtr, ExecResult>> entries;
+};
+
+/// kNoGlobalLogic: intermediate bundle relayed between home shards.
+struct ContinuationPayload : sim::Payload {
+  TxPtr tx;
+  PortableState gathered;
+  std::uint32_t next_step = 0;
+  ShardId target;
+  std::uint8_t hops = 0;  // >0: relay through the channel subgroup
+
+  [[nodiscard]] std::uint32_t wire_size() const { return 128 + gathered.wire_size(); }
+};
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Engines
+// ---------------------------------------------------------------------------
+
+/// Shared gathering unit: collects grants per transaction until every
+/// involved shard reported (used by channels in kFull, by execution shards in
+/// kNoLattice, and by first home shards in kNoGlobalLogic).
+struct GatherUnit {
+  struct Pending {
+    TxPtr tx;
+    PortableState gathered;
+    std::unordered_set<std::uint32_t> reported;  // shard ids
+    std::size_t expected = 0;                    // 0 until the tx itself arrives
+    bool abort = false;
+    bool queued = false;  // already moved to ready
+    SimTime first_seen = 0;
+  };
+
+  std::unordered_map<Hash256, Pending> pending;
+  std::deque<Hash256> ready;
+
+  void on_tx(const TxPtr& tx, std::size_t expected, SimTime now) {
+    auto& p = pending[tx->hash];
+    if (!p.tx) {
+      p.tx = tx;
+      p.expected = expected;
+      if (p.first_seen == 0) p.first_seen = now;
+    }
+    maybe_ready(tx->hash);
+  }
+
+  void on_grant(const StateGrant& grant, SimTime now) {
+    auto& p = pending[grant.tx_hash];
+    if (p.first_seen == 0) p.first_seen = now;
+    if (p.reported.contains(grant.source.value)) return;
+    p.reported.insert(grant.source.value);
+    if (!grant.available) {
+      p.abort = true;
+    } else {
+      p.gathered.merge(grant.states);
+    }
+    maybe_ready(grant.tx_hash);
+  }
+
+  void maybe_ready(const Hash256& h) {
+    auto it = pending.find(h);
+    if (it == pending.end()) return;
+    Pending& p = it->second;
+    if (p.queued || !p.tx || p.expected == 0) return;
+    if (p.reported.size() >= p.expected) {
+      p.queued = true;
+      ready.push_back(h);
+    }
+  }
+
+  /// Moves timed-out entries (tx known, grants incomplete) to ready as aborts.
+  void expire(SimTime now, SimTime timeout) {
+    for (auto& [h, p] : pending) {
+      if (p.queued || !p.tx) continue;
+      if (now - p.first_seen >= timeout) {
+        p.abort = true;
+        p.queued = true;
+        ready.push_back(h);
+      }
+    }
+  }
+};
+
+struct JengaSystem::ShardEngine {
+  ShardId id;
+  ledger::StateStore store;
+  ledger::LockManager locks;
+  ledger::Chain chain;
+  ledger::LogicStore local_logic;  // kNoGlobalLogic: only home contracts
+
+  std::deque<DetermineItem> determine;
+  std::deque<CommitItem> commits;
+  std::deque<TransferItem> transfers;
+  std::deque<ExecVisit> visits;
+  GatherUnit gather;  // kNoLattice / kNoGlobalLogic
+
+  std::unordered_set<Hash256> seen_client;  // dedup client submissions
+  std::unordered_set<std::uint64_t> grant_dedup;   // (source<<32|height) keys
+  std::unordered_set<std::uint64_t> result_dedup;  // (source<<32|height) keys
+  std::unordered_map<Hash256, std::uint32_t> continuation_dedup;  // tx -> max step seen
+
+  std::uint64_t next_process_height = 0;
+  struct Outcome {
+    // (channel, message) pairs each subgroup member must rebroadcast.
+    std::vector<std::pair<ChannelId, sim::Message>> to_channels;
+  };
+  std::unordered_map<std::uint64_t, Outcome> outcomes;
+
+  explicit ShardEngine(ShardId s) : id(s), chain(s) {}
+};
+
+struct JengaSystem::ChannelEngine {
+  ChannelId id;
+  GatherUnit gather;
+  std::unordered_set<std::uint64_t> grant_dedup;
+  std::uint64_t next_process_height = 0;
+  struct Outcome {
+    std::vector<std::pair<ShardId, sim::Message>> to_shards;
+  };
+  std::unordered_map<std::uint64_t, Outcome> outcomes;
+
+  explicit ChannelEngine(ChannelId c) : id(c) {}
+};
+
+// ---------------------------------------------------------------------------
+// BFT apps
+// ---------------------------------------------------------------------------
+
+struct JengaSystem::ShardApp final : consensus::BftApp {
+  JengaSystem* sys = nullptr;
+  ShardEngine* engine = nullptr;
+  NodeId node;
+
+  std::optional<consensus::ConsensusValue> propose(std::uint64_t height) override;
+  bool validate(std::uint64_t, const consensus::ConsensusValue&) override { return true; }
+  void on_decide(std::uint64_t height, const consensus::ConsensusValue& value,
+                 const consensus::QuorumCert& cert) override;
+};
+
+struct JengaSystem::ChannelApp final : consensus::BftApp {
+  JengaSystem* sys = nullptr;
+  ChannelEngine* engine = nullptr;
+  NodeId node;
+
+  std::optional<consensus::ConsensusValue> propose(std::uint64_t height) override;
+  bool validate(std::uint64_t, const consensus::ConsensusValue&) override { return true; }
+  void on_decide(std::uint64_t height, const consensus::ConsensusValue& value,
+                 const consensus::QuorumCert& cert) override;
+};
+
+// ---------------------------------------------------------------------------
+// Construction
+// ---------------------------------------------------------------------------
+
+JengaSystem::JengaSystem(sim::Simulator& sim, sim::Network& net, JengaConfig config,
+                         Genesis genesis)
+    : sim_(sim), net_(net), config_(config) {
+  const Hash256 epoch_randomness = crypto::sha256("jenga/epoch-0");
+  lattice_ = std::make_unique<Lattice>(
+      make_epoch_lattice(config_.num_shards, config_.nodes_per_shard, config_.seed,
+                         epoch_randomness));
+
+  for (const auto& logic : genesis.contracts) all_logic_.add(logic);
+
+  // Per-shard state: accounts and contract states placed by hash.
+  for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
+    shards_.push_back(std::make_unique<ShardEngine>(ShardId{s}));
+    channels_.push_back(std::make_unique<ChannelEngine>(ChannelId{s}));
+  }
+  for (std::uint64_t a = 0; a < genesis.num_accounts; ++a) {
+    const ShardId s = ledger::shard_of_account(AccountId{a}, config_.num_shards);
+    shards_[s.value]->store.create_account(AccountId{a}, genesis.initial_balance);
+  }
+  for (std::size_t c = 0; c < genesis.contracts.size(); ++c) {
+    const ContractId id = genesis.contracts[c]->id;
+    const ShardId s = ledger::shard_of_contract(id, config_.num_shards);
+    shards_[s.value]->store.create_contract_state(
+        id, c < genesis.initial_states.size() ? genesis.initial_states[c]
+                                              : ledger::ContractState{});
+    // kNoGlobalLogic keeps logic only on the home shard.
+    shards_[s.value]->local_logic.add(genesis.contracts[c]);
+  }
+
+  const bool run_channels = config_.pipeline == Pipeline::kFull;
+  const std::uint32_t n = lattice_->total_nodes();
+  shard_replicas_.resize(n);
+  channel_replicas_.resize(n);
+  shard_apps_.resize(n);
+  channel_apps_.resize(n);
+
+  // One BFT config per group, shared among its replicas.
+  std::vector<std::shared_ptr<consensus::BftConfig>> shard_cfg(config_.num_shards);
+  std::vector<std::shared_ptr<consensus::BftConfig>> channel_cfg(config_.num_shards);
+  for (std::uint32_t g = 0; g < config_.num_shards; ++g) {
+    auto sc = std::make_shared<consensus::BftConfig>();
+    sc->members = lattice_->shard_members(ShardId{g});
+    sc->group_tag = kShardGroupTag | g;
+    sc->crypto_seed = config_.seed ^ (0x51ED0000ULL + g);
+    sc->view_timeout = config_.view_timeout;
+    shard_cfg[g] = std::move(sc);
+    auto cc = std::make_shared<consensus::BftConfig>();
+    cc->members = lattice_->channel_members(ChannelId{g});
+    cc->group_tag = kChannelGroupTag | g;
+    cc->crypto_seed = config_.seed ^ (0xC4A20000ULL + g);
+    cc->view_timeout = config_.view_timeout;
+    channel_cfg[g] = std::move(cc);
+  }
+
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId node{i};
+    const Assignment asg = lattice_->assignment(node);
+    auto sapp = std::make_unique<ShardApp>();
+    sapp->sys = this;
+    sapp->engine = shards_[asg.shard.value].get();
+    sapp->node = node;
+    shard_replicas_[i] = std::make_unique<consensus::Replica>(
+        net_, node, shard_cfg[asg.shard.value], *sapp);
+    shard_apps_[i] = std::move(sapp);
+
+    if (run_channels) {
+      auto capp = std::make_unique<ChannelApp>();
+      capp->sys = this;
+      capp->engine = channels_[asg.channel.value].get();
+      capp->node = node;
+      channel_replicas_[i] = std::make_unique<consensus::Replica>(
+          net_, node, channel_cfg[asg.channel.value], *capp);
+      channel_apps_[i] = std::move(capp);
+    }
+
+    net_.register_node(node, [this, node](const sim::Message& m) { on_node_message(node, m); });
+  }
+}
+
+JengaSystem::~JengaSystem() = default;
+
+void JengaSystem::start() {
+  for (auto& r : shard_replicas_) r->start();
+  for (auto& r : channel_replicas_)
+    if (r) r->start();
+}
+
+void JengaSystem::set_node_silent(NodeId node) {
+  shard_replicas_[node.value]->set_byzantine(consensus::ByzantineMode::kSilent);
+  if (channel_replicas_[node.value])
+    channel_replicas_[node.value]->set_byzantine(consensus::ByzantineMode::kSilent);
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+// ---------------------------------------------------------------------------
+
+std::vector<ShardId> JengaSystem::involved_shards(const Transaction& tx) const {
+  std::vector<ShardId> out;
+  auto add = [&out](ShardId s) {
+    if (std::find(out.begin(), out.end(), s) == out.end()) out.push_back(s);
+  };
+  if (tx.kind == TxKind::kTransfer) {
+    add(ledger::shard_of_account(tx.sender, config_.num_shards));
+    add(ledger::shard_of_account(tx.to, config_.num_shards));
+    return out;
+  }
+  for (auto c : tx.contracts) add(ledger::shard_of_contract(c, config_.num_shards));
+  for (auto a : tx.accounts) add(ledger::shard_of_account(a, config_.num_shards));
+  return out;
+}
+
+NodeId JengaSystem::shard_contact(ShardId s) const {
+  const auto& members = lattice_->shard_members(s);
+  return members[contact_rr_ % members.size()];
+}
+
+NodeId JengaSystem::channel_contact(ChannelId c) const {
+  const auto& members = lattice_->channel_members(c);
+  return members[contact_rr_ % members.size()];
+}
+
+// ---------------------------------------------------------------------------
+// Client submission
+// ---------------------------------------------------------------------------
+
+void JengaSystem::submit(TxPtr tx) {
+  const SimTime now = sim_.now();
+  ++stats_.submitted;
+  if (stats_.first_submit_time == 0 && stats_.submitted == 1)
+    stats_.first_submit_time = now;
+
+  const auto involved = involved_shards(*tx);
+  tracker_[tx->hash] = TrackEntry{now, static_cast<std::uint32_t>(involved.size()), false};
+  tx_for_result_[tx->hash] = tx;
+
+  ++contact_rr_;
+  auto payload = std::make_shared<TxPayload>();
+  payload->tx = tx;
+  sim::Message msg;
+  msg.type = sim::MsgType::kClientTx;
+  msg.size_bytes = tx->wire_size();
+  msg.payload = std::move(payload);
+
+  if (tx->kind == TxKind::kTransfer) {
+    // Traditional 2PC path starts at the sender's shard only.
+    net_.client_send(shard_contact(ledger::shard_of_account(tx->sender, config_.num_shards)),
+                     msg);
+    // The tracker counts both shards; same-shard transfers count one.
+    return;
+  }
+
+  for (ShardId s : involved) net_.client_send(shard_contact(s), msg);
+  // The execution site also needs the transaction itself.
+  if (config_.pipeline == Pipeline::kFull) {
+    net_.client_send(channel_contact(ledger::channel_of_tx(tx->hash, config_.num_shards)), msg);
+  } else if (config_.pipeline == Pipeline::kNoLattice) {
+    const ShardId exec{static_cast<std::uint32_t>(tx->hash.prefix_u64() % config_.num_shards)};
+    net_.client_send(shard_contact(exec), msg);
+  } else {
+    // kNoGlobalLogic: the first step's home shard gathers and starts execution.
+    const ShardId first = ledger::shard_of_contract(
+        tx->contracts[tx->steps.front().contract_slot], config_.num_shards);
+    net_.client_send(shard_contact(first), msg);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Node message dispatch
+// ---------------------------------------------------------------------------
+
+void JengaSystem::on_node_message(NodeId node, const sim::Message& msg) {
+  switch (msg.type) {
+    case sim::MsgType::kClientTx:
+      handle_client_tx(node, msg);
+      return;
+    case sim::MsgType::kStateGrant:
+      handle_grant_batch(node, msg);
+      return;
+    case sim::MsgType::kExecResult:
+      handle_result_batch(node, msg);
+      return;
+    case sim::MsgType::kTwoPcPrepare:
+    case sim::MsgType::kTwoPcCommit:
+      handle_two_pc(node, msg);
+      return;
+    case sim::MsgType::kSubTxResult: {
+      // kNoGlobalLogic continuation relay.
+      const auto& p = sim::payload_as<ContinuationPayload>(msg);
+      const Assignment asg = lattice_->assignment(node);
+      if (asg.shard == p.target) {
+        ShardEngine& eng = *shards_[p.target.value];
+        auto it = eng.continuation_dedup.find(p.tx->hash);
+        if (it == eng.continuation_dedup.end() || it->second < p.next_step) {
+          eng.continuation_dedup[p.tx->hash] = p.next_step;
+          eng.visits.push_back(ExecVisit{p.tx, p.gathered, p.next_step});
+        }
+        if (p.hops > 0) {
+          // Member of subgroup(target, channel): rebroadcast into the shard.
+          sim::Message fwd = msg;
+          auto fp = std::make_shared<ContinuationPayload>(p);
+          fp->hops = 0;
+          fwd.payload = std::move(fp);
+          net_.gossip(node, lattice_->shard_members(p.target), fwd,
+                      sim::TrafficClass::kIntraShard);
+        }
+      }
+      return;
+    }
+    default:
+      break;
+  }
+  // BFT traffic: offer to both replicas; group tags filter.
+  shard_replicas_[node.value]->on_message(msg);
+  if (channel_replicas_[node.value]) channel_replicas_[node.value]->on_message(msg);
+}
+
+void JengaSystem::handle_client_tx(NodeId node, const sim::Message& msg) {
+  const auto& p = sim::payload_as<TxPayload>(msg);
+  const TxPtr& tx = p.tx;
+  const Assignment asg = lattice_->assignment(node);
+  ShardEngine& eng = *shards_[asg.shard.value];
+
+  if (tx->kind == TxKind::kTransfer) {
+    if (ledger::shard_of_account(tx->sender, config_.num_shards) == asg.shard &&
+        !eng.seen_client.contains(tx->hash)) {
+      eng.seen_client.insert(tx->hash);
+      eng.transfers.push_back(TransferItem{tx, 0});
+    }
+    return;
+  }
+
+  const auto involved = involved_shards(*tx);
+  const bool shard_involved =
+      std::find(involved.begin(), involved.end(), asg.shard) != involved.end();
+  if (shard_involved && !eng.seen_client.contains(tx->hash)) {
+    eng.seen_client.insert(tx->hash);
+    eng.determine.push_back(DetermineItem{tx, 0});
+  }
+
+  switch (config_.pipeline) {
+    case Pipeline::kFull: {
+      const ChannelId target = ledger::channel_of_tx(tx->hash, config_.num_shards);
+      if (asg.channel == target)
+        channels_[target.value]->gather.on_tx(tx, involved.size(), sim_.now());
+      break;
+    }
+    case Pipeline::kNoLattice: {
+      const ShardId exec{static_cast<std::uint32_t>(tx->hash.prefix_u64() % config_.num_shards)};
+      if (asg.shard == exec) eng.gather.on_tx(tx, involved.size(), sim_.now());
+      break;
+    }
+    case Pipeline::kNoGlobalLogic: {
+      const ShardId first = ledger::shard_of_contract(
+          tx->contracts[tx->steps.front().contract_slot], config_.num_shards);
+      if (asg.shard == first) eng.gather.on_tx(tx, involved.size(), sim_.now());
+      break;
+    }
+  }
+}
+
+void JengaSystem::handle_grant_batch(NodeId node, const sim::Message& msg) {
+  const auto& p = sim::payload_as<GrantBatchPayload>(msg);
+  const Assignment asg = lattice_->assignment(node);
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(p.source.value) << 40) ^ p.shard_height;
+
+  switch (config_.pipeline) {
+    case Pipeline::kFull: {
+      // Delivered inside the execution channel; ingest once per batch.
+      ChannelEngine& ch = *channels_[asg.channel.value];
+      if (ch.grant_dedup.contains(key)) return;
+      ch.grant_dedup.insert(key);
+      for (const auto& g : p.grants) ch.gather.on_grant(g, sim_.now());
+      break;
+    }
+    case Pipeline::kNoLattice: {
+      // Arrived via client relay at the execution shard's contact node.
+      ShardEngine& eng = *shards_[asg.shard.value];
+      if (eng.grant_dedup.contains(key)) return;
+      eng.grant_dedup.insert(key);
+      for (const auto& g : p.grants) eng.gather.on_grant(g, sim_.now());
+      break;
+    }
+    case Pipeline::kNoGlobalLogic: {
+      // Leg 1 lands on all channel members; only nodes of the target shard
+      // ingest, and subgroup(relay_target, channel) rebroadcasts (leg 2).
+      if (asg.shard.value != p.relay_target.value) return;
+      ShardEngine& eng = *shards_[asg.shard.value];
+      if (p.hops > 0) {
+        auto fp = std::make_shared<GrantBatchPayload>(p);
+        fp->hops = 0;
+        sim::Message fwd = msg;
+        fwd.payload = std::move(fp);
+        net_.gossip(node, lattice_->shard_members(asg.shard), fwd,
+                    sim::TrafficClass::kIntraShard);
+      }
+      if (eng.grant_dedup.contains(key)) return;
+      eng.grant_dedup.insert(key);
+      for (const auto& g : p.grants) eng.gather.on_grant(g, sim_.now());
+      break;
+    }
+  }
+}
+
+void JengaSystem::handle_result_batch(NodeId node, const sim::Message& msg) {
+  const auto& p = sim::payload_as<ResultBatchPayload>(msg);
+  const Assignment asg = lattice_->assignment(node);
+  if (asg.shard != p.target) return;  // channel witnesses just observe
+  ShardEngine& eng = *shards_[asg.shard.value];
+  if (p.hops > 0) {
+    // Member of subgroup(target, channel): rebroadcast inside the shard.
+    auto fp = std::make_shared<ResultBatchPayload>(p);
+    fp->hops = 0;
+    sim::Message fwd = msg;
+    fwd.payload = std::move(fp);
+    net_.gossip(node, lattice_->shard_members(p.target), fwd,
+                sim::TrafficClass::kIntraShard);
+  }
+  std::uint64_t key = 0x9E3779B97F4A7C15ULL * (p.source.value + 1) +
+                      0xC2B2AE3D27D4EB4FULL * (p.target.value + 1) + p.channel_height;
+  key = splitmix64(key);
+  if (eng.result_dedup.contains(key)) return;
+  eng.result_dedup.insert(key);
+  for (const auto& r : p.results) {
+    CommitItem item;
+    item.ok = r.ok;
+    for (const auto& [s, st] : r.per_shard_updates) {
+      if (s == eng.id) item.updates = st;  // this shard's slice only
+    }
+    const auto tx_it = tx_for_result_.find(r.tx_hash);
+    if (tx_it == tx_for_result_.end()) continue;  // already fully finished
+    item.tx = tx_it->second;
+    eng.commits.push_back(std::move(item));
+  }
+}
+
+void JengaSystem::handle_two_pc(NodeId node, const sim::Message& msg) {
+  const auto& p = sim::payload_as<TwoPcPayload>(msg);
+  const Assignment asg = lattice_->assignment(node);
+  ShardEngine& eng = *shards_[asg.shard.value];
+  const std::uint8_t stage = p.commit ? 2 : 1;
+  // Dedup: a (tx, stage) pair enters a shard's queue once.
+  const Hash256 dk = crypto::sha256_tagged(p.commit ? "2pc-c" : "2pc-p",
+                                           std::span(p.tx->hash.bytes));
+  if (eng.seen_client.contains(dk)) return;
+  eng.seen_client.insert(dk);
+  eng.transfers.push_back(TransferItem{p.tx, stage});
+}
+
+// ---------------------------------------------------------------------------
+// Execution (the VM side of Phase 2)
+// ---------------------------------------------------------------------------
+
+ExecResult JengaSystem::execute_tx(const Transaction& tx, PortableState gathered,
+                                   const ledger::LogicStore& logic_source) const {
+  ExecResult result;
+  result.tx_hash = tx.hash;
+
+  // Fee prologue: charge the declared sender inside the bundle.
+  auto fee_it = gathered.balances.find(tx.sender);
+  if (fee_it == gathered.balances.end() || fee_it->second < tx.fee) {
+    result.ok = false;
+    return result;
+  }
+  fee_it->second -= tx.fee;
+
+  std::vector<const vm::ContractLogic*> logic;
+  logic.reserve(tx.contracts.size());
+  for (auto c : tx.contracts) logic.push_back(logic_source.get(c));
+
+  ledger::PortableStateView view(std::move(gathered));
+  vm::ExecLimits limits;
+  limits.gas_limit = tx.gas_limit;
+  vm::Interpreter interp(logic, view, limits);
+  const vm::ExecResult vm_result = interp.run(tx.sender, tx.steps);
+  if (!vm_result.ok()) {
+    result.ok = false;
+    return result;
+  }
+
+  result.per_shard_updates = split_per_shard(view.take());
+  return result;
+}
+
+std::vector<std::pair<ShardId, PortableState>> JengaSystem::split_per_shard(
+    PortableState updated) const {
+  std::map<std::uint32_t, PortableState> slices;
+  for (auto& [c, st] : updated.contracts)
+    slices[ledger::shard_of_contract(c, config_.num_shards).value].contracts[c] = std::move(st);
+  for (auto& [a, bal] : updated.balances)
+    slices[ledger::shard_of_account(a, config_.num_shards).value].balances[a] = bal;
+  std::vector<std::pair<ShardId, PortableState>> out;
+  out.reserve(slices.size());
+  for (auto& [s, st] : slices) out.emplace_back(ShardId{s}, std::move(st));
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Shard proposal assembly
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Proposal value wrapper: digest + wire size over the batch contents.
+consensus::ConsensusValue wrap_value(std::string_view tag, std::uint64_t group,
+                                     std::uint64_t height, std::vector<Hash256> item_hashes,
+                                     std::uint32_t size_bytes,
+                                     std::shared_ptr<const sim::Payload> data) {
+  consensus::ConsensusValue v;
+  crypto::Sha256 h;
+  h.update(tag);
+  h.update_u64(group);
+  h.update_u64(height);
+  for (const auto& x : item_hashes) h.update(x);
+  v.digest = h.finish();
+  v.size_bytes = size_bytes;
+  v.data = std::move(data);
+  return v;
+}
+
+}  // namespace
+
+std::optional<consensus::ConsensusValue> JengaSystem::shard_propose(ShardEngine& eng,
+                                                                    std::uint64_t height) {
+  if (config_.pipeline != Pipeline::kFull)
+    eng.gather.expire(sim_.now(), config_.pending_timeout);
+
+  if (config_.pipeline == Pipeline::kNoGlobalLogic) {
+    // Fully gathered transactions start their multi-round execution here
+    // (this shard is the first step's home).  Draining queue-to-queue is
+    // idempotent across re-proposals: items stay ordered either way.
+    while (!eng.gather.ready.empty()) {
+      const Hash256 h = eng.gather.ready.front();
+      eng.gather.ready.pop_front();
+      auto it = eng.gather.pending.find(h);
+      if (it == eng.gather.pending.end()) continue;
+      eng.visits.push_back(
+          ExecVisit{it->second.tx, std::move(it->second.gathered), 0, it->second.abort});
+      eng.gather.pending.erase(it);
+    }
+  }
+
+  auto payload = std::make_shared<ShardBlockPayload>();
+  payload->shard = eng.id;
+  std::size_t budget = config_.max_block_items;
+  std::vector<Hash256> hashes;
+  std::uint32_t size = 128;
+
+  for (std::size_t i = 0; i < eng.determine.size() && budget > 0; ++i, --budget) {
+    payload->determine.push_back(eng.determine[i]);
+    hashes.push_back(eng.determine[i].tx->hash);
+    size += eng.determine[i].tx->wire_size();
+  }
+  for (std::size_t i = 0; i < eng.commits.size() && budget > 0; ++i, --budget) {
+    payload->commits.push_back(eng.commits[i]);
+    hashes.push_back(eng.commits[i].tx->hash);
+    size += eng.commits[i].wire_size();
+  }
+  for (std::size_t i = 0; i < eng.transfers.size() && budget > 0; ++i, --budget) {
+    payload->transfers.push_back(eng.transfers[i]);
+    hashes.push_back(eng.transfers[i].tx->hash);
+    size += ledger::kTxWireBytes;
+  }
+  for (std::size_t i = 0; i < eng.visits.size() && budget > 0; ++i, --budget) {
+    payload->visits.push_back(eng.visits[i]);
+    hashes.push_back(eng.visits[i].tx->hash);
+    size += 128 + eng.visits[i].gathered.wire_size();
+  }
+  if (config_.pipeline == Pipeline::kNoLattice) {
+    // This shard is also an execution site: execute gathered-and-ready txs.
+    for (std::size_t i = 0; i < eng.gather.ready.size() && budget > 0; ++i, --budget) {
+      const Hash256& h = eng.gather.ready[i];
+      auto& pending = eng.gather.pending.at(h);
+      ExecResult result;
+      if (pending.abort || !pending.tx) {
+        result.tx_hash = h;
+        result.ok = false;
+      } else {
+        result = execute_tx(*pending.tx, pending.gathered, all_logic_);
+      }
+      hashes.push_back(h);
+      size += 64 + result.wire_size();
+      payload->exec_entries.emplace_back(pending.tx, std::move(result));
+    }
+  }
+
+  if (payload->item_count() == 0) return std::nullopt;
+  const std::uint64_t tag = kShardGroupTag | eng.id.value;
+  auto value = wrap_value("jenga/shard-block", tag, height, std::move(hashes), size, payload);
+  value.exec_delay =
+      kLightItemCpu * static_cast<SimTime>(payload->determine.size() +
+                                           payload->commits.size() +
+                                           payload->transfers.size()) +
+      kExecItemCpu *
+          static_cast<SimTime>(payload->visits.size() + payload->exec_entries.size());
+  return value;
+}
+
+// ---------------------------------------------------------------------------
+// Shard decision processing
+// ---------------------------------------------------------------------------
+
+void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t height,
+                               const consensus::ConsensusValue& value) {
+  const auto* payload = dynamic_cast<const ShardBlockPayload*>(value.data.get());
+  if (payload == nullptr) return;
+
+  if (height >= eng.next_process_height) {
+    eng.next_process_height = height + 1;
+    const SimTime now = sim_.now();
+    ShardEngine::Outcome outcome;
+
+    // --- Phase 1: state determination ----------------------------------
+    // Group grants by the destination that must receive them.
+    std::map<std::uint32_t, GrantBatchPayload> batches;  // key: channel or shard
+    for (const DetermineItem& det : payload->determine) {
+      const TxPtr& tx = det.tx;
+      StateGrant grant;
+      grant.tx_hash = tx->hash;
+      grant.source = eng.id;
+      std::vector<ContractId> local_contracts;
+      std::vector<AccountId> local_accounts;
+      for (auto c : tx->contracts)
+        if (ledger::shard_of_contract(c, config_.num_shards) == eng.id)
+          local_contracts.push_back(c);
+      for (auto a : tx->accounts)
+        if (ledger::shard_of_account(a, config_.num_shards) == eng.id)
+          local_accounts.push_back(a);
+
+      bool ok = true;
+      std::vector<ContractId> locked_c;
+      std::vector<AccountId> locked_a;
+      for (auto c : local_contracts) {
+        if (eng.locks.lock_contract(c, tx->hash)) {
+          locked_c.push_back(c);
+        } else {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) {
+        for (auto a : local_accounts) {
+          if (eng.locks.lock_account(a, tx->hash)) {
+            locked_a.push_back(a);
+          } else {
+            ok = false;
+            break;
+          }
+        }
+      }
+      if (!ok) {
+        for (auto c : locked_c) eng.locks.unlock_contract(c, tx->hash);
+        for (auto a : locked_a) eng.locks.unlock_account(a, tx->hash);
+        if (det.retries < config_.max_lock_retries) {
+          // Locked by another in-flight tx: retry from the mempool in a
+          // later block rather than aborting outright.
+          eng.determine.push_back(DetermineItem{tx, det.retries + 1});
+          continue;
+        }
+        grant.available = false;
+      } else {
+        for (auto c : local_contracts) {
+          const auto* st = eng.store.contract_state(c);
+          grant.states.contracts[c] = st ? *st : ledger::ContractState{};
+        }
+        for (auto a : local_accounts)
+          grant.states.balances[a] = eng.store.balance(a).value_or(0);
+      }
+
+      std::uint32_t dest = 0;
+      switch (config_.pipeline) {
+        case Pipeline::kFull:
+          dest = ledger::channel_of_tx(tx->hash, config_.num_shards).value;
+          break;
+        case Pipeline::kNoLattice:
+          dest = static_cast<std::uint32_t>(tx->hash.prefix_u64() % config_.num_shards);
+          break;
+        case Pipeline::kNoGlobalLogic:
+          dest = ledger::shard_of_contract(tx->contracts[tx->steps.front().contract_slot],
+                                           config_.num_shards)
+                     .value;
+          break;
+      }
+      auto& batch = batches[dest];
+      batch.source = eng.id;
+      batch.shard_height = height;
+      batch.grants.push_back(std::move(grant));
+    }
+
+    for (auto& [dest, batch] : batches) {
+      auto bp = std::make_shared<GrantBatchPayload>(std::move(batch));
+      sim::Message msg;
+      msg.type = sim::MsgType::kStateGrant;
+      msg.from = node;
+      msg.size_bytes = bp->wire_size();
+      switch (config_.pipeline) {
+        case Pipeline::kFull:
+          msg.payload = std::move(bp);
+          outcome.to_channels.emplace_back(ChannelId{dest}, std::move(msg));
+          break;
+        case Pipeline::kNoLattice:
+          msg.payload = std::move(bp);
+          if (ShardId{dest} == eng.id) {
+            // The execution site is this very shard: ingest locally.
+            for (const auto& g :
+                 sim::payload_as<GrantBatchPayload>(msg).grants)
+              eng.gather.on_grant(g, now);
+          } else {
+            net_.send_via_relay(node, shard_contact(ShardId{dest}), msg,
+                                sim::TrafficClass::kCrossShard);
+          }
+          break;
+        case Pipeline::kNoGlobalLogic: {
+          bp->relay_target = ShardId{dest};
+          bp->hops = 1;
+          msg.payload = std::move(bp);
+          if (ShardId{dest} == eng.id) {
+            for (const auto& g : sim::payload_as<GrantBatchPayload>(msg).grants)
+              eng.gather.on_grant(g, now);
+          } else {
+            // Travel via the subgroup into each tx's channel.  All grants in
+            // one batch share the same first shard; their channels can
+            // differ, so route per grant's tx channel — use the first one
+            // (batches are per destination shard; channel relaying only
+            // needs SOME channel that overlaps both shards, and every
+            // channel does).  Pick the batch's canonical relay channel from
+            // the destination shard id for determinism.
+            const ChannelId via{dest % config_.num_shards};
+            outcome.to_channels.emplace_back(via, std::move(msg));
+          }
+          break;
+        }
+      }
+    }
+
+    // --- Phase 3: commits ----------------------------------------------
+    std::vector<Hash256> committed;
+    std::uint64_t body_bytes = 0;
+    for (const CommitItem& item : payload->commits) {
+      const Transaction& tx = *item.tx;
+      // Unlock everything this shard holds for the tx.
+      for (auto c : tx.contracts)
+        if (ledger::shard_of_contract(c, config_.num_shards) == eng.id)
+          eng.locks.unlock_contract(c, tx.hash);
+      for (auto a : tx.accounts)
+        if (ledger::shard_of_account(a, config_.num_shards) == eng.id)
+          eng.locks.unlock_account(a, tx.hash);
+
+      const bool sender_local =
+          ledger::shard_of_account(tx.sender, config_.num_shards) == eng.id;
+      if (item.ok) {
+        for (const auto& [c, st] : item.updates.contracts)
+          eng.store.set_contract_state(c, st);
+        for (const auto& [a, bal] : item.updates.balances) eng.store.set_balance(a, bal);
+        if (sender_local) stats_.fees_charged += tx.fee;  // deducted inside updates
+        committed.push_back(tx.hash);
+        body_bytes += tx.wire_size();
+      } else if (sender_local) {
+        // Abort: the fee is still deducted (paper §V-C, Transaction Fee).
+        const std::uint64_t bal = eng.store.balance(tx.sender).value_or(0);
+        const std::uint64_t charge = std::min(bal, tx.fee);
+        eng.store.set_balance(tx.sender, bal - charge);
+        stats_.fees_charged += charge;
+      }
+      tx_shard_finished(tx.hash, item.ok);
+    }
+
+    // --- Transfers (traditional 2PC path, §V-D) -------------------------
+    for (const TransferItem& item : payload->transfers) {
+      const Transaction& tx = *item.tx;
+      const ShardId dest = ledger::shard_of_account(tx.to, config_.num_shards);
+      switch (item.stage) {
+        case 0: {  // debit at the sender's shard
+          const auto bal = eng.store.balance(tx.sender);
+          if (!bal || *bal < tx.amount) {
+            tx_shard_finished(tx.hash, false);
+            if (dest != eng.id) tx_shard_finished(tx.hash, false);
+            break;
+          }
+          eng.store.set_balance(tx.sender, *bal - tx.amount);
+          if (dest == eng.id) {
+            eng.store.set_balance(tx.to, eng.store.balance(tx.to).value_or(0) + tx.amount);
+            committed.push_back(tx.hash);
+            body_bytes += tx.wire_size();
+            tx_shard_finished(tx.hash, true);
+          } else {
+            auto pp = std::make_shared<TwoPcPayload>();
+            pp->tx = item.tx;
+            pp->commit = false;
+            sim::Message m;
+            m.type = sim::MsgType::kTwoPcPrepare;
+            m.from = node;
+            m.size_bytes = ledger::kTxWireBytes + 96;
+            m.payload = std::move(pp);
+            net_.send(node, shard_contact(dest), m, sim::TrafficClass::kCrossShard);
+          }
+          break;
+        }
+        case 1: {  // credit at the destination shard
+          eng.store.set_balance(tx.to, eng.store.balance(tx.to).value_or(0) + tx.amount);
+          committed.push_back(tx.hash);
+          body_bytes += tx.wire_size();
+          tx_shard_finished(tx.hash, true);
+          auto pp = std::make_shared<TwoPcPayload>();
+          pp->tx = item.tx;
+          pp->commit = true;
+          sim::Message m;
+          m.type = sim::MsgType::kTwoPcCommit;
+          m.from = node;
+          m.size_bytes = 160;
+          m.payload = std::move(pp);
+          net_.send(node,
+                    shard_contact(ledger::shard_of_account(tx.sender, config_.num_shards)), m,
+                    sim::TrafficClass::kCrossShard);
+          break;
+        }
+        case 2: {  // finalize at the sender's shard after the ack
+          committed.push_back(tx.hash);
+          body_bytes += tx.wire_size();
+          tx_shard_finished(tx.hash, true);
+          break;
+        }
+        default:
+          break;
+      }
+    }
+
+    // Execution results produced by this decision, batched per target shard
+    // so each (decision, target) pair is exactly one message.
+    std::map<std::uint32_t, ResultBatchPayload> result_batches;
+    auto add_result = [&](const Transaction& tx, const ExecResult& result) {
+      for (ShardId target : involved_shards(tx)) {
+        auto& batch = result_batches[target.value];
+        batch.source = ChannelId{eng.id.value};
+        batch.channel_height = height;
+        batch.target = target;
+        batch.results.push_back(result);
+      }
+    };
+
+    // --- Multi-round execution visits (kNoGlobalLogic) ------------------
+    // Runs the run of consecutive steps homed on this shard, then either
+    // hands the bundle to the next home shard or emits final results — all
+    // relayed through the tx's channel subgroups (no cross-shard messages).
+    auto process_visit = [&](const ExecVisit& visit) {
+      const Transaction& tx = *visit.tx;
+      const ChannelId via = ledger::channel_of_tx(tx.hash, config_.num_shards);
+      PortableState gathered = visit.gathered;
+      bool ok = !visit.aborted;
+
+      if (ok && visit.next_step == 0) {  // fee prologue on the first visit
+        auto fee_it = gathered.balances.find(tx.sender);
+        if (fee_it == gathered.balances.end() || fee_it->second < tx.fee) {
+          ok = false;
+        } else {
+          fee_it->second -= tx.fee;
+        }
+      }
+
+      std::uint32_t step = visit.next_step;
+      if (ok) {
+        std::vector<const vm::ContractLogic*> logic;
+        for (auto c : tx.contracts) logic.push_back(eng.local_logic.get(c));
+        std::uint32_t end = step;
+        while (end < tx.steps.size() &&
+               ledger::shard_of_contract(tx.contracts[tx.steps[end].contract_slot],
+                                         config_.num_shards) == eng.id)
+          ++end;
+        ledger::PortableStateView view(std::move(gathered));
+        vm::ExecLimits limits;
+        limits.gas_limit = tx.gas_limit;
+        vm::Interpreter interp(logic, view, limits);
+        const auto r = interp.run(tx.sender, std::span(tx.steps.data() + step, end - step));
+        ok = r.ok();
+        gathered = view.take();
+        step = end;
+      }
+
+      auto emit_results = [&](bool success) {
+        ExecResult result;
+        result.tx_hash = tx.hash;
+        result.ok = success;
+        if (success) result.per_shard_updates = split_per_shard(std::move(gathered));
+        add_result(tx, result);
+      };
+
+      if (!ok) {
+        emit_results(false);
+        return;
+      }
+      if (step >= tx.steps.size()) {
+        emit_results(true);
+        return;
+      }
+      const ShardId next = ledger::shard_of_contract(
+          tx.contracts[tx.steps[step].contract_slot], config_.num_shards);
+      auto cp = std::make_shared<ContinuationPayload>();
+      cp->tx = visit.tx;
+      cp->gathered = std::move(gathered);
+      cp->next_step = step;
+      cp->target = next;
+      cp->hops = 1;
+      sim::Message m;
+      m.type = sim::MsgType::kSubTxResult;
+      m.from = node;
+      m.size_bytes = cp->wire_size();
+      m.payload = std::move(cp);
+      outcome.to_channels.emplace_back(via, std::move(m));
+    };
+    for (const ExecVisit& visit : payload->visits) process_visit(visit);
+
+    // --- Execution entries (kNoLattice) ---------------------------------
+    for (const auto& [tx, result] : payload->exec_entries) {
+      // Retire the gathered entry.
+      if (!eng.gather.ready.empty()) eng.gather.ready.pop_front();
+      eng.gather.pending.erase(result.tx_hash);
+      if (!tx) continue;
+      add_result(*tx, result);
+    }
+
+    // --- Ship the batched execution results -----------------------------
+    for (auto& [target_value, batch] : result_batches) {
+      const ShardId target{target_value};
+      auto rp = std::make_shared<ResultBatchPayload>(std::move(batch));
+      sim::Message m;
+      m.type = sim::MsgType::kExecResult;
+      m.from = node;
+      m.size_bytes = rp->wire_size();
+      if (target == eng.id) {
+        // Local commits: the updates already travelled inside this shard's
+        // own consensus block; ingest directly.
+        rp->hops = 0;
+        m.payload = std::move(rp);
+        handle_result_batch(node, m);
+      } else if (config_.pipeline == Pipeline::kNoLattice) {
+        rp->hops = 0;
+        m.payload = std::move(rp);
+        net_.send_via_relay(node, shard_contact(target), m, sim::TrafficClass::kCrossShard);
+      } else {  // kNoGlobalLogic: relay through a channel's subgroups
+        rp->hops = 1;
+        m.payload = std::move(rp);
+        outcome.to_channels.emplace_back(ChannelId{target_value % config_.num_shards},
+                                         std::move(m));
+      }
+    }
+
+    // --- Ledger block ----------------------------------------------------
+    if (!committed.empty()) {
+      eng.chain.append(ledger::build_block(eng.id, eng.chain.height(), eng.chain.tip_hash(),
+                                           std::move(committed), body_bytes, now));
+    }
+
+    // --- Retire consumed mempool items ----------------------------------
+    for (std::size_t i = 0; i < payload->determine.size(); ++i) eng.determine.pop_front();
+    for (std::size_t i = 0; i < payload->commits.size(); ++i) eng.commits.pop_front();
+    for (std::size_t i = 0; i < payload->transfers.size(); ++i) eng.transfers.pop_front();
+    for (std::size_t i = 0; i < payload->visits.size(); ++i) eng.visits.pop_front();
+
+    eng.outcomes[height] = std::move(outcome);
+    eng.outcomes.erase(height >= 64 ? height - 64 : UINT64_MAX);
+  }
+
+  // Per-node forwarding duty: subgroup members rebroadcast into channels.
+  const auto it = eng.outcomes.find(height);
+  if (it == eng.outcomes.end()) return;
+  const Assignment asg = lattice_->assignment(node);
+  for (const auto& [ch, msg] : it->second.to_channels) {
+    if (asg.channel != ch) continue;
+    sim::Message copy = msg;
+    copy.from = node;
+    // Gossip rather than unicast-to-all: batches carry whole contract
+    // states, and a fanout tree spreads the serialization load across the
+    // channel instead of saturating each subgroup member's uplink.
+    net_.gossip(node, lattice_->channel_members(ch), copy, sim::TrafficClass::kIntraShard);
+    on_node_message(node, copy);  // local ingest (gossip skips self)
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Channel consensus (kFull)
+// ---------------------------------------------------------------------------
+
+std::optional<consensus::ConsensusValue> JengaSystem::channel_propose(ChannelEngine& eng,
+                                                                      std::uint64_t height) {
+  eng.gather.expire(sim_.now(), config_.pending_timeout);
+  if (eng.gather.ready.empty()) return std::nullopt;
+
+  auto payload = std::make_shared<ChannelBlockPayload>();
+  payload->channel = eng.id;
+  std::vector<Hash256> hashes;
+  std::uint32_t size = 128;
+  for (std::size_t i = 0; i < eng.gather.ready.size() && i < config_.max_block_items; ++i) {
+    const Hash256& h = eng.gather.ready[i];
+    auto& pending = eng.gather.pending.at(h);
+    ExecResult result;
+    if (pending.abort || !pending.tx) {
+      result.tx_hash = h;
+      result.ok = false;
+    } else {
+      result = execute_tx(*pending.tx, pending.gathered, all_logic_);
+    }
+    hashes.push_back(h);
+    size += 64 + result.wire_size();
+    payload->entries.emplace_back(pending.tx, std::move(result));
+  }
+  const std::uint64_t tag = kChannelGroupTag | eng.id.value;
+  auto value = wrap_value("jenga/channel-block", tag, height, std::move(hashes), size, payload);
+  value.exec_delay = kExecItemCpu * static_cast<SimTime>(payload->entries.size());
+  return value;
+}
+
+void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t height,
+                                 const consensus::ConsensusValue& value) {
+  const auto* payload = dynamic_cast<const ChannelBlockPayload*>(value.data.get());
+  if (payload == nullptr) return;
+
+  if (height >= eng.next_process_height) {
+    eng.next_process_height = height + 1;
+    ChannelEngine::Outcome outcome;
+
+    // Group results per target shard.
+    std::map<std::uint32_t, ResultBatchPayload> batches;
+    for (const auto& [tx, result] : payload->entries) {
+      if (!eng.gather.ready.empty()) eng.gather.ready.pop_front();
+      eng.gather.pending.erase(result.tx_hash);
+      if (!tx) continue;
+      for (ShardId target : involved_shards(*tx)) {
+        auto& batch = batches[target.value];
+        batch.source = eng.id;
+        batch.channel_height = height;
+        batch.target = target;
+        batch.results.push_back(result);
+      }
+    }
+    for (auto& [target, batch] : batches) {
+      auto rp = std::make_shared<ResultBatchPayload>(std::move(batch));
+      sim::Message m;
+      m.type = sim::MsgType::kExecResult;
+      m.from = node;
+      m.size_bytes = rp->wire_size();
+      m.payload = std::move(rp);
+      outcome.to_shards.emplace_back(ShardId{target}, std::move(m));
+    }
+    eng.outcomes[height] = std::move(outcome);
+    eng.outcomes.erase(height >= 64 ? height - 64 : UINT64_MAX);
+  }
+
+  // Forwarding duty: a channel node whose state shard is a target relays the
+  // certified results into its shard.
+  const auto it = eng.outcomes.find(height);
+  if (it == eng.outcomes.end()) return;
+  const Assignment asg = lattice_->assignment(node);
+  for (const auto& [shard, msg] : it->second.to_shards) {
+    if (asg.shard != shard) continue;
+    sim::Message copy = msg;
+    copy.from = node;
+    net_.gossip(node, lattice_->shard_members(shard), copy, sim::TrafficClass::kIntraShard);
+    on_node_message(node, copy);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Completion tracking & reports
+// ---------------------------------------------------------------------------
+
+void JengaSystem::tx_shard_finished(const Hash256& tx_hash, bool ok) {
+  const auto it = tracker_.find(tx_hash);
+  if (it == tracker_.end()) return;
+  TrackEntry& e = it->second;
+  e.aborted = e.aborted || !ok;
+  if (e.shards_left == 0 || --e.shards_left > 0) return;
+  if (e.aborted) {
+    ++stats_.aborted;
+  } else {
+    ++stats_.committed;
+    stats_.total_commit_latency += sim_.now() - e.submitted;
+    stats_.last_commit_time = std::max(stats_.last_commit_time, sim_.now());
+  }
+  tracker_.erase(it);
+  tx_for_result_.erase(tx_hash);
+}
+
+StorageReport JengaSystem::storage_report() const {
+  StorageReport r;
+  std::uint64_t chain = 0, state = 0;
+  for (const auto& s : shards_) {
+    chain += s->chain.total_bytes();
+    state += s->store.state_storage_bytes();
+  }
+  r.chain_bytes_per_node = chain / config_.num_shards;
+  r.state_bytes_per_node = state / config_.num_shards;
+  // Network-wide logic storage: every node stores all logic (kFull and
+  // kNoLattice); kNoGlobalLogic stores only the home shard's share.
+  if (config_.pipeline == Pipeline::kNoGlobalLogic) {
+    std::uint64_t local = 0;
+    for (const auto& s : shards_) local += s->local_logic.logic_storage_bytes();
+    r.logic_bytes_per_node = local / config_.num_shards;
+  } else {
+    r.logic_bytes_per_node = all_logic_.logic_storage_bytes();
+  }
+  return r;
+}
+
+const ledger::Chain& JengaSystem::shard_chain(ShardId s) const { return shards_[s.value]->chain; }
+const ledger::StateStore& JengaSystem::shard_store(ShardId s) const {
+  return shards_[s.value]->store;
+}
+
+std::uint64_t JengaSystem::total_account_balance() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : shards_) sum += s->store.total_balance();
+  return sum;
+}
+
+std::size_t JengaSystem::held_locks() const {
+  std::size_t n = 0;
+  for (const auto& s : shards_) n += s->locks.held_locks();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// Shard consensus app
+// ---------------------------------------------------------------------------
+
+std::optional<consensus::ConsensusValue> JengaSystem::ShardApp::propose(std::uint64_t height) {
+  return sys->shard_propose(*engine, height);
+}
+
+void JengaSystem::ShardApp::on_decide(std::uint64_t height,
+                                      const consensus::ConsensusValue& value,
+                                      const consensus::QuorumCert&) {
+  sys->shard_decide(*engine, node, height, value);
+}
+
+std::optional<consensus::ConsensusValue> JengaSystem::ChannelApp::propose(
+    std::uint64_t height) {
+  return sys->channel_propose(*engine, height);
+}
+
+void JengaSystem::ChannelApp::on_decide(std::uint64_t height,
+                                        const consensus::ConsensusValue& value,
+                                        const consensus::QuorumCert&) {
+  sys->channel_decide(*engine, node, height, value);
+}
+
+}  // namespace jenga::core

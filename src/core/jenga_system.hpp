@@ -1,0 +1,168 @@
+// The Jenga system: S state shards × S execution channels over N nodes,
+// network-wide logic storage, and the three-phase cross-shard consensus
+// protocol (paper §V).
+//
+// Simulation architecture
+// -----------------------
+// Consensus is fully per-node: every node runs a BFT replica for its state
+// shard and (in the full pipeline) one for its execution channel, and all
+// protocol messages travel through the simulated network with real timing.
+// The *application state* behind each group (state store, locks, chain,
+// mempool) is kept as one logical copy per group: honest replicas are
+// deterministic and decide identical values, so replicating the bytes per
+// node would multiply memory without changing any observable metric.  The
+// first replica to decide a height performs the shared state transition;
+// every replica then performs its own node-local forwarding duty (subgroup
+// relaying), which is where Jenga's communication pattern lives.
+//
+// Pipelines (the Fig. 5b/6b ablations):
+//   kFull            — grants/results travel shard<->channel through
+//                      overlapped subgroups (intra-group broadcasts only).
+//   kNoLattice       — "Jenga w/o Orthogonal Lattice Structure": logic is
+//                      still everywhere, but execution happens on a state
+//                      shard chosen by tx hash, and states/results move with
+//                      ordinary cross-shard messages (client-relayed).
+//   kNoGlobalLogic   — "Jenga w/o Network-Wide Logic Storage": the lattice
+//                      stands, but logic lives only on its home shard, so a
+//                      transaction executes step-by-step across the home
+//                      shards of its contracts (multi-round), with
+//                      intermediate results relayed through subgroups.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "consensus/bft.hpp"
+#include "core/lattice.hpp"
+#include "core/protocol_messages.hpp"
+#include "ledger/block.hpp"
+#include "ledger/locks.hpp"
+#include "ledger/state_store.hpp"
+#include "simnet/network.hpp"
+
+namespace jenga::core {
+
+enum class Pipeline : std::uint8_t { kFull = 0, kNoLattice, kNoGlobalLogic };
+
+struct JengaConfig {
+  std::uint32_t num_shards = 4;
+  std::uint32_t nodes_per_shard = 16;  // must be a multiple of num_shards
+  std::uint64_t seed = 1;
+  std::uint32_t max_block_items = 4096;   // paper: 4096 txs per consensus round
+  SimTime view_timeout = 120 * kSecond;
+  SimTime pending_timeout = 90 * kSecond;  // channel-side state-gathering timeout
+  /// Lock conflicts re-enqueue the transaction for this many later blocks
+  /// before Phase 1 gives up and emits an AbortRequest (mempool retry, as in
+  /// real implementations).
+  std::uint32_t max_lock_retries = 24;
+  Pipeline pipeline = Pipeline::kFull;
+};
+
+struct Genesis {
+  std::uint64_t num_accounts = 0;
+  std::uint64_t initial_balance = 0;
+  std::vector<std::shared_ptr<const vm::ContractLogic>> contracts;
+  std::vector<ledger::ContractState> initial_states;  // parallel to contracts
+};
+
+class JengaSystem {
+ public:
+  JengaSystem(sim::Simulator& sim, sim::Network& net, JengaConfig config, Genesis genesis);
+  ~JengaSystem();
+
+  JengaSystem(const JengaSystem&) = delete;
+  JengaSystem& operator=(const JengaSystem&) = delete;
+
+  /// Starts all replicas; call once before submitting.
+  void start();
+
+  /// Client submits a transaction at the current simulation time.
+  void submit(TxPtr tx);
+
+  [[nodiscard]] const TxStats& stats() const { return stats_; }
+  [[nodiscard]] const Lattice& lattice() const { return *lattice_; }
+  [[nodiscard]] const JengaConfig& config() const { return config_; }
+
+  /// Average per-node storage at the current moment (Fig. 7a's metric).
+  [[nodiscard]] StorageReport storage_report() const;
+
+  /// Introspection for tests.
+  [[nodiscard]] const ledger::Chain& shard_chain(ShardId s) const;
+  [[nodiscard]] const ledger::StateStore& shard_store(ShardId s) const;
+  [[nodiscard]] std::uint64_t total_account_balance() const;
+  [[nodiscard]] std::size_t held_locks() const;
+
+  /// Marks a node Byzantine-silent (consensus-level fault injection).
+  void set_node_silent(NodeId node);
+
+ private:
+  struct ShardEngine;
+  struct ChannelEngine;
+  struct ShardApp;
+  struct ChannelApp;
+
+  [[nodiscard]] std::vector<ShardId> involved_shards(const ledger::Transaction& tx) const;
+  [[nodiscard]] NodeId shard_contact(ShardId s) const;
+  [[nodiscard]] NodeId channel_contact(ChannelId c) const;
+  void on_node_message(NodeId node, const sim::Message& msg);
+  void handle_client_tx(NodeId node, const sim::Message& msg);
+  void handle_grant_batch(NodeId node, const sim::Message& msg);
+  void handle_result_batch(NodeId node, const sim::Message& msg);
+  void handle_two_pc(NodeId node, const sim::Message& msg);
+  void tx_shard_finished(const Hash256& tx_hash, bool ok);
+
+  // Consensus app plumbing (payload types are internal to the .cpp).
+  [[nodiscard]] std::optional<consensus::ConsensusValue> shard_propose(ShardEngine& eng,
+                                                                       std::uint64_t height);
+  void shard_decide(ShardEngine& eng, NodeId node, std::uint64_t height,
+                    const consensus::ConsensusValue& value);
+  [[nodiscard]] std::optional<consensus::ConsensusValue> channel_propose(ChannelEngine& eng,
+                                                                         std::uint64_t height);
+  void channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t height,
+                      const consensus::ConsensusValue& value);
+
+  /// Executes a full transaction against a gathered bundle (Phase 2).
+  [[nodiscard]] ExecResult execute_tx(const ledger::Transaction& tx,
+                                      ledger::PortableState gathered,
+                                      const ledger::LogicStore& logic_source) const;
+  [[nodiscard]] std::vector<std::pair<ShardId, ledger::PortableState>> split_per_shard(
+      ledger::PortableState updated) const;
+
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  JengaConfig config_;
+  std::unique_ptr<Lattice> lattice_;
+
+  std::vector<std::unique_ptr<ShardEngine>> shards_;
+  std::vector<std::unique_ptr<ChannelEngine>> channels_;
+  // Replicas are per node: [node] -> shard replica, and channel replica when
+  // the full pipeline runs channels as consensus groups.
+  std::vector<std::unique_ptr<consensus::Replica>> shard_replicas_;
+  std::vector<std::unique_ptr<consensus::Replica>> channel_replicas_;
+  std::vector<std::unique_ptr<ShardApp>> shard_apps_;
+  std::vector<std::unique_ptr<ChannelApp>> channel_apps_;
+
+  // All contract logic (network-wide in kFull/kNoLattice).
+  ledger::LogicStore all_logic_;
+
+  // Per-tx completion tracking.
+  struct TrackEntry {
+    SimTime submitted = 0;
+    std::uint32_t shards_left = 0;
+    bool aborted = false;
+  };
+  std::unordered_map<Hash256, TrackEntry> tracker_;
+  /// Transactions by hash, so result batches can be matched back to their tx
+  /// without shipping the tx in every message.
+  std::unordered_map<Hash256, TxPtr> tx_for_result_;
+  TxStats stats_;
+
+  std::uint64_t contact_rr_ = 0;  // round-robin over members for client entry
+};
+
+}  // namespace jenga::core

@@ -1,0 +1,68 @@
+#include "core/lattice.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+
+namespace jenga::core {
+
+Lattice::Lattice(std::uint32_t num_shards, std::uint32_t nodes_per_shard,
+                 const std::vector<std::uint64_t>& node_draws)
+    : num_shards_(num_shards), nodes_per_shard_(nodes_per_shard) {
+  assert(num_shards > 0);
+  assert(nodes_per_shard % num_shards == 0);
+  const std::uint32_t n = total_nodes();
+  assert(node_draws.size() == n);
+
+  // Rank nodes by their randomness draw (ties by id keep it a permutation).
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t a, std::uint32_t b) {
+    if (node_draws[a] != node_draws[b]) return node_draws[a] < node_draws[b];
+    return a < b;
+  });
+
+  assignments_.resize(n);
+  shard_members_.resize(num_shards_);
+  channel_members_.resize(num_shards_);
+  subgroups_.resize(static_cast<std::size_t>(num_shards_) * num_shards_);
+
+  for (std::uint32_t rank = 0; rank < n; ++rank) {
+    const NodeId node{order[rank]};
+    const ShardId shard{rank / nodes_per_shard_};
+    const ChannelId channel{rank % num_shards_};
+    assignments_[node.value] = {shard, channel};
+    shard_members_[shard.value].push_back(node);
+    channel_members_[channel.value].push_back(node);
+    subgroups_[shard.value * num_shards_ + channel.value].push_back(node);
+  }
+}
+
+Assignment Lattice::literal_rule(std::uint64_t r, std::uint32_t num_shards,
+                                 std::uint32_t nodes_per_shard) {
+  const std::uint64_t n = static_cast<std::uint64_t>(num_shards) * nodes_per_shard;
+  const std::uint64_t slot = r % n;
+  return {ShardId{static_cast<std::uint32_t>(slot / nodes_per_shard)},
+          ChannelId{static_cast<std::uint32_t>(slot % num_shards)}};
+}
+
+Lattice make_epoch_lattice(std::uint32_t num_shards, std::uint32_t nodes_per_shard,
+                           std::uint64_t key_seed, const Hash256& epoch_randomness) {
+  const std::uint32_t n = num_shards * nodes_per_shard;
+  std::vector<std::uint64_t> draws(n);
+  const std::uint64_t rand64 = epoch_randomness.prefix_u64();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    // Node i's "public key" material, derived deterministically in the sim.
+    std::uint64_t s = key_seed ^ (0xA11CE5ULL + i);
+    const std::uint64_t pk = splitmix64(s);
+    // Paper: XOR the public key with the epoch randomness.
+    std::uint64_t mix = pk ^ rand64;
+    draws[i] = splitmix64(mix);
+  }
+  return Lattice(num_shards, nodes_per_shard, draws);
+}
+
+}  // namespace jenga::core

@@ -1,0 +1,73 @@
+// The orthogonal lattice: node → (state shard, execution channel) assignment
+// and subgroup lookup (paper §V-B "Determining the Execution Channel").
+//
+// Paper rule: each node XORs its public key with the epoch randomness to get
+// r_i; r_i mod N gives a slot; slot / (N/S) is the state shard and
+// slot mod S the execution channel.  Applied literally to hashes, slots can
+// collide and group sizes drift; the paper's own claims ("the number of
+// nodes inside each state shard is the same as ...") hold exactly when the
+// slots form a permutation of 0..N-1.  We therefore *rank* nodes by r_i —
+// ties broken by node id — which realizes exactly the intended permutation:
+// every shard has k = N/S nodes, every channel k nodes, and every
+// (shard, channel) subgroup exactly k/S nodes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jenga::core {
+
+struct Assignment {
+  ShardId shard;
+  ChannelId channel;
+};
+
+class Lattice {
+ public:
+  /// Builds the epoch lattice.  `node_draws[i]` is node i's randomness draw
+  /// (public key XOR epoch randomness, reduced to 64 bits).  Requires
+  /// nodes_per_shard % num_shards == 0 and node_draws.size() == S * k.
+  Lattice(std::uint32_t num_shards, std::uint32_t nodes_per_shard,
+          const std::vector<std::uint64_t>& node_draws);
+
+  [[nodiscard]] std::uint32_t num_shards() const { return num_shards_; }
+  [[nodiscard]] std::uint32_t nodes_per_shard() const { return nodes_per_shard_; }
+  [[nodiscard]] std::uint32_t subgroup_size() const { return nodes_per_shard_ / num_shards_; }
+  [[nodiscard]] std::uint32_t total_nodes() const { return num_shards_ * nodes_per_shard_; }
+
+  [[nodiscard]] Assignment assignment(NodeId node) const { return assignments_[node.value]; }
+
+  [[nodiscard]] const std::vector<NodeId>& shard_members(ShardId s) const {
+    return shard_members_[s.value];
+  }
+  [[nodiscard]] const std::vector<NodeId>& channel_members(ChannelId c) const {
+    return channel_members_[c.value];
+  }
+  /// Nodes belonging to both shard s and channel c — the relay subgroup.
+  [[nodiscard]] const std::vector<NodeId>& subgroup(ShardId s, ChannelId c) const {
+    return subgroups_[s.value * num_shards_ + c.value];
+  }
+
+  /// The paper's literal formula for one node (used to cross-check the rank
+  /// construction in tests): slot = r mod N, shard = slot/(N/S), channel =
+  /// slot mod S.
+  [[nodiscard]] static Assignment literal_rule(std::uint64_t r, std::uint32_t num_shards,
+                                               std::uint32_t nodes_per_shard);
+
+ private:
+  std::uint32_t num_shards_;
+  std::uint32_t nodes_per_shard_;
+  std::vector<Assignment> assignments_;
+  std::vector<std::vector<NodeId>> shard_members_;
+  std::vector<std::vector<NodeId>> channel_members_;
+  std::vector<std::vector<NodeId>> subgroups_;
+};
+
+/// Convenience: derive per-node draws from a seed (simulation keygen) and an
+/// epoch randomness hash, then build the lattice.
+[[nodiscard]] Lattice make_epoch_lattice(std::uint32_t num_shards, std::uint32_t nodes_per_shard,
+                                         std::uint64_t key_seed, const Hash256& epoch_randomness);
+
+}  // namespace jenga::core

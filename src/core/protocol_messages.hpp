@@ -1,0 +1,92 @@
+// Payloads of Jenga's cross-shard consensus protocol (paper §V-C) and the
+// batch items that shard/channel consensus instances agree on.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ledger/portable_state.hpp"
+#include "ledger/transaction.hpp"
+#include "simnet/message.hpp"
+
+namespace jenga::core {
+
+using TxPtr = std::shared_ptr<const ledger::Transaction>;
+
+/// CPU cost model (paper §VII-B: "each node can verify up to 4096
+/// transactions in a consensus round").  Light items are signature/lock
+/// checks over a 512-byte tx; exec items run contract code on the VM.
+inline constexpr SimTime kLightItemCpu = 200;                 // 200 µs
+inline constexpr SimTime kExecItemCpu = 2 * kMillisecond;     // full/partial VM run
+
+/// Phase 1 output for one transaction from one state shard.
+struct StateGrant {
+  Hash256 tx_hash;
+  ShardId source;
+  bool available = true;          // false -> AbortRequest (state locked/missing)
+  ledger::PortableState states;   // the locked states this shard owns
+
+  [[nodiscard]] std::uint32_t wire_size() const { return 80 + states.wire_size(); }
+};
+
+/// Phase 2 output for one transaction: per-shard state updates or an abort.
+struct ExecResult {
+  Hash256 tx_hash;
+  bool ok = true;
+  /// Updates split by owning shard; only that shard's slice is applied there.
+  std::vector<std::pair<ShardId, ledger::PortableState>> per_shard_updates;
+
+  [[nodiscard]] std::uint32_t wire_size() const {
+    std::uint32_t n = 80;
+    for (const auto& [s, st] : per_shard_updates) n += 8 + st.wire_size();
+    return n;
+  }
+};
+
+/// A batch of grants from one shard-consensus decision, destined to one
+/// execution channel; forwarded by the (shard, channel) subgroup members.
+struct GrantBatchPayload : sim::Payload {
+  ShardId source;
+  std::uint64_t shard_height = 0;  // dedup key together with `source`
+  std::vector<StateGrant> grants;
+  /// kNoGlobalLogic: the batch ultimately lands on this shard; channel nodes
+  /// in subgroup(relay_target, channel) rebroadcast when hops > 0.
+  ShardId relay_target{UINT32_MAX};
+  std::uint8_t hops = 0;
+
+  [[nodiscard]] std::uint32_t wire_size() const {
+    std::uint32_t n = 96;  // cert + header
+    for (const auto& g : grants) n += g.wire_size();
+    return n;
+  }
+};
+
+/// A batch of execution results from one channel decision, destined to one
+/// state shard; forwarded by the subgroup members.
+struct ResultBatchPayload : sim::Payload {
+  ChannelId source;                 // source group id (channel, or shard id reused)
+  std::uint64_t channel_height = 0;
+  ShardId target;
+  std::vector<ExecResult> results;
+  std::uint8_t hops = 0;  // >0: relayed via a channel, subgroup rebroadcasts
+
+  [[nodiscard]] std::uint32_t wire_size() const {
+    std::uint32_t n = 96;
+    for (const auto& r : results) n += r.wire_size();
+    return n;
+  }
+};
+
+/// Client transaction envelope.
+struct TxPayload : sim::Payload {
+  TxPtr tx;
+};
+
+/// Transfer-transaction 2PC messages (the "traditional scheme" of §V-D).
+struct TwoPcPayload : sim::Payload {
+  TxPtr tx;
+  bool commit = false;  // false: prepare leg, true: commit/ack leg
+};
+
+}  // namespace jenga::core

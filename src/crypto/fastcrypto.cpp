@@ -1,0 +1,68 @@
+#include "crypto/fastcrypto.hpp"
+
+#include "common/rng.hpp"
+
+namespace jenga::crypto {
+namespace {
+
+std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+  std::uint64_t s = a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 6) + (a >> 2));
+  return splitmix64(s);
+}
+
+std::uint64_t msg_word(const Hash256& msg) {
+  std::uint64_t w = 0;
+  for (int i = 0; i < 8; ++i) w = (w << 8) | msg.bytes[static_cast<std::size_t>(i)];
+  return w;
+}
+
+// The verifier only knows public ids; the "signature" must be derivable from
+// the public id so verification works, yet we keep a secret/public split so
+// the API shape matches real crypto.  Binding: tag = mix(public_id, msg).
+std::uint64_t tag_for(std::uint64_t public_id, const Hash256& msg) {
+  return mix(public_id, msg_word(msg));
+}
+
+}  // namespace
+
+FastKey fast_keypair(std::uint64_t seed) {
+  FastKey k;
+  std::uint64_t s = seed;
+  k.secret = splitmix64(s);
+  std::uint64_t s2 = k.secret;
+  k.public_id = splitmix64(s2);
+  return k;
+}
+
+std::uint64_t fast_sign(const FastKey& key, const Hash256& msg) {
+  return tag_for(key.public_id, msg);
+}
+
+bool fast_verify(std::uint64_t public_id, const Hash256& msg, std::uint64_t sig) {
+  return sig == tag_for(public_id, msg);
+}
+
+FastMultiSig fast_aggregate(std::span<const FastKey> group, const std::vector<bool>& participating,
+                            const Hash256& msg) {
+  FastMultiSig out;
+  out.signers.assign(group.size(), false);
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    if (i < participating.size() && participating[i]) {
+      out.aggregate ^= fast_sign(group[i], msg);
+      out.signers[i] = true;
+    }
+  }
+  return out;
+}
+
+bool fast_verify_multisig(std::span<const std::uint64_t> group_public_ids, const Hash256& msg,
+                          const FastMultiSig& sig) {
+  if (sig.signers.size() != group_public_ids.size() || sig.signer_count() == 0) return false;
+  std::uint64_t expect = 0;
+  for (std::size_t i = 0; i < group_public_ids.size(); ++i) {
+    if (sig.signers[i]) expect ^= tag_for(group_public_ids[i], msg);
+  }
+  return expect == sig.aggregate;
+}
+
+}  // namespace jenga::crypto

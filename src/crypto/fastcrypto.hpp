@@ -1,0 +1,57 @@
+// FastCrypto: cheap keyed-hash "signatures" for large-scale simulation.
+//
+// Running 2880 nodes through real Schnorr aggregation would turn a
+// discrete-event simulation into a crypto benchmark.  FastCrypto swaps the
+// math for keyed 64-bit hashes while keeping the exact same *interface
+// semantics* (sign/verify/aggregate with a signer bitmap) and — crucially —
+// the same *wire sizes*: message size accounting in simnet always charges
+// for full-size Schnorr/BLS-equivalent signatures, so the network model is
+// unaffected by which provider is active.  Tests cover the equivalence of
+// the two providers' observable behaviour.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jenga::crypto {
+
+/// Wire size charged for an (aggregated) signature regardless of provider.
+inline constexpr std::uint32_t kSignatureWireBytes = 64;
+/// Wire size of a compressed public key.
+inline constexpr std::uint32_t kPublicKeyWireBytes = 33;
+
+struct FastKey {
+  std::uint64_t secret = 0;
+  std::uint64_t public_id = 0;  // splitmix(secret): stands in for the public key
+};
+
+[[nodiscard]] FastKey fast_keypair(std::uint64_t seed);
+
+/// 64-bit tag binding (message, signer secret).
+[[nodiscard]] std::uint64_t fast_sign(const FastKey& key, const Hash256& msg);
+[[nodiscard]] bool fast_verify(std::uint64_t public_id, const Hash256& msg, std::uint64_t sig);
+
+/// Aggregate: XOR of member tags + bitmap; verification recomputes each
+/// member tag from its public id (the verifier knows the group's key list —
+/// mirroring BLS verification against known public keys).
+struct FastMultiSig {
+  std::uint64_t aggregate = 0;
+  std::vector<bool> signers;
+
+  [[nodiscard]] std::size_t signer_count() const {
+    std::size_t n = 0;
+    for (bool b : signers) n += b;
+    return n;
+  }
+};
+
+[[nodiscard]] FastMultiSig fast_aggregate(std::span<const FastKey> group,
+                                          const std::vector<bool>& participating,
+                                          const Hash256& msg);
+[[nodiscard]] bool fast_verify_multisig(std::span<const std::uint64_t> group_public_ids,
+                                        const Hash256& msg, const FastMultiSig& sig);
+
+}  // namespace jenga::crypto

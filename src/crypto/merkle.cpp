@@ -1,0 +1,71 @@
+#include "crypto/merkle.hpp"
+
+#include <cassert>
+
+#include "crypto/sha256.hpp"
+
+namespace jenga::crypto {
+namespace {
+
+Hash256 node_hash(const Hash256& left, const Hash256& right) {
+  Sha256 h;
+  h.update("jenga/merkle-node");
+  h.update(left);
+  h.update(right);
+  return h.finish();
+}
+
+std::vector<Hash256> leaf_level(const std::vector<Hash256>& leaves) {
+  std::vector<Hash256> level;
+  level.reserve(leaves.size());
+  for (const auto& leaf : leaves) level.push_back(merkle_leaf_hash(leaf));
+  return level;
+}
+
+}  // namespace
+
+Hash256 merkle_leaf_hash(const Hash256& data) {
+  return sha256_tagged("jenga/merkle-leaf", std::span(data.bytes));
+}
+
+Hash256 merkle_root(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return sha256("jenga/merkle-empty");
+  std::vector<Hash256> level = leaf_level(leaves);
+  while (level.size() > 1) {
+    if (level.size() % 2 != 0) level.push_back(level.back());
+    std::vector<Hash256> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2)
+      next.push_back(node_hash(level[i], level[i + 1]));
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+MerkleProof merkle_prove(const std::vector<Hash256>& leaves, std::size_t index) {
+  assert(index < leaves.size());
+  MerkleProof proof;
+  std::vector<Hash256> level = leaf_level(leaves);
+  std::size_t pos = index;
+  while (level.size() > 1) {
+    if (level.size() % 2 != 0) level.push_back(level.back());
+    const std::size_t sibling = pos ^ 1;
+    proof.push_back({level[sibling], sibling < pos});
+    std::vector<Hash256> next;
+    next.reserve(level.size() / 2);
+    for (std::size_t i = 0; i < level.size(); i += 2)
+      next.push_back(node_hash(level[i], level[i + 1]));
+    level = std::move(next);
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool merkle_verify(const Hash256& root, const Hash256& leaf, const MerkleProof& proof) {
+  Hash256 cur = merkle_leaf_hash(leaf);
+  for (const auto& st : proof)
+    cur = st.sibling_on_left ? node_hash(st.sibling, cur) : node_hash(cur, st.sibling);
+  return cur == root;
+}
+
+}  // namespace jenga::crypto

@@ -1,0 +1,36 @@
+// Binary SHA-256 Merkle tree: roots, inclusion proofs, verification.
+//
+// Block headers commit to their transaction list through a Merkle root;
+// light-client style state grants could carry inclusion proofs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jenga::crypto {
+
+/// Merkle root of a list of leaf digests.  Empty list hashes to a fixed
+/// domain-separated sentinel; odd levels duplicate the last node (Bitcoin
+/// style).  Leaves and interior nodes use distinct domain tags, preventing
+/// second-preimage tricks that splice a leaf as an interior node.
+[[nodiscard]] Hash256 merkle_root(const std::vector<Hash256>& leaves);
+
+struct MerkleStep {
+  Hash256 sibling;
+  bool sibling_on_left = false;
+};
+
+using MerkleProof = std::vector<MerkleStep>;
+
+/// Inclusion proof for leaf `index`.  Index must be < leaves.size().
+[[nodiscard]] MerkleProof merkle_prove(const std::vector<Hash256>& leaves, std::size_t index);
+
+[[nodiscard]] bool merkle_verify(const Hash256& root, const Hash256& leaf,
+                                 const MerkleProof& proof);
+
+/// The leaf-level hash applied to raw leaf data before tree construction.
+[[nodiscard]] Hash256 merkle_leaf_hash(const Hash256& data);
+
+}  // namespace jenga::crypto

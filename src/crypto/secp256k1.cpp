@@ -1,0 +1,190 @@
+#include "crypto/secp256k1.hpp"
+
+#include <cassert>
+
+namespace jenga::crypto {
+
+const U256 kFieldP = U256::from_hex(
+    "fffffffffffffffffffffffffffffffffffffffffffffffffffffffefffffc2f");
+const U256 kOrderN = U256::from_hex(
+    "fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+
+namespace {
+
+// p = 2^256 - kC, kC = 2^32 + 977.
+constexpr std::uint64_t kC = 0x1000003D1ULL;
+
+// Reduces a 512-bit product mod p using 2^256 ≡ kC (mod p).
+U256 reduce512(const U512& v) {
+  // t = lo + hi * kC.  hi * kC fits in 256 + 33 bits.
+  std::uint64_t acc[5]{};
+  __uint128_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    __uint128_t cur = static_cast<__uint128_t>(v.hi.limb[i]) * kC + carry;
+    acc[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  acc[4] = static_cast<std::uint64_t>(carry);
+
+  U256 t;
+  carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    __uint128_t cur = static_cast<__uint128_t>(v.lo.limb[i]) + acc[i] + carry;
+    t.limb[i] = static_cast<std::uint64_t>(cur);
+    carry = cur >> 64;
+  }
+  // overflow = acc[4] + carry  (< 2^34): fold again via overflow * kC.
+  std::uint64_t overflow = acc[4] + static_cast<std::uint64_t>(carry);
+  while (overflow != 0) {
+    __uint128_t fold = static_cast<__uint128_t>(overflow) * kC;
+    carry = 0;
+    U256 t2;
+    for (std::size_t i = 0; i < 4; ++i) {
+      __uint128_t cur = static_cast<__uint128_t>(t.limb[i]) + carry +
+                        (i == 0 ? static_cast<std::uint64_t>(fold) : 0ULL) +
+                        (i == 1 ? static_cast<std::uint64_t>(fold >> 64) : 0ULL);
+      t2.limb[i] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    t = t2;
+    overflow = static_cast<std::uint64_t>(carry);
+  }
+  while (t >= kFieldP) {
+    std::uint64_t borrow;
+    t = sub(t, kFieldP, borrow);
+  }
+  return t;
+}
+
+}  // namespace
+
+U256 fp_add(const U256& a, const U256& b) { return addmod(a, b, kFieldP); }
+U256 fp_sub(const U256& a, const U256& b) { return submod(a, b, kFieldP); }
+U256 fp_mul(const U256& a, const U256& b) { return reduce512(mul_full(a, b)); }
+U256 fp_sqr(const U256& a) { return fp_mul(a, a); }
+
+U256 fp_inv(const U256& a) {
+  assert(!a.is_zero());
+  // Fermat: a^(p-2).  Uses the fast field multiply rather than generic mulmod.
+  std::uint64_t borrow;
+  const U256 exp = sub(kFieldP, U256(2), borrow);
+  U256 result(1);
+  U256 acc = a;
+  const int top = exp.highest_bit();
+  for (int i = 0; i <= top; ++i) {
+    if (exp.bit(i)) result = fp_mul(result, acc);
+    acc = fp_sqr(acc);
+  }
+  return result;
+}
+
+std::optional<U256> fp_sqrt(const U256& a) {
+  // p ≡ 3 (mod 4) ⇒ candidate root is a^((p+1)/4).
+  std::uint64_t carry;
+  U256 e = add(kFieldP, U256(1), carry);
+  (void)carry;  // p+1 < 2^256 here because p ends in ...fc2f
+  e = shr(e, 2);
+  U256 root(1);
+  U256 acc = a;
+  const int top = e.highest_bit();
+  for (int i = 0; i <= top; ++i) {
+    if (e.bit(i)) root = fp_mul(root, acc);
+    acc = fp_sqr(acc);
+  }
+  if (fp_sqr(root) == mod(U512{a, U256{}}, kFieldP)) return root;
+  return std::nullopt;
+}
+
+const Point& generator() {
+  static const Point g = [] {
+    Point p;
+    p.x = U256::from_hex("79be667ef9dcbbac55a06295ce870b07029bfcdb2dce28d959f2815b16f81798");
+    p.y = U256::from_hex("483ada7726a3c4655da4fbfc0e1108a8fd17b448a68554199c47d08ffb10d4b8");
+    p.infinity = false;
+    return p;
+  }();
+  return g;
+}
+
+bool is_on_curve(const Point& p) {
+  if (p.infinity) return true;
+  const U256 lhs = fp_sqr(p.y);
+  const U256 rhs = fp_add(fp_mul(fp_sqr(p.x), p.x), U256(7));
+  return lhs == rhs;
+}
+
+Point point_neg(const Point& a) {
+  if (a.infinity) return a;
+  Point r = a;
+  r.y = fp_sub(U256{}, a.y);
+  return r;
+}
+
+Point point_double(const Point& a) {
+  if (a.infinity || a.y.is_zero()) return Point{};  // 2*P with y=0 is infinity
+  // Affine doubling: s = 3x^2 / 2y; x' = s^2 - 2x; y' = s(x - x') - y.
+  const U256 three_x2 = fp_mul(U256(3), fp_sqr(a.x));
+  const U256 s = fp_mul(three_x2, fp_inv(fp_add(a.y, a.y)));
+  U256 x3 = fp_sub(fp_sqr(s), fp_add(a.x, a.x));
+  U256 y3 = fp_sub(fp_mul(s, fp_sub(a.x, x3)), a.y);
+  return Point{x3, y3, false};
+}
+
+Point point_add(const Point& a, const Point& b) {
+  if (a.infinity) return b;
+  if (b.infinity) return a;
+  if (a.x == b.x) {
+    if (a.y == b.y) return point_double(a);
+    return Point{};  // a + (-a) = infinity
+  }
+  const U256 s = fp_mul(fp_sub(b.y, a.y), fp_inv(fp_sub(b.x, a.x)));
+  U256 x3 = fp_sub(fp_sub(fp_sqr(s), a.x), b.x);
+  U256 y3 = fp_sub(fp_mul(s, fp_sub(a.x, x3)), a.y);
+  return Point{x3, y3, false};
+}
+
+Point point_mul(const U256& k, const Point& p) {
+  const U256 scalar = k >= kOrderN ? mod(U512{k, U256{}}, kOrderN) : k;
+  Point result;  // infinity
+  Point acc = p;
+  const int top = scalar.highest_bit();
+  for (int i = 0; i <= top; ++i) {
+    if (scalar.bit(i)) result = point_add(result, acc);
+    acc = point_double(acc);
+  }
+  return result;
+}
+
+Point point_mul_g(const U256& k) { return point_mul(k, generator()); }
+
+CompressedPoint compress(const Point& p) {
+  CompressedPoint out{};
+  if (p.infinity) return out;
+  out[0] = p.y.is_odd() ? 0x03 : 0x02;
+  const Hash256 xb = p.x.to_be_bytes();
+  for (int i = 0; i < 32; ++i) out[static_cast<std::size_t>(i + 1)] = xb.bytes[static_cast<std::size_t>(i)];
+  return out;
+}
+
+std::optional<Point> decompress(const CompressedPoint& c) {
+  if (c[0] == 0) {
+    for (auto b : c)
+      if (b != 0) return std::nullopt;
+    return Point{};  // infinity
+  }
+  if (c[0] != 0x02 && c[0] != 0x03) return std::nullopt;
+  Hash256 xb;
+  for (int i = 0; i < 32; ++i) xb.bytes[static_cast<std::size_t>(i)] = c[static_cast<std::size_t>(i + 1)];
+  const U256 x = U256::from_be_bytes(xb);
+  if (x >= kFieldP) return std::nullopt;
+  const U256 rhs = fp_add(fp_mul(fp_sqr(x), x), U256(7));
+  auto y = fp_sqrt(rhs);
+  if (!y) return std::nullopt;
+  U256 yv = *y;
+  if (yv.is_odd() != (c[0] == 0x03)) yv = fp_sub(U256{}, yv);
+  Point p{x, yv, false};
+  if (!is_on_curve(p)) return std::nullopt;
+  return p;
+}
+
+}  // namespace jenga::crypto

@@ -1,0 +1,216 @@
+#include "crypto/uint256.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "common/hex.hpp"
+
+namespace jenga::crypto {
+
+U256 U256::from_be_bytes(const Hash256& h) {
+  U256 v;
+  for (int i = 0; i < 4; ++i) {
+    std::uint64_t limb = 0;
+    for (int j = 0; j < 8; ++j)
+      limb = (limb << 8) | h.bytes[static_cast<std::size_t>(i * 8 + j)];
+    v.limb[static_cast<std::size_t>(3 - i)] = limb;
+  }
+  return v;
+}
+
+Hash256 U256::to_be_bytes() const {
+  Hash256 h;
+  for (int i = 0; i < 4; ++i) {
+    const std::uint64_t l = limb[static_cast<std::size_t>(3 - i)];
+    for (int j = 0; j < 8; ++j)
+      h.bytes[static_cast<std::size_t>(i * 8 + j)] = static_cast<std::uint8_t>(l >> (56 - 8 * j));
+  }
+  return h;
+}
+
+U256 U256::from_hex(std::string_view hex) {
+  std::string padded(hex.starts_with("0x") ? hex.substr(2) : hex);
+  assert(padded.size() <= 64);
+  padded.insert(0, 64 - padded.size(), '0');
+  auto bytes = jenga::from_hex(padded);
+  assert(bytes && bytes->size() == 32);
+  Hash256 h;
+  std::copy(bytes->begin(), bytes->end(), h.bytes.begin());
+  return from_be_bytes(h);
+}
+
+std::string U256::to_hex() const { return jenga::to_hex(to_be_bytes()); }
+
+int U256::highest_bit() const {
+  for (int i = 3; i >= 0; --i) {
+    if (limb[static_cast<std::size_t>(i)] != 0)
+      return i * 64 + 63 - __builtin_clzll(limb[static_cast<std::size_t>(i)]);
+  }
+  return -1;
+}
+
+U256 add(const U256& a, const U256& b, std::uint64_t& carry_out) {
+  U256 r;
+  __uint128_t carry = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    __uint128_t s = static_cast<__uint128_t>(a.limb[i]) + b.limb[i] + carry;
+    r.limb[i] = static_cast<std::uint64_t>(s);
+    carry = s >> 64;
+  }
+  carry_out = static_cast<std::uint64_t>(carry);
+  return r;
+}
+
+U256 sub(const U256& a, const U256& b, std::uint64_t& borrow_out) {
+  U256 r;
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    const std::uint64_t bi = b.limb[i];
+    const std::uint64_t t = a.limb[i] - bi;
+    const std::uint64_t borrow1 = a.limb[i] < bi;
+    r.limb[i] = t - borrow;
+    const std::uint64_t borrow2 = t < borrow;
+    borrow = borrow1 | borrow2;
+  }
+  borrow_out = borrow;
+  return r;
+}
+
+U512 mul_full(const U256& a, const U256& b) {
+  std::uint64_t acc[8]{};
+  for (std::size_t i = 0; i < 4; ++i) {
+    __uint128_t carry = 0;
+    for (std::size_t j = 0; j < 4; ++j) {
+      __uint128_t cur =
+          static_cast<__uint128_t>(a.limb[i]) * b.limb[j] + acc[i + j] + carry;
+      acc[i + j] = static_cast<std::uint64_t>(cur);
+      carry = cur >> 64;
+    }
+    acc[i + 4] += static_cast<std::uint64_t>(carry);
+  }
+  U512 r;
+  for (std::size_t i = 0; i < 4; ++i) {
+    r.lo.limb[i] = acc[i];
+    r.hi.limb[i] = acc[i + 4];
+  }
+  return r;
+}
+
+U256 shl(const U256& a, unsigned n) {
+  if (n >= 256) return U256{};
+  U256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (int i = 3; i >= 0; --i) {
+    auto idx = static_cast<std::size_t>(i);
+    std::uint64_t v = 0;
+    if (idx >= limb_shift) {
+      v = a.limb[idx - limb_shift] << bit_shift;
+      if (bit_shift != 0 && idx >= limb_shift + 1)
+        v |= a.limb[idx - limb_shift - 1] >> (64 - bit_shift);
+    }
+    r.limb[idx] = v;
+  }
+  return r;
+}
+
+U256 shr(const U256& a, unsigned n) {
+  if (n >= 256) return U256{};
+  U256 r;
+  const unsigned limb_shift = n / 64;
+  const unsigned bit_shift = n % 64;
+  for (std::size_t i = 0; i < 4; ++i) {
+    std::uint64_t v = 0;
+    if (i + limb_shift < 4) {
+      v = a.limb[i + limb_shift] >> bit_shift;
+      if (bit_shift != 0 && i + limb_shift + 1 < 4)
+        v |= a.limb[i + limb_shift + 1] << (64 - bit_shift);
+    }
+    r.limb[i] = v;
+  }
+  return r;
+}
+
+namespace {
+
+// 512-bit value as 8 little-endian limbs, for the generic reduction.
+struct Wide {
+  std::uint64_t limb[8]{};
+
+  [[nodiscard]] int highest_bit() const {
+    for (int i = 7; i >= 0; --i)
+      if (limb[i] != 0) return i * 64 + 63 - __builtin_clzll(limb[i]);
+    return -1;
+  }
+  [[nodiscard]] bool bit(int i) const { return (limb[i / 64] >> (i % 64)) & 1; }
+};
+
+}  // namespace
+
+U256 mod(const U512& a, const U256& m) {
+  assert(!m.is_zero());
+  Wide w;
+  for (std::size_t i = 0; i < 4; ++i) {
+    w.limb[i] = a.lo.limb[i];
+    w.limb[i + 4] = a.hi.limb[i];
+  }
+  // Binary long division: scan from the top bit, shifting the remainder left
+  // and conditionally subtracting the modulus.
+  U256 rem;
+  const int top = w.highest_bit();
+  for (int i = top; i >= 0; --i) {
+    // rem = rem * 2 + bit.  If rem's top bit was set, the shift conceptually
+    // overflows into a 257th bit; since m < 2^256 the overflowed value is
+    // certainly >= m, and a single wrap-around subtraction restores rem < m.
+    const bool overflow = rem.bit(255);
+    rem = shl(rem, 1);
+    if (w.bit(i)) rem.limb[0] |= 1;
+    if (overflow || rem >= m) {
+      std::uint64_t borrow;
+      rem = sub(rem, m, borrow);
+    }
+  }
+  return rem;
+}
+
+U256 addmod(const U256& a, const U256& b, const U256& m) {
+  std::uint64_t carry;
+  U256 s = add(a, b, carry);
+  if (carry != 0 || s >= m) {
+    std::uint64_t borrow;
+    s = sub(s, m, borrow);
+  }
+  return s;
+}
+
+U256 submod(const U256& a, const U256& b, const U256& m) {
+  std::uint64_t borrow;
+  U256 d = sub(a, b, borrow);
+  if (borrow != 0) {
+    std::uint64_t carry;
+    d = add(d, m, carry);
+  }
+  return d;
+}
+
+U256 mulmod(const U256& a, const U256& b, const U256& m) { return mod(mul_full(a, b), m); }
+
+U256 powmod(const U256& base, const U256& exp, const U256& m) {
+  U256 result(1);
+  U256 acc = base;
+  const int top = exp.highest_bit();
+  for (int i = 0; i <= top; ++i) {
+    if (exp.bit(i)) result = mulmod(result, acc, m);
+    acc = mulmod(acc, acc, m);
+  }
+  return result;
+}
+
+U256 invmod_prime(const U256& a, const U256& m) {
+  std::uint64_t borrow;
+  const U256 exp = sub(m, U256(2), borrow);
+  assert(borrow == 0);
+  return powmod(a, exp, m);
+}
+
+}  // namespace jenga::crypto

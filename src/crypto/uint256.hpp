@@ -1,0 +1,73 @@
+// 256-bit unsigned integer arithmetic.
+//
+// Backbone of the secp256k1 field/scalar implementation.  Limbs are stored
+// little-endian (limb[0] is least significant).  Not constant-time: this is
+// research/simulation code, not a hardened production signer.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <string>
+
+#include "common/types.hpp"
+
+namespace jenga::crypto {
+
+struct U256 {
+  std::array<std::uint64_t, 4> limb{};
+
+  constexpr U256() = default;
+  constexpr explicit U256(std::uint64_t v) : limb{v, 0, 0, 0} {}
+  constexpr U256(std::uint64_t l3, std::uint64_t l2, std::uint64_t l1, std::uint64_t l0)
+      : limb{l0, l1, l2, l3} {}  // most-significant-first constructor, matches hex literals
+
+  [[nodiscard]] static U256 from_be_bytes(const Hash256& h);
+  [[nodiscard]] Hash256 to_be_bytes() const;
+  [[nodiscard]] static U256 from_hex(std::string_view hex);
+  [[nodiscard]] std::string to_hex() const;
+
+  [[nodiscard]] bool is_zero() const {
+    return (limb[0] | limb[1] | limb[2] | limb[3]) == 0;
+  }
+  [[nodiscard]] bool bit(int i) const {
+    return (limb[static_cast<std::size_t>(i / 64)] >> (i % 64)) & 1;
+  }
+  /// Index of the highest set bit, or -1 for zero.
+  [[nodiscard]] int highest_bit() const;
+  [[nodiscard]] bool is_odd() const { return limb[0] & 1; }
+
+  std::strong_ordering operator<=>(const U256& o) const {
+    for (int i = 3; i >= 0; --i) {
+      auto idx = static_cast<std::size_t>(i);
+      if (limb[idx] != o.limb[idx]) return limb[idx] <=> o.limb[idx];
+    }
+    return std::strong_ordering::equal;
+  }
+  bool operator==(const U256&) const = default;
+};
+
+/// a + b; carry_out receives the final carry (0/1).
+U256 add(const U256& a, const U256& b, std::uint64_t& carry_out);
+/// a - b; borrow_out receives the final borrow (0/1).
+U256 sub(const U256& a, const U256& b, std::uint64_t& borrow_out);
+/// Full 512-bit product, returned as (lo, hi).
+struct U512 {
+  U256 lo;
+  U256 hi;
+};
+U512 mul_full(const U256& a, const U256& b);
+/// Logical shifts.
+U256 shl(const U256& a, unsigned n);
+U256 shr(const U256& a, unsigned n);
+
+/// Arbitrary-modulus arithmetic (schoolbook; used for scalar field mod n).
+U256 mod(const U512& a, const U256& m);
+U256 addmod(const U256& a, const U256& b, const U256& m);
+U256 submod(const U256& a, const U256& b, const U256& m);
+U256 mulmod(const U256& a, const U256& b, const U256& m);
+U256 powmod(const U256& base, const U256& exp, const U256& m);
+/// Modular inverse via Fermat (m must be prime, a != 0 mod m).
+U256 invmod_prime(const U256& a, const U256& m);
+
+}  // namespace jenga::crypto

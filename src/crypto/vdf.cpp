@@ -1,0 +1,61 @@
+#include "crypto/vdf.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace jenga::crypto {
+namespace {
+
+Hash256 step(const Hash256& h) { return sha256_tagged("jenga/vdf-step", std::span(h.bytes)); }
+
+Hash256 run_segment(Hash256 start, std::uint64_t steps) {
+  for (std::uint64_t i = 0; i < steps; ++i) start = step(start);
+  return start;
+}
+
+}  // namespace
+
+VdfProof vdf_evaluate(const Hash256& input, std::uint64_t iterations,
+                      std::size_t num_checkpoints) {
+  VdfProof proof;
+  proof.input = input;
+  proof.iterations = iterations;
+  if (num_checkpoints == 0 || iterations % num_checkpoints != 0) {
+    num_checkpoints = 1;
+  }
+  const std::uint64_t seg = iterations / num_checkpoints;
+  Hash256 cur = input;
+  for (std::size_t i = 0; i < num_checkpoints; ++i) {
+    cur = run_segment(cur, seg);
+    proof.checkpoints.push_back(cur);
+  }
+  proof.output = cur;
+  return proof;
+}
+
+bool vdf_verify_full(const VdfProof& proof) {
+  if (proof.checkpoints.empty()) return false;
+  if (proof.iterations % proof.checkpoints.size() != 0) return false;
+  const std::uint64_t seg = proof.iterations / proof.checkpoints.size();
+  Hash256 cur = proof.input;
+  for (const auto& cp : proof.checkpoints) {
+    cur = run_segment(cur, seg);
+    if (!(cur == cp)) return false;
+  }
+  return cur == proof.output;
+}
+
+bool vdf_verify_sampled(const VdfProof& proof, std::size_t samples, Rng& rng) {
+  if (proof.checkpoints.empty()) return false;
+  if (proof.iterations % proof.checkpoints.size() != 0) return false;
+  if (!(proof.checkpoints.back() == proof.output)) return false;
+  const std::uint64_t seg = proof.iterations / proof.checkpoints.size();
+  const std::size_t n = proof.checkpoints.size();
+  for (std::size_t i = 0; i < samples; ++i) {
+    const auto idx = static_cast<std::size_t>(rng.uniform(n));
+    const Hash256& start = idx == 0 ? proof.input : proof.checkpoints[idx - 1];
+    if (!(run_segment(start, seg) == proof.checkpoints[idx])) return false;
+  }
+  return true;
+}
+
+}  // namespace jenga::crypto

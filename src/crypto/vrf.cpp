@@ -1,0 +1,84 @@
+#include "crypto/vrf.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace jenga::crypto {
+namespace {
+
+U256 scalar_from(const Hash256& h) {
+  U256 v = U256::from_be_bytes(h);
+  if (v >= kOrderN) v = mod(U512{v, U256{}}, kOrderN);
+  if (v.is_zero()) v = U256(1);
+  return v;
+}
+
+U256 dleq_challenge(const Point& g, const Point& h, const Point& p, const Point& gamma,
+                    const Point& a, const Point& b) {
+  Sha256 hasher;
+  hasher.update("jenga/vrf-dleq");
+  for (const Point* pt : {&g, &h, &p, &gamma, &a, &b}) {
+    const auto c = compress(*pt);
+    hasher.update(std::span<const std::uint8_t>(c.data(), c.size()));
+  }
+  return scalar_from(hasher.finish());
+}
+
+}  // namespace
+
+Point hash_to_curve(std::span<const std::uint8_t> msg) {
+  for (std::uint64_t ctr = 0;; ++ctr) {
+    Sha256 h;
+    h.update("jenga/hash-to-curve");
+    h.update(msg);
+    h.update_u64(ctr);
+    U256 x = U256::from_be_bytes(h.finish());
+    if (x >= kFieldP) continue;
+    const U256 rhs = fp_add(fp_mul(fp_sqr(x), x), U256(7));
+    if (auto y = fp_sqrt(rhs)) {
+      // Canonicalize to the even-y root so the map is deterministic.
+      U256 yv = *y;
+      if (yv.is_odd()) yv = fp_sub(U256{}, yv);
+      Point p{x, yv, false};
+      if (is_on_curve(p) && !p.infinity) return p;
+    }
+  }
+}
+
+VrfOutput vrf_evaluate(const KeyPair& key, std::span<const std::uint8_t> msg) {
+  const Point h = hash_to_curve(msg);
+  VrfOutput out;
+  out.proof.gamma = point_mul(key.secret, h);
+
+  // Deterministic DLEQ nonce.
+  Sha256 nh;
+  nh.update("jenga/vrf-nonce");
+  nh.update(key.secret.to_be_bytes());
+  nh.update(msg);
+  const U256 k = scalar_from(nh.finish());
+
+  const Point a = point_mul_g(k);
+  const Point b = point_mul(k, h);
+  out.proof.c = dleq_challenge(generator(), h, key.public_key, out.proof.gamma, a, b);
+  // s = k - c·x mod n
+  out.proof.s = submod(k, mulmod(out.proof.c, key.secret, kOrderN), kOrderN);
+
+  const auto gc = compress(out.proof.gamma);
+  out.beta = sha256_tagged("jenga/vrf-beta", std::span<const std::uint8_t>(gc.data(), gc.size()));
+  return out;
+}
+
+std::optional<Hash256> vrf_verify(const Point& public_key, std::span<const std::uint8_t> msg,
+                                  const VrfProof& proof) {
+  if (proof.gamma.infinity || !is_on_curve(proof.gamma)) return std::nullopt;
+  if (public_key.infinity || !is_on_curve(public_key)) return std::nullopt;
+  const Point h = hash_to_curve(msg);
+  // Reconstruct commitments: A = sG + cP, B = sH + c·gamma.
+  const Point a = point_add(point_mul_g(proof.s), point_mul(proof.c, public_key));
+  const Point b = point_add(point_mul(proof.s, h), point_mul(proof.c, proof.gamma));
+  const U256 c = dleq_challenge(generator(), h, public_key, proof.gamma, a, b);
+  if (!(c == proof.c)) return std::nullopt;
+  const auto gc = compress(proof.gamma);
+  return sha256_tagged("jenga/vrf-beta", std::span<const std::uint8_t>(gc.data(), gc.size()));
+}
+
+}  // namespace jenga::crypto

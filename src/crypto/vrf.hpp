@@ -1,0 +1,39 @@
+// Verifiable Random Function (ECVRF-style) over secp256k1.
+//
+// Used by the epoch manager as the source of unbiased distributed randomness
+// that decides every node's (state shard, execution channel) assignment.
+// Construction: gamma = x·H2C(m); DLEQ proof that log_G(P) = log_H(gamma);
+// output beta = H(gamma).
+#pragma once
+
+#include <optional>
+#include <span>
+
+#include "common/types.hpp"
+#include "crypto/schnorr.hpp"
+#include "crypto/secp256k1.hpp"
+
+namespace jenga::crypto {
+
+/// Hash-to-curve via try-and-increment (x = H(m || ctr) until on curve).
+[[nodiscard]] Point hash_to_curve(std::span<const std::uint8_t> msg);
+
+struct VrfProof {
+  Point gamma;  // x · H2C(m)
+  U256 c;       // DLEQ challenge
+  U256 s;       // DLEQ response
+};
+
+struct VrfOutput {
+  Hash256 beta;
+  VrfProof proof;
+};
+
+[[nodiscard]] VrfOutput vrf_evaluate(const KeyPair& key, std::span<const std::uint8_t> msg);
+
+/// Verifies the proof and, on success, returns beta.
+[[nodiscard]] std::optional<Hash256> vrf_verify(const Point& public_key,
+                                                std::span<const std::uint8_t> msg,
+                                                const VrfProof& proof);
+
+}  // namespace jenga::crypto

@@ -1,0 +1,200 @@
+#include "harness/runner.hpp"
+
+#include <cstdlib>
+#include <memory>
+
+#include "baselines/cxfunc.hpp"
+#include "baselines/pyramid.hpp"
+#include "baselines/single_shard.hpp"
+#include "harness/genesis.hpp"
+
+namespace jenga::harness {
+
+const char* system_name(SystemKind kind) {
+  switch (kind) {
+    case SystemKind::kJenga: return "Jenga";
+    case SystemKind::kJengaNoLattice: return "Jenga w/o OLS";
+    case SystemKind::kJengaNoGlobalLogic: return "Jenga w/o NWLS";
+    case SystemKind::kCxFunc: return "CX Func";
+    case SystemKind::kSingleShard: return "Single Shard";
+    case SystemKind::kPyramid: return "Pyramid";
+  }
+  return "?";
+}
+
+std::uint32_t paper_nodes_per_shard(std::uint32_t num_shards) {
+  // Paper Table I.
+  switch (num_shards) {
+    case 4: return 180;
+    case 6: return 200;
+    case 8: return 210;
+    case 10: return 230;
+    case 12: return 240;
+    default: break;
+  }
+  if (num_shards < 4) return 180;
+  if (num_shards > 12) return 240;
+  return 180 + (num_shards - 4) * 8;  // smooth in-between
+}
+
+double bench_scale_from_env(double fallback) {
+  if (const char* s = std::getenv("JENGA_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+std::size_t bench_txs_from_env(std::size_t fallback) {
+  if (const char* s = std::getenv("JENGA_BENCH_TXS")) {
+    const long v = std::atol(s);
+    if (v > 0) return static_cast<std::size_t>(v);
+  }
+  return fallback;
+}
+
+namespace {
+
+std::uint32_t resolve_nodes_per_shard(const RunConfig& cfg) {
+  if (cfg.nodes_per_shard != 0) return cfg.nodes_per_shard;
+  auto k = static_cast<std::uint32_t>(paper_nodes_per_shard(cfg.num_shards) * cfg.scale);
+  k = std::max(cfg.num_shards, k - k % cfg.num_shards);  // integral subgroups
+  // BFT needs at least 4 members.
+  return std::max<std::uint32_t>(k, 4 + (4 % cfg.num_shards == 0 ? 0 : 0));
+}
+
+}  // namespace
+
+RunResult run_experiment(const RunConfig& config) {
+  const std::uint32_t k = resolve_nodes_per_shard(config);
+
+  workload::TraceGenerator gen(config.trace, Rng(config.seed ^ 0x7ACE));
+  sim::Simulator sim;
+  sim::Network net(sim, config.net, Rng(config.seed ^ 0x9E7));
+  const core::Genesis genesis = make_genesis(gen);
+
+  // The system under test, behind a uniform submit/metric facade.
+  std::unique_ptr<core::JengaSystem> jenga;
+  std::unique_ptr<baselines::BaselineSystem> baseline;
+  switch (config.kind) {
+    case SystemKind::kJenga:
+    case SystemKind::kJengaNoLattice:
+    case SystemKind::kJengaNoGlobalLogic: {
+      core::JengaConfig jc;
+      jc.num_shards = config.num_shards;
+      jc.nodes_per_shard = k;
+      jc.seed = config.seed;
+      jc.max_block_items = config.max_block_items;
+      jc.pipeline = config.kind == SystemKind::kJenga ? core::Pipeline::kFull
+                    : config.kind == SystemKind::kJengaNoLattice
+                        ? core::Pipeline::kNoLattice
+                        : core::Pipeline::kNoGlobalLogic;
+      jenga = std::make_unique<core::JengaSystem>(sim, net, jc, genesis);
+      break;
+    }
+    default: {
+      baselines::BaselineConfig bc;
+      bc.num_shards = config.num_shards;
+      bc.nodes_per_shard = k;
+      bc.seed = config.seed;
+      bc.max_block_items = config.max_block_items;
+      bc.cross_mode = config.cross_mode;
+      bc.merge_span =
+          config.merge_span != 0 ? config.merge_span : std::max(2u, config.num_shards / 4);
+      if (config.kind == SystemKind::kCxFunc) {
+        baseline = std::make_unique<baselines::CxFuncSystem>(sim, net, bc, genesis);
+      } else if (config.kind == SystemKind::kSingleShard) {
+        baseline = std::make_unique<baselines::SingleShardSystem>(sim, net, bc, genesis);
+      } else {
+        baseline = std::make_unique<baselines::PyramidSystem>(sim, net, bc, genesis);
+      }
+      break;
+    }
+  }
+  auto submit = [&](core::TxPtr tx) {
+    if (jenga) {
+      jenga->submit(std::move(tx));
+    } else {
+      baseline->submit(std::move(tx));
+    }
+  };
+  auto stats = [&]() -> const TxStats& { return jenga ? jenga->stats() : baseline->stats(); };
+
+  if (jenga) {
+    jenga->start();
+  } else {
+    baseline->start();
+  }
+
+  const std::size_t total = config.contract_txs + config.transfer_txs;
+  auto mix = std::make_shared<Rng>(config.seed ^ 0x317);
+  auto contracts_left = std::make_shared<std::size_t>(config.contract_txs);
+  auto transfers_left = std::make_shared<std::size_t>(config.transfer_txs);
+  auto submit_one = [&, mix, contracts_left, transfers_left] {
+    const bool pick_transfer =
+        *transfers_left > 0 && (*contracts_left == 0 ||
+                                mix->uniform(*contracts_left + *transfers_left) <
+                                    *transfers_left);
+    if (pick_transfer) {
+      --*transfers_left;
+    } else {
+      --*contracts_left;
+    }
+    auto tx = std::make_shared<ledger::Transaction>(
+        pick_transfer ? gen.transfer_tx(sim.now())
+                      : gen.contract_tx(config.trace_height, sim.now()));
+    submit(std::move(tx));
+  };
+
+  if (config.closed_loop_window > 0) {
+    // Closed loop: a pacer keeps `window` transactions outstanding.
+    auto pacer = std::make_shared<std::function<void()>>();
+    *pacer = [&, pacer, submit_one, total] {
+      const auto& s = stats();
+      const std::size_t completed = s.committed + s.aborted;
+      const std::size_t outstanding = s.submitted - completed;
+      std::size_t can = config.closed_loop_window > outstanding
+                            ? config.closed_loop_window - outstanding
+                            : 0;
+      while (can-- > 0 && s.submitted < total) submit_one();
+      if (stats().submitted < total ||
+          stats().committed + stats().aborted < total)
+        sim.schedule_after(200 * kMillisecond, [pacer] { (*pacer)(); });
+    };
+    sim.schedule_at(0, [pacer] { (*pacer)(); });
+  } else {
+    // Open-loop injection, uniform over the window.
+    for (std::size_t i = 0; i < total; ++i) {
+      const SimTime at =
+          total <= 1 ? 0
+                     : static_cast<SimTime>(static_cast<double>(config.inject_window) *
+                                            static_cast<double>(i) / static_cast<double>(total));
+      sim.schedule_at(at, submit_one);
+    }
+  }
+
+  // Run in slices; stop as soon as every submission completed.
+  const SimTime slice = 10 * kSecond;
+  SimTime now = 0;
+  while (now < config.max_sim_time) {
+    now += slice;
+    sim.run_until(now);
+    const auto& s = stats();
+    if (s.submitted == total && s.committed + s.aborted == total) break;
+  }
+
+  RunResult result;
+  result.stats = stats();
+  result.traffic = net.stats();
+  result.storage = jenga ? jenga->storage_report() : baseline->storage_report();
+  result.tps = result.stats.tps();
+  result.latency_s = result.stats.avg_latency_seconds();
+  result.cross_ratio = result.traffic.cross_shard_message_ratio();
+  result.sim_events = sim.events_processed();
+  result.sim_end = sim.now();
+  result.nodes_per_shard = k;
+  result.total_nodes = k * config.num_shards;
+  return result;
+}
+
+}  // namespace jenga::harness

@@ -1,0 +1,73 @@
+// Experiment runner: builds a system under test, replays a synthetic trace
+// through it, and extracts the metrics the paper's evaluation reports.
+#pragma once
+
+#include <string>
+
+#include "baselines/baseline_base.hpp"
+#include "core/jenga_system.hpp"
+#include "workload/trace.hpp"
+
+namespace jenga::harness {
+
+enum class SystemKind : std::uint8_t {
+  kJenga = 0,
+  kJengaNoLattice,      // ablation: w/o Orthogonal Lattice Structure
+  kJengaNoGlobalLogic,  // ablation: w/o Network-Wide Logic Storage
+  kCxFunc,
+  kSingleShard,
+  kPyramid,
+};
+
+[[nodiscard]] const char* system_name(SystemKind kind);
+
+/// Paper Table I nodes-per-shard for S ∈ {4,6,8,10,12}; other S interpolate.
+[[nodiscard]] std::uint32_t paper_nodes_per_shard(std::uint32_t num_shards);
+
+struct RunConfig {
+  SystemKind kind = SystemKind::kJenga;
+  std::uint32_t num_shards = 4;
+  /// 0 = paper Table I size scaled by `scale`, rounded down to a multiple of
+  /// the shard count (the lattice needs integral subgroups).
+  std::uint32_t nodes_per_shard = 0;
+  double scale = 0.25;
+  std::uint64_t seed = 1;
+
+  std::size_t contract_txs = 2000;
+  std::size_t transfer_txs = 0;
+  SimTime inject_window = 20 * kSecond;
+  /// > 0: closed-loop injection — keep this many transactions outstanding
+  /// (bounded backlog, as a load generator against a real testbed would),
+  /// ignoring inject_window.  0: open-loop uniform over the window.
+  std::size_t closed_loop_window = 0;
+  SimTime max_sim_time = 1200 * kSecond;
+  std::uint64_t trace_height = 1'000'000;  // workload maturity (Fig. 3 trends)
+
+  workload::TraceConfig trace;  // num_contracts/num_accounts defaults apply
+  baselines::CrossShardMode cross_mode = baselines::CrossShardMode::kClientRelay;
+  std::uint32_t merge_span = 0;  // Pyramid; 0 = max(2, S/2)
+  std::uint32_t max_block_items = 4096;
+  sim::NetConfig net;
+};
+
+struct RunResult {
+  TxStats stats;
+  sim::TrafficStats traffic;
+  StorageReport storage;
+  double tps = 0;
+  double latency_s = 0;
+  double cross_ratio = 0;
+  std::uint64_t sim_events = 0;
+  SimTime sim_end = 0;
+  std::uint32_t nodes_per_shard = 0;
+  std::uint32_t total_nodes = 0;
+};
+
+[[nodiscard]] RunResult run_experiment(const RunConfig& config);
+
+/// Environment override: JENGA_BENCH_SCALE (e.g. "1.0" for paper-size
+/// committees) and JENGA_BENCH_TXS multiply the defaults.
+[[nodiscard]] double bench_scale_from_env(double fallback);
+[[nodiscard]] std::size_t bench_txs_from_env(std::size_t fallback);
+
+}  // namespace jenga::harness

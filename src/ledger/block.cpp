@@ -1,0 +1,63 @@
+#include "ledger/block.hpp"
+
+#include "common/codec.hpp"
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+
+namespace jenga::ledger {
+
+Hash256 BlockHeader::id() const {
+  Writer w;
+  w.id(shard);
+  w.u64(height);
+  w.hash(previous);
+  w.hash(tx_root);
+  w.i64(timestamp);
+  w.u32(tx_count);
+  return crypto::sha256_tagged("jenga/block", w.data());
+}
+
+Block build_block(ShardId shard, BlockHeight height, const Hash256& previous,
+                  std::vector<Hash256> tx_hashes, std::uint64_t body_bytes, SimTime timestamp) {
+  Block b;
+  b.header.shard = shard;
+  b.header.height = height;
+  b.header.previous = previous;
+  b.header.tx_root = crypto::merkle_root(tx_hashes);
+  b.header.timestamp = timestamp;
+  b.header.tx_count = static_cast<std::uint32_t>(tx_hashes.size());
+  b.tx_hashes = std::move(tx_hashes);
+  b.body_bytes = body_bytes;
+  return b;
+}
+
+bool Chain::append(Block block) {
+  if (block.header.shard != shard_) return false;
+  if (block.header.height != blocks_.size()) return false;
+  if (!(block.header.previous == tip_hash())) return false;
+  if (block.header.tx_count != block.tx_hashes.size()) return false;
+  if (!(block.header.tx_root == crypto::merkle_root(block.tx_hashes))) return false;
+  total_bytes_ += block.total_bytes();
+  total_txs_ += block.tx_hashes.size();
+  blocks_.push_back(std::move(block));
+  return true;
+}
+
+Hash256 Chain::tip_hash() const {
+  if (blocks_.empty()) return crypto::sha256("jenga/genesis");
+  return blocks_.back().header.id();
+}
+
+bool Chain::verify() const {
+  Hash256 prev = crypto::sha256("jenga/genesis");
+  for (BlockHeight h = 0; h < blocks_.size(); ++h) {
+    const Block& b = blocks_[h];
+    if (b.header.height != h) return false;
+    if (!(b.header.previous == prev)) return false;
+    if (!(b.header.tx_root == crypto::merkle_root(b.tx_hashes))) return false;
+    prev = b.header.id();
+  }
+  return true;
+}
+
+}  // namespace jenga::ledger

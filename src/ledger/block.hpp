@@ -1,0 +1,63 @@
+// Blocks and per-shard chains.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jenga::ledger {
+
+struct BlockHeader {
+  ShardId shard{};
+  BlockHeight height = 0;
+  Hash256 previous;
+  Hash256 tx_root;     // Merkle root over the committed tx hashes
+  SimTime timestamp = 0;
+  std::uint32_t tx_count = 0;
+
+  [[nodiscard]] Hash256 id() const;
+};
+
+struct Block {
+  BlockHeader header;
+  std::vector<Hash256> tx_hashes;
+  std::uint64_t body_bytes = 0;  // Σ tx wire sizes
+
+  [[nodiscard]] std::uint64_t total_bytes() const { return kHeaderBytes + body_bytes; }
+
+  static constexpr std::uint64_t kHeaderBytes = 128;
+};
+
+/// Builds a block over the given transactions and links it to `previous`.
+[[nodiscard]] Block build_block(ShardId shard, BlockHeight height, const Hash256& previous,
+                                std::vector<Hash256> tx_hashes, std::uint64_t body_bytes,
+                                SimTime timestamp);
+
+/// Append-only chain for one shard with linkage verification.
+class Chain {
+ public:
+  explicit Chain(ShardId shard) : shard_(shard) {}
+
+  /// Appends if the block correctly extends the tip; returns false otherwise.
+  bool append(Block block);
+
+  [[nodiscard]] BlockHeight height() const { return blocks_.size(); }
+  [[nodiscard]] const Block* tip() const { return blocks_.empty() ? nullptr : &blocks_.back(); }
+  [[nodiscard]] Hash256 tip_hash() const;
+  [[nodiscard]] const Block& at(BlockHeight h) const { return blocks_.at(h); }
+  [[nodiscard]] std::uint64_t total_bytes() const { return total_bytes_; }
+  [[nodiscard]] std::uint64_t total_txs() const { return total_txs_; }
+  [[nodiscard]] ShardId shard() const { return shard_; }
+
+  /// Re-validates the whole chain's hash linkage (test/audit helper).
+  [[nodiscard]] bool verify() const;
+
+ private:
+  ShardId shard_;
+  std::vector<Block> blocks_;
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t total_txs_ = 0;
+};
+
+}  // namespace jenga::ledger

@@ -1,0 +1,37 @@
+#include "ledger/locks.hpp"
+
+namespace jenga::ledger {
+
+bool LockManager::lock_contract(ContractId id, const Hash256& owner) {
+  const auto [it, inserted] = contract_locks_.try_emplace(id, owner);
+  return inserted || it->second == owner;
+}
+
+bool LockManager::lock_account(AccountId id, const Hash256& owner) {
+  const auto [it, inserted] = account_locks_.try_emplace(id, owner);
+  return inserted || it->second == owner;
+}
+
+bool LockManager::unlock_contract(ContractId id, const Hash256& owner) {
+  const auto it = contract_locks_.find(id);
+  if (it == contract_locks_.end() || !(it->second == owner)) return false;
+  contract_locks_.erase(it);
+  return true;
+}
+
+bool LockManager::unlock_account(AccountId id, const Hash256& owner) {
+  const auto it = account_locks_.find(id);
+  if (it == account_locks_.end() || !(it->second == owner)) return false;
+  account_locks_.erase(it);
+  return true;
+}
+
+bool LockManager::contract_locked(ContractId id) const { return contract_locks_.contains(id); }
+bool LockManager::account_locked(AccountId id) const { return account_locks_.contains(id); }
+
+const Hash256* LockManager::contract_owner(ContractId id) const {
+  const auto it = contract_locks_.find(id);
+  return it == contract_locks_.end() ? nullptr : &it->second;
+}
+
+}  // namespace jenga::ledger

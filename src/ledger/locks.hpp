@@ -1,0 +1,41 @@
+// State locking for cross-shard transactions.
+//
+// Phase 1 of Jenga's cross-shard consensus marks every state a transaction
+// needs as unavailable ("locked") until Phase 3 commits or aborts it.  Locks
+// are owned by a transaction hash; a second transaction touching the same
+// contract/account must wait (or abort), which is exactly the contention the
+// 2PC-style protocol needs to stay atomic.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/types.hpp"
+
+namespace jenga::ledger {
+
+class LockManager {
+ public:
+  /// Acquires the lock for `owner` (idempotent re-acquire by the same owner).
+  /// Returns false if a different transaction holds it.
+  bool lock_contract(ContractId id, const Hash256& owner);
+  bool lock_account(AccountId id, const Hash256& owner);
+
+  /// Releases only if `owner` holds the lock; returns whether released.
+  bool unlock_contract(ContractId id, const Hash256& owner);
+  bool unlock_account(AccountId id, const Hash256& owner);
+
+  [[nodiscard]] bool contract_locked(ContractId id) const;
+  [[nodiscard]] bool account_locked(AccountId id) const;
+  [[nodiscard]] const Hash256* contract_owner(ContractId id) const;
+
+  [[nodiscard]] std::size_t held_locks() const {
+    return contract_locks_.size() + account_locks_.size();
+  }
+
+ private:
+  std::unordered_map<ContractId, Hash256> contract_locks_;
+  std::unordered_map<AccountId, Hash256> account_locks_;
+};
+
+}  // namespace jenga::ledger

@@ -1,0 +1,30 @@
+// Deterministic placement rules shared by Jenga and all baselines.
+//
+// Contract/account states live on the shard selected by their id hash
+// (paper §V-A: "the states of a certain contract is randomly (e.g., based on
+// hash) stored to a shard").  In Jenga the *execution* site is instead
+// chosen by the transaction hash (§V-B), balancing channel load regardless
+// of which contracts are hot.
+#pragma once
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace jenga::ledger {
+
+[[nodiscard]] inline ShardId shard_of_contract(ContractId c, std::uint32_t num_shards) {
+  std::uint64_t s = c.value ^ 0xC0117AC7ULL;
+  return ShardId{static_cast<std::uint32_t>(splitmix64(s) % num_shards)};
+}
+
+[[nodiscard]] inline ShardId shard_of_account(AccountId a, std::uint32_t num_shards) {
+  std::uint64_t s = a.value ^ 0xACC0117ULL;
+  return ShardId{static_cast<std::uint32_t>(splitmix64(s) % num_shards)};
+}
+
+/// Jenga: the execution channel for ALL contracts in a transaction.
+[[nodiscard]] inline ChannelId channel_of_tx(const Hash256& tx_hash, std::uint32_t num_shards) {
+  return ChannelId{static_cast<std::uint32_t>(tx_hash.prefix_u64() % num_shards)};
+}
+
+}  // namespace jenga::ledger

@@ -1,0 +1,57 @@
+#include "ledger/portable_state.hpp"
+
+namespace jenga::ledger {
+
+void PortableState::merge(const PortableState& other) {
+  for (const auto& [id, st] : other.contracts) contracts[id] = st;
+  for (const auto& [id, bal] : other.balances) balances[id] = bal;
+}
+
+std::uint32_t PortableState::wire_size() const {
+  std::uint64_t n = 16;
+  for (const auto& [id, st] : contracts) n += 16 + 16 * st.size();
+  n += 16 * balances.size();
+  return static_cast<std::uint32_t>(n);
+}
+
+std::uint64_t PortableState::total_balance() const {
+  std::uint64_t sum = 0;
+  for (const auto& [id, bal] : balances) sum += bal;
+  return sum;
+}
+
+std::optional<std::uint64_t> PortableStateView::sload(ContractId contract, std::uint64_t key) {
+  const auto it = state_.contracts.find(contract);
+  if (it == state_.contracts.end()) return std::nullopt;  // undeclared contract
+  const auto kv = it->second.find(key);
+  return kv == it->second.end() ? 0 : kv->second;  // absent key reads as 0
+}
+
+bool PortableStateView::sstore(ContractId contract, std::uint64_t key, std::uint64_t value) {
+  const auto it = state_.contracts.find(contract);
+  if (it == state_.contracts.end()) return false;
+  it->second[key] = value;
+  return true;
+}
+
+std::optional<std::uint64_t> PortableStateView::balance(AccountId account) {
+  const auto it = state_.balances.find(account);
+  if (it == state_.balances.end()) return std::nullopt;
+  return it->second;
+}
+
+bool PortableStateView::credit(AccountId account, std::uint64_t amount) {
+  const auto it = state_.balances.find(account);
+  if (it == state_.balances.end()) return false;
+  it->second += amount;
+  return true;
+}
+
+bool PortableStateView::debit(AccountId account, std::uint64_t amount) {
+  const auto it = state_.balances.find(account);
+  if (it == state_.balances.end() || it->second < amount) return false;
+  it->second -= amount;
+  return true;
+}
+
+}  // namespace jenga::ledger

@@ -1,0 +1,60 @@
+// PortableState: the bundle of contract states and account balances that
+// travels between state shards and the execution site.
+//
+// In Jenga's Phase 1, each state shard ships the locked states it owns into
+// the execution channel; the channel executes against the union of those
+// bundles and ships the updated bundle back in Phase 2.  The same type backs
+// the baselines' state movement (Single Shard's state transfer, CX Func's
+// intermediate results).
+//
+// PortableStateView adapts a bundle to the VM's StateView and doubles as the
+// declared-access enforcer: only states present in the bundle are visible,
+// so a client that mis-declared its access set triggers kUndeclaredAccess
+// during execution — the paper's abort-and-charge-fee path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "common/types.hpp"
+#include "ledger/state_store.hpp"
+#include "vm/state_view.hpp"
+
+namespace jenga::ledger {
+
+struct PortableState {
+  std::map<ContractId, ContractState> contracts;
+  std::map<AccountId, std::uint64_t> balances;
+
+  /// Merges another bundle in (used by the execution site as grants arrive).
+  void merge(const PortableState& other);
+
+  [[nodiscard]] bool empty() const { return contracts.empty() && balances.empty(); }
+
+  /// Wire size for the bandwidth model.
+  [[nodiscard]] std::uint32_t wire_size() const;
+
+  [[nodiscard]] std::uint64_t total_balance() const;
+};
+
+class PortableStateView final : public vm::StateView {
+ public:
+  explicit PortableStateView(PortableState initial) : state_(std::move(initial)) {}
+
+  [[nodiscard]] std::optional<std::uint64_t> sload(ContractId contract,
+                                                   std::uint64_t key) override;
+  bool sstore(ContractId contract, std::uint64_t key, std::uint64_t value) override;
+  [[nodiscard]] std::optional<std::uint64_t> balance(AccountId account) override;
+  bool credit(AccountId account, std::uint64_t amount) override;
+  bool debit(AccountId account, std::uint64_t amount) override;
+
+  /// The (possibly modified) bundle; callers take it on success, drop it on
+  /// abort — the rollback is simply never applying the copy.
+  [[nodiscard]] const PortableState& state() const { return state_; }
+  [[nodiscard]] PortableState take() { return std::move(state_); }
+
+ private:
+  PortableState state_;
+};
+
+}  // namespace jenga::ledger

@@ -1,0 +1,67 @@
+#include "ledger/state_store.hpp"
+
+namespace jenga::ledger {
+
+void StateStore::create_account(AccountId id, std::uint64_t balance) {
+  balances_[id] = balance;
+}
+
+bool StateStore::has_account(AccountId id) const { return balances_.contains(id); }
+
+std::optional<std::uint64_t> StateStore::balance(AccountId id) const {
+  const auto it = balances_.find(id);
+  if (it == balances_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool StateStore::set_balance(AccountId id, std::uint64_t balance) {
+  const auto it = balances_.find(id);
+  if (it == balances_.end()) return false;
+  it->second = balance;
+  return true;
+}
+
+std::uint64_t StateStore::total_balance() const {
+  std::uint64_t sum = 0;
+  for (const auto& [id, bal] : balances_) sum += bal;
+  return sum;
+}
+
+void StateStore::create_contract_state(ContractId id, ContractState initial) {
+  contract_states_[id] = std::move(initial);
+}
+
+bool StateStore::has_contract_state(ContractId id) const {
+  return contract_states_.contains(id);
+}
+
+const ContractState* StateStore::contract_state(ContractId id) const {
+  const auto it = contract_states_.find(id);
+  return it == contract_states_.end() ? nullptr : &it->second;
+}
+
+bool StateStore::set_contract_state(ContractId id, ContractState state) {
+  const auto it = contract_states_.find(id);
+  if (it == contract_states_.end()) return false;
+  it->second = std::move(state);
+  return true;
+}
+
+std::uint64_t StateStore::state_storage_bytes() const {
+  std::uint64_t n = kAccountStateBytes * balances_.size();
+  for (const auto& [id, st] : contract_states_) n += contract_state_bytes(st);
+  return n;
+}
+
+void LogicStore::add(std::shared_ptr<const vm::ContractLogic> logic) {
+  if (!logic) return;
+  const auto [it, inserted] = logics_.try_emplace(logic->id, logic);
+  if (inserted) logic_bytes_ += logic->code_size_bytes();
+}
+
+const vm::ContractLogic* LogicStore::get(ContractId id) const {
+  const auto it = logics_.find(id);
+  return it == logics_.end() ? nullptr : it->second.get();
+}
+
+}  // namespace jenga::ledger

@@ -1,0 +1,70 @@
+// Per-shard state storage: account balances and contract key-value states,
+// plus the logic store (which, in Jenga, every node replicates).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "vm/bytecode.hpp"
+
+namespace jenga::ledger {
+
+/// One contract's full state: the unit that Phase 1 locks and ships.
+using ContractState = std::map<std::uint64_t, std::uint64_t>;
+
+/// Storage model constants (DESIGN.md §5).
+inline constexpr std::uint64_t kAccountStateBytes = 128;
+inline constexpr std::uint64_t kStateEntryBytes = 64;
+inline constexpr std::uint64_t kContractStateOverheadBytes = 256;
+
+[[nodiscard]] inline std::uint64_t contract_state_bytes(const ContractState& st) {
+  return kContractStateOverheadBytes + kStateEntryBytes * st.size();
+}
+
+class StateStore {
+ public:
+  // --- accounts ---
+  void create_account(AccountId id, std::uint64_t balance);
+  [[nodiscard]] bool has_account(AccountId id) const;
+  [[nodiscard]] std::optional<std::uint64_t> balance(AccountId id) const;
+  bool set_balance(AccountId id, std::uint64_t balance);
+  [[nodiscard]] std::size_t account_count() const { return balances_.size(); }
+  /// Sum of all balances (conservation checks in tests).
+  [[nodiscard]] std::uint64_t total_balance() const;
+
+  // --- contract state ---
+  void create_contract_state(ContractId id, ContractState initial);
+  [[nodiscard]] bool has_contract_state(ContractId id) const;
+  [[nodiscard]] const ContractState* contract_state(ContractId id) const;
+  bool set_contract_state(ContractId id, ContractState state);
+  [[nodiscard]] std::size_t contract_count() const { return contract_states_.size(); }
+
+  // --- storage accounting ---
+  [[nodiscard]] std::uint64_t state_storage_bytes() const;
+
+ private:
+  std::unordered_map<AccountId, std::uint64_t> balances_;
+  std::unordered_map<ContractId, ContractState> contract_states_;
+};
+
+/// Contract logic store.  In Jenga every node holds all logic; in CX Func a
+/// node only holds its shard's share; in Pyramid the merged span.
+class LogicStore {
+ public:
+  void add(std::shared_ptr<const vm::ContractLogic> logic);
+  [[nodiscard]] const vm::ContractLogic* get(ContractId id) const;
+  [[nodiscard]] bool has(ContractId id) const { return get(id) != nullptr; }
+  [[nodiscard]] std::size_t size() const { return logics_.size(); }
+  [[nodiscard]] std::uint64_t logic_storage_bytes() const { return logic_bytes_; }
+
+ private:
+  std::unordered_map<ContractId, std::shared_ptr<const vm::ContractLogic>> logics_;
+  std::uint64_t logic_bytes_ = 0;
+};
+
+}  // namespace jenga::ledger

@@ -1,0 +1,69 @@
+// Transactions: fund transfers, contract deployments, and contract calls.
+//
+// A contract-call transaction carries its *declared* access set (ordered
+// contract slots, touched accounts) and the call chain over those slots —
+// the paper's client-side "dynamic program analysis" output (§V-C).  The
+// per-contract state a transaction needs is locked and shipped at the
+// granularity of whole contract states, as in the paper's Phase 1.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/interpreter.hpp"
+
+namespace jenga::ledger {
+
+enum class TxKind : std::uint8_t { kTransfer = 0, kDeploy = 1, kContractCall = 2 };
+
+struct Transaction {
+  TxKind kind = TxKind::kTransfer;
+  Hash256 hash;  // filled by finalize()
+  AccountId sender{};
+  std::uint64_t fee = 0;
+  std::uint64_t gas_limit = 1'000'000;
+  SimTime created_at = 0;
+
+  // kTransfer
+  AccountId to{};
+  std::uint64_t amount = 0;
+
+  // kDeploy: logic replicated network-wide in Jenga; state placed on a shard.
+  std::shared_ptr<const vm::ContractLogic> logic;
+  std::uint64_t initial_state_entries = 0;
+
+  // kContractCall: declared access set + call chain.
+  std::vector<ContractId> contracts;   // slot i ↦ contracts[i]
+  std::vector<AccountId> accounts;     // accounts whose balances may be touched
+  std::vector<vm::CallStep> steps;     // executed in order; each step is one
+                                       // "intermediate step" in the paper's sense
+
+  /// Serialized wire size (every tx is charged at least the paper's 512 B).
+  [[nodiscard]] std::uint32_t wire_size() const;
+
+  /// Computes and stores the canonical hash; must be called after all fields
+  /// are set.  The hash decides the execution channel (Jenga) and is the
+  /// system-wide identity of the transaction.
+  void finalize();
+
+  /// Number of distinct contracts the call chain touches.
+  [[nodiscard]] std::size_t distinct_contracts() const { return contracts.size(); }
+  /// Number of intermediate steps (Fig. 3c's metric).
+  [[nodiscard]] std::size_t step_count() const { return steps.size(); }
+};
+
+/// Builders keep test/bench code terse and always-finalized.
+[[nodiscard]] Transaction make_transfer(AccountId from, AccountId to, std::uint64_t amount,
+                                        std::uint64_t fee, SimTime at);
+[[nodiscard]] Transaction make_deploy(AccountId sender,
+                                      std::shared_ptr<const vm::ContractLogic> logic,
+                                      std::uint64_t initial_state_entries, std::uint64_t fee,
+                                      SimTime at);
+
+/// Paper's evaluation setting: each transaction is charged as 512 bytes.
+inline constexpr std::uint32_t kTxWireBytes = 512;
+
+}  // namespace jenga::ledger

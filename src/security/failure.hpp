@@ -1,0 +1,48 @@
+// Epoch failure-probability analysis (paper §VI, Eq. 1–3) and the shard-size
+// chooser behind Table I.
+//
+// Randomly assigning N nodes (fN Byzantine) into shards of size k is
+// sampling without replacement, so the number of Byzantine nodes per shard
+// is hypergeometric.  A shard fails when ≥ ⌊k/3⌋ of its members are
+// Byzantine (BFT resilience); a subgroup of size j fails only when *all* j
+// members are Byzantine, because one honest member suffices to relay
+// certified results between a state shard and an execution channel.
+#pragma once
+
+#include <cstdint>
+
+namespace jenga::security {
+
+/// log C(n, k); -inf when k > n or k < 0.
+[[nodiscard]] double log_choose(std::uint64_t n, std::uint64_t k);
+
+/// P[X >= x_min] where X ~ Hypergeometric(N, K, n): n draws from a population
+/// of N containing K marked items.
+[[nodiscard]] double hypergeometric_tail(std::uint64_t population, std::uint64_t marked,
+                                         std::uint64_t draws, std::uint64_t x_min);
+
+/// Eq. 1: probability a shard of size k drawn from N nodes (fraction f
+/// Byzantine) has at least ⌊k/3⌋ Byzantine members.
+[[nodiscard]] double shard_failure_probability(std::uint64_t total_nodes, double byzantine_fraction,
+                                               std::uint64_t shard_size);
+
+/// Eq. 2: probability a subgroup of size j drawn from a shard of size k
+/// (worst case: ⌊k/3⌋ Byzantine members) is entirely Byzantine.
+[[nodiscard]] double subgroup_failure_probability(std::uint64_t shard_size,
+                                                  std::uint64_t subgroup_size);
+
+/// Eq. 3: p_system = 2S·p_shard + S²·p_subgroup, with k = N/S and j = k/S.
+[[nodiscard]] double system_failure_probability(std::uint64_t total_nodes, std::uint32_t num_shards,
+                                                double byzantine_fraction);
+
+/// Paper's acceptance threshold: 2^-17 ≈ 7.6e-6 (one failure in ~359 years of
+/// daily reshuffles).
+inline constexpr double kFailureTarget = 7.62939453125e-06;
+
+/// Smallest shard size k (multiple of S, so subgroups are integral) whose
+/// system failure probability is below `target`.  Returns 0 if none ≤ max_k.
+[[nodiscard]] std::uint64_t choose_shard_size(std::uint32_t num_shards, double byzantine_fraction,
+                                              double target = kFailureTarget,
+                                              std::uint64_t max_k = 4096);
+
+}  // namespace jenga::security

@@ -1,0 +1,74 @@
+// Message taxonomy for the simulated P2P network.
+//
+// Payloads are shared immutable objects: a broadcast to 200 peers shares one
+// allocation.  The wire size is charged explicitly (`size_bytes`) so the
+// bandwidth model stays faithful even though payloads are never serialized
+// inside the simulator.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "common/types.hpp"
+
+namespace jenga::sim {
+
+enum class MsgType : std::uint16_t {
+  // Client traffic
+  kClientTx = 1,
+
+  // Intra-group BFT consensus (linear PBFT with aggregated certificates)
+  kBftPrePrepare = 10,
+  kBftPrepareVote = 11,
+  kBftPreparedCert = 12,
+  kBftCommitVote = 13,
+  kBftCommitCert = 14,
+  kBftViewChange = 15,
+  kBftNewView = 16,
+
+  // Jenga cross-shard protocol (travels via subgroup members, §V-C)
+  kStateGrant = 30,      // state shard -> execution channel (state + lock proof)
+  kAbortRequest = 31,    // state shard -> execution channel (state unavailable)
+  kExecResult = 32,      // execution channel -> state shards (state updates)
+  kExecAbort = 33,       // execution channel -> state shards (abort)
+
+  // Baseline cross-shard traffic
+  kSubTxResult = 40,     // CX Func: intermediate result hand-off between shards
+  kStateMove = 41,       // Single Shard: account state in/out of the contract shard
+  kMergedCommit = 42,    // Pyramid: cross-shard commit round after merged execution
+  kTwoPcPrepare = 43,    // transfer txs: classic 2PC prepare
+  kTwoPcCommit = 44,     // transfer txs: classic 2PC commit
+};
+
+/// Base class for all payloads; concrete types live with their protocols.
+struct Payload {
+  virtual ~Payload() = default;
+};
+
+struct Message {
+  MsgType type{};
+  NodeId from{};
+  std::uint32_t size_bytes = 0;
+  std::shared_ptr<const Payload> payload;
+};
+
+/// Typed payload access.  The caller must know the concrete type from
+/// `Message::type`; mismatches abort loudly (protocol bug, not runtime input).
+template <typename T>
+const T& payload_as(const Message& m) {
+  const T* p = dynamic_cast<const T*>(m.payload.get());
+  if (p == nullptr) __builtin_trap();
+  return *p;
+}
+
+template <typename T, typename... Args>
+Message make_message(MsgType type, NodeId from, std::uint32_t size_bytes, Args&&... args) {
+  Message m;
+  m.type = type;
+  m.from = from;
+  m.size_bytes = size_bytes;
+  m.payload = std::make_shared<const T>(std::forward<Args>(args)...);
+  return m;
+}
+
+}  // namespace jenga::sim

@@ -1,0 +1,136 @@
+#include "simnet/network.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace jenga::sim {
+
+void Network::register_node(NodeId id, Handler handler) {
+  if (handlers_.size() <= id.value) {
+    handlers_.resize(id.value + 1);
+    egress_busy_until_.resize(id.value + 1, 0);
+    down_.resize(id.value + 1, false);
+  }
+  handlers_[id.value] = std::move(handler);
+}
+
+SimTime Network::serialization_delay(std::uint32_t bytes) const {
+  if (!config_.model_bandwidth || config_.bandwidth_bps <= 0) return 0;
+  const double seconds = static_cast<double>(bytes) * 8.0 / config_.bandwidth_bps;
+  return static_cast<SimTime>(seconds * static_cast<double>(kSecond));
+}
+
+SimTime Network::jitter() {
+  if (config_.jitter_max <= 0) return 0;
+  return static_cast<SimTime>(rng_.uniform(static_cast<std::uint64_t>(config_.jitter_max)));
+}
+
+SimTime Network::reserve_egress(NodeId from, std::uint32_t bytes) {
+  assert(from.value < egress_busy_until_.size());
+  const SimTime start = std::max(sim_.now(), egress_busy_until_[from.value]);
+  const SimTime departure = start + serialization_delay(bytes);
+  egress_busy_until_[from.value] = departure;
+  return departure;
+}
+
+void Network::deliver_at(SimTime when, NodeId to, Message msg) {
+  if (to.value >= handlers_.size() || !handlers_[to.value]) return;
+  if (down_[to.value]) return;
+  sim_.schedule_at(when, [this, to, msg = std::move(msg)] {
+    if (!down_[to.value]) handlers_[to.value](msg);
+  });
+}
+
+void Network::account(TrafficClass cls, std::uint32_t bytes) {
+  stats_.messages[static_cast<std::size_t>(cls)] += 1;
+  stats_.bytes[static_cast<std::size_t>(cls)] += bytes;
+}
+
+void Network::send(NodeId from, NodeId to, Message msg, TrafficClass cls) {
+  if (from.value < down_.size() && down_[from.value]) return;
+  account(cls, msg.size_bytes);
+  const SimTime departure = reserve_egress(from, msg.size_bytes);
+  deliver_at(departure + config_.base_latency + jitter(), to, std::move(msg));
+}
+
+void Network::multicast(NodeId from, std::span<const NodeId> group, const Message& msg,
+                        TrafficClass cls) {
+  for (NodeId to : group) {
+    if (to == from) continue;
+    send(from, to, msg, cls);
+  }
+}
+
+void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& msg,
+                     TrafficClass cls) {
+  if (from.value < down_.size() && down_[from.value]) return;
+  // Build a deterministic random relay order, then connect members as a
+  // `fanout`-ary tree rooted at `from`.  Hop h's delivery time is the
+  // parent's departure + latency; each parent pays serialization once per
+  // child, modelling pipelined block dissemination.
+  std::vector<NodeId> order;
+  order.reserve(group.size());
+  for (NodeId n : group)
+    if (n != from) order.push_back(n);
+  // Fisher–Yates with the network's own rng: deterministic per run.
+  for (std::size_t i = order.size(); i > 1; --i)
+    std::swap(order[i - 1], order[static_cast<std::size_t>(rng_.uniform(i))]);
+
+  const std::size_t fanout = std::max<std::size_t>(1, config_.gossip_fanout);
+
+  // arrival[i]: when order[i] has fully received the message.
+  std::vector<SimTime> arrival(order.size(), 0);
+  // Track per-relay egress reservations locally: relays forward *after* they
+  // receive, so the global egress ledger (keyed at current sim time) cannot
+  // be used directly for future sends.
+  std::vector<SimTime> relay_busy(order.size(), 0);
+
+  const SimTime ser = serialization_delay(msg.size_bytes);
+
+  // Root sends to the first `fanout` members, using the real egress ledger.
+  SimTime root_departure = std::max(sim_.now(), egress_busy_until_[from.value]);
+  for (std::size_t i = 0; i < order.size() && i < fanout; ++i) {
+    root_departure += ser;
+    arrival[i] = root_departure + config_.base_latency + jitter();
+    account(cls, msg.size_bytes);
+    deliver_at(arrival[i], order[i], msg);
+  }
+  if (!order.empty()) egress_busy_until_[from.value] = root_departure;
+
+  // Interior relays: entries past the root's direct children form a k-ary
+  // forest — order[child]'s parent is order[(child - fanout) / fanout].
+  for (std::size_t child = fanout; child < order.size(); ++child) {
+    const std::size_t parent = (child - fanout) / fanout;
+    const SimTime departure = std::max(arrival[parent], relay_busy[parent]) + ser;
+    relay_busy[parent] = departure;
+    arrival[child] = departure + config_.base_latency + jitter();
+    account(cls, msg.size_bytes);
+    deliver_at(arrival[child], order[child], msg);
+  }
+}
+
+void Network::send_via_relay(NodeId from, NodeId to, Message msg, TrafficClass cls) {
+  if (from.value < down_.size() && down_[from.value]) return;
+  account(cls, msg.size_bytes);
+  account(cls, msg.size_bytes);  // second leg: relay -> destination
+  const SimTime departure = reserve_egress(from, msg.size_bytes);
+  // The relay's own serialization is charged as one extra payload time.
+  const SimTime arrival = departure + serialization_delay(msg.size_bytes) +
+                          2 * config_.base_latency + jitter() + jitter();
+  deliver_at(arrival, to, std::move(msg));
+}
+
+void Network::client_send(NodeId to, Message msg) {
+  account(TrafficClass::kClient, msg.size_bytes);
+  deliver_at(sim_.now() + config_.base_latency + jitter(), to, std::move(msg));
+}
+
+void Network::set_node_down(NodeId id, bool down) {
+  if (id.value < down_.size()) down_[id.value] = down;
+}
+
+bool Network::node_down(NodeId id) const {
+  return id.value < down_.size() && down_[id.value];
+}
+
+}  // namespace jenga::sim

@@ -1,0 +1,35 @@
+#include "simnet/simulator.hpp"
+
+#include <utility>
+
+namespace jenga::sim {
+
+void Simulator::schedule_at(SimTime when, Task task) {
+  if (when < now_) when = now_;
+  queue_.push(Event{when, next_seq_++, std::move(task)});
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() returns const&; the task must be moved out, so pop
+  // into a local copy of the handle first.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.when;
+  ++events_processed_;
+  ev.task();
+  return true;
+}
+
+void Simulator::run_until(SimTime deadline) {
+  while (!queue_.empty() && queue_.top().when <= deadline) step();
+  if (now_ < deadline) now_ = deadline;
+}
+
+std::uint64_t Simulator::run_until_idle(std::uint64_t max_events) {
+  std::uint64_t n = 0;
+  while (n < max_events && step()) ++n;
+  return n;
+}
+
+}  // namespace jenga::sim

@@ -1,0 +1,32 @@
+// Tiny text assembler for VM bytecode.
+//
+// Lets examples and tests write contracts readably:
+//
+//   ; double the stored counter
+//   PUSH 0        ; key
+//   PUSH 0
+//   SLOAD
+//   PUSH 2
+//   MUL
+//   SSTORE
+//   RETURN
+//
+// Supports labels ("loop:") referenced by JUMP/JZ, and "CALL slot fn".
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/result.hpp"
+#include "vm/bytecode.hpp"
+
+namespace jenga::vm {
+
+/// Assembles one function body.  Returns an error string with a line number
+/// on malformed input.
+[[nodiscard]] Result<std::vector<Instruction>, std::string> assemble(std::string_view source);
+
+/// Disassembles for debugging/golden tests.
+[[nodiscard]] std::string disassemble(const std::vector<Instruction>& code);
+
+}  // namespace jenga::vm

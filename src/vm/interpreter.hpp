@@ -1,0 +1,85 @@
+// VM interpreter: executes a call chain of contract functions against a
+// StateView, with gas metering and cross-contract calls.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "vm/bytecode.hpp"
+#include "vm/state_view.hpp"
+
+namespace jenga::vm {
+
+enum class ExecStatus : std::uint8_t {
+  kSuccess = 0,
+  kOutOfGas,
+  kStackUnderflow,
+  kStackOverflow,
+  kDivisionByZero,
+  kBadJump,
+  kBadCall,
+  kUndeclaredAccess,  // touched state/account outside the declared set
+  kInsufficientFunds,
+  kExplicitAbort,
+  kCallDepthExceeded,
+  kStepLimitExceeded,
+};
+
+[[nodiscard]] const char* exec_status_name(ExecStatus s);
+
+struct ExecResult {
+  ExecStatus status = ExecStatus::kSuccess;
+  std::uint64_t gas_used = 0;
+  std::uint64_t instructions_executed = 0;
+  std::uint64_t contract_calls = 0;  // cross-contract call count (incl. entry)
+  std::string detail;
+
+  [[nodiscard]] bool ok() const { return status == ExecStatus::kSuccess; }
+};
+
+struct ExecLimits {
+  std::uint64_t gas_limit = 1'000'000;
+  std::size_t max_stack = 1024;
+  std::size_t max_call_depth = 64;
+  std::uint64_t max_instructions = 1 << 20;
+};
+
+/// One entry in a transaction's call chain: run `function` of the contract in
+/// declared slot `contract_slot` with `args`.
+struct CallStep {
+  std::uint16_t contract_slot = 0;
+  std::uint16_t function = 0;
+  std::vector<std::uint64_t> args;
+};
+
+class Interpreter {
+ public:
+  /// `contracts[i]` is the logic for the transaction's declared slot i.  A
+  /// null pointer in a slot means the logic is unavailable (cannot happen in
+  /// Jenga where all logic is everywhere; can in baselines).
+  Interpreter(std::span<const ContractLogic* const> contracts, StateView& state,
+              ExecLimits limits = {});
+
+  /// Executes the steps in order; any failure aborts the whole chain.
+  /// The caller is responsible for state rollback (views are transactional).
+  [[nodiscard]] ExecResult run(AccountId sender, std::span<const CallStep> steps);
+
+ private:
+  ExecStatus exec_function(std::uint16_t slot, std::uint16_t function,
+                           std::span<const std::uint64_t> args, std::size_t depth);
+
+  std::span<const ContractLogic* const> contracts_;
+  StateView& state_;
+  ExecLimits limits_;
+
+  AccountId sender_{};
+  std::vector<std::uint64_t> stack_;
+  std::uint64_t gas_used_ = 0;
+  std::uint64_t instructions_ = 0;
+  std::uint64_t calls_ = 0;
+};
+
+}  // namespace jenga::vm

@@ -1,0 +1,32 @@
+// Abstract state access used by the VM interpreter.
+//
+// The ledger provides the concrete store; the protocol layers wrap it in
+// views that enforce the transaction's *declared* read/write set (paper
+// §V-C: clients pre-declare contracts, accounts and states; misdeclaration
+// is detected during execution and aborts the transaction).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/types.hpp"
+
+namespace jenga::vm {
+
+class StateView {
+ public:
+  virtual ~StateView() = default;
+
+  /// Contract storage; absent keys read as 0 (EVM convention).
+  [[nodiscard]] virtual std::optional<std::uint64_t> sload(ContractId contract,
+                                                           std::uint64_t key) = 0;
+  /// Returns false if the access is not permitted (undeclared state).
+  virtual bool sstore(ContractId contract, std::uint64_t key, std::uint64_t value) = 0;
+
+  [[nodiscard]] virtual std::optional<std::uint64_t> balance(AccountId account) = 0;
+  virtual bool credit(AccountId account, std::uint64_t amount) = 0;
+  /// Returns false on undeclared account OR insufficient funds.
+  virtual bool debit(AccountId account, std::uint64_t amount) = 0;
+};
+
+}  // namespace jenga::vm

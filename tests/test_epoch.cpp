@@ -1,0 +1,127 @@
+// Epoch manager: VRF contributions, the VDF'd randomness beacon, and the
+// reshuffle it drives.
+#include <gtest/gtest.h>
+
+#include "core/epoch.hpp"
+
+namespace jenga::core {
+namespace {
+
+class EpochTest : public ::testing::Test {
+ protected:
+  EpochTest() {
+    for (std::uint64_t i = 0; i < 5; ++i) {
+      keys_.push_back(crypto::keypair_from_seed(500 + i));
+      pubs_.push_back(keys_.back().public_key);
+    }
+    mgr_ = std::make_unique<EpochManager>(pubs_, /*vdf_iterations=*/256,
+                                          /*vdf_checkpoints=*/8);
+  }
+
+  std::vector<crypto::KeyPair> keys_;
+  std::vector<crypto::Point> pubs_;
+  std::unique_ptr<EpochManager> mgr_;
+};
+
+TEST_F(EpochTest, ContributionsVerifyAndAdvance) {
+  const EpochId next{1};
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    const auto c = mgr_->contribute(NodeId{static_cast<std::uint32_t>(i)}, keys_[i], next);
+    EXPECT_TRUE(mgr_->accept(c, next)) << i;
+  }
+  EXPECT_EQ(mgr_->contributions(), 5u);
+  const Hash256 before = mgr_->current_randomness();
+  const auto r = mgr_->advance_epoch(3);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(mgr_->current_epoch(), EpochId{1});
+  EXPECT_NE(*r, before);
+}
+
+TEST_F(EpochTest, InsufficientContributionsBlocked) {
+  const EpochId next{1};
+  const auto c = mgr_->contribute(NodeId{0}, keys_[0], next);
+  ASSERT_TRUE(mgr_->accept(c, next));
+  EXPECT_FALSE(mgr_->advance_epoch(3).has_value());
+  EXPECT_EQ(mgr_->current_epoch(), EpochId{0});
+}
+
+TEST_F(EpochTest, WrongKeyContributionRejected) {
+  const EpochId next{1};
+  // Node 0 tries to submit with node 1's key material.
+  auto c = mgr_->contribute(NodeId{1}, keys_[1], next);
+  c.node = NodeId{0};
+  EXPECT_FALSE(mgr_->accept(c, next));
+}
+
+TEST_F(EpochTest, DuplicateContributionRejected) {
+  const EpochId next{1};
+  const auto c = mgr_->contribute(NodeId{2}, keys_[2], next);
+  EXPECT_TRUE(mgr_->accept(c, next));
+  EXPECT_FALSE(mgr_->accept(c, next));
+}
+
+TEST_F(EpochTest, WrongEpochRejected) {
+  const auto c = mgr_->contribute(NodeId{0}, keys_[0], EpochId{2});
+  EXPECT_FALSE(mgr_->accept(c, EpochId{2}));  // current is 0; next must be 1
+}
+
+TEST_F(EpochTest, TamperedBetaRejected) {
+  const EpochId next{1};
+  auto c = mgr_->contribute(NodeId{3}, keys_[3], next);
+  c.beta.bytes[0] ^= 0xFF;
+  EXPECT_FALSE(mgr_->accept(c, next));
+}
+
+TEST_F(EpochTest, RandomnessEvolvesAcrossEpochs) {
+  std::vector<Hash256> history{mgr_->current_randomness()};
+  for (int e = 1; e <= 3; ++e) {
+    const EpochId next{static_cast<std::uint64_t>(e)};
+    for (std::uint64_t i = 0; i < 5; ++i)
+      ASSERT_TRUE(
+          mgr_->accept(mgr_->contribute(NodeId{static_cast<std::uint32_t>(i)}, keys_[i], next),
+                       next));
+    auto r = mgr_->advance_epoch(4);
+    ASSERT_TRUE(r.has_value());
+    for (const auto& old : history) EXPECT_NE(*r, old);
+    history.push_back(*r);
+  }
+}
+
+TEST_F(EpochTest, ReshuffleChangesAssignments) {
+  const Lattice before = mgr_->build_lattice(3, 6, /*key_seed=*/9);
+  const EpochId next{1};
+  for (std::uint64_t i = 0; i < 5; ++i)
+    ASSERT_TRUE(mgr_->accept(
+        mgr_->contribute(NodeId{static_cast<std::uint32_t>(i)}, keys_[i], next), next));
+  ASSERT_TRUE(mgr_->advance_epoch(5).has_value());
+  const Lattice after = mgr_->build_lattice(3, 6, /*key_seed=*/9);
+
+  int moved = 0;
+  for (std::uint32_t n = 0; n < before.total_nodes(); ++n) {
+    if (!(before.assignment(NodeId{n}).shard == after.assignment(NodeId{n}).shard)) ++moved;
+  }
+  EXPECT_GT(moved, 0);
+  // The lattice invariants survive the reshuffle.
+  for (std::uint32_t g = 0; g < 3; ++g) {
+    EXPECT_EQ(after.shard_members(ShardId{g}).size(), 6u);
+    EXPECT_EQ(after.channel_members(ChannelId{g}).size(), 6u);
+  }
+}
+
+TEST_F(EpochTest, SingleHonestContributorRandomizes) {
+  // Two adversarial members copy each other's beta; XOR of their pair
+  // cancels, but one honest contribution still produces fresh randomness.
+  const EpochId next{1};
+  ASSERT_TRUE(mgr_->accept(mgr_->contribute(NodeId{0}, keys_[0], next), next));
+  const auto r1 = mgr_->advance_epoch(1);
+  ASSERT_TRUE(r1.has_value());
+
+  EpochManager other(pubs_, 256, 8);
+  ASSERT_TRUE(other.accept(other.contribute(NodeId{1}, keys_[1], next), next));
+  const auto r2 = other.advance_epoch(1);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_NE(*r1, *r2);  // different honest contributors, different beacons
+}
+
+}  // namespace
+}  // namespace jenga::core

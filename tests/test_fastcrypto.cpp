@@ -1,0 +1,103 @@
+// FastCrypto simulation provider: same observable semantics as the real
+// Schnorr provider (sign/verify/aggregate + bitmap), at hash speed.
+#include <gtest/gtest.h>
+
+#include "crypto/fastcrypto.hpp"
+#include "crypto/sha256.hpp"
+
+namespace jenga::crypto {
+namespace {
+
+TEST(FastCrypto, SignVerify) {
+  const FastKey k = fast_keypair(1);
+  const Hash256 msg = sha256("m");
+  EXPECT_TRUE(fast_verify(k.public_id, msg, fast_sign(k, msg)));
+}
+
+TEST(FastCrypto, WrongMessageRejected) {
+  const FastKey k = fast_keypair(2);
+  const auto sig = fast_sign(k, sha256("a"));
+  EXPECT_FALSE(fast_verify(k.public_id, sha256("b"), sig));
+}
+
+TEST(FastCrypto, WrongKeyRejected) {
+  const FastKey k1 = fast_keypair(3);
+  const FastKey k2 = fast_keypair(4);
+  const Hash256 msg = sha256("m");
+  EXPECT_FALSE(fast_verify(k2.public_id, msg, fast_sign(k1, msg)));
+}
+
+TEST(FastCrypto, KeypairDeterministic) {
+  EXPECT_EQ(fast_keypair(5).public_id, fast_keypair(5).public_id);
+  EXPECT_NE(fast_keypair(5).public_id, fast_keypair(6).public_id);
+}
+
+class FastMultisigTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (std::uint64_t i = 0; i < 7; ++i) {
+      keys_.push_back(fast_keypair(100 + i));
+      ids_.push_back(keys_.back().public_id);
+    }
+    msg_ = sha256("certificate");
+  }
+
+  std::vector<FastKey> keys_;
+  std::vector<std::uint64_t> ids_;
+  Hash256 msg_;
+};
+
+TEST_F(FastMultisigTest, FullGroup) {
+  std::vector<bool> part(keys_.size(), true);
+  const auto sig = fast_aggregate(keys_, part, msg_);
+  EXPECT_EQ(sig.signer_count(), 7u);
+  EXPECT_TRUE(fast_verify_multisig(ids_, msg_, sig));
+}
+
+TEST_F(FastMultisigTest, QuorumSubset) {
+  std::vector<bool> part{true, false, true, true, false, true, true};  // 5 of 7
+  const auto sig = fast_aggregate(keys_, part, msg_);
+  EXPECT_EQ(sig.signer_count(), 5u);
+  EXPECT_TRUE(fast_verify_multisig(ids_, msg_, sig));
+}
+
+TEST_F(FastMultisigTest, BitmapTamperRejected) {
+  std::vector<bool> part{true, true, true, false, false, false, false};
+  auto sig = fast_aggregate(keys_, part, msg_);
+  sig.signers[4] = true;  // claim an extra signer
+  EXPECT_FALSE(fast_verify_multisig(ids_, msg_, sig));
+}
+
+TEST_F(FastMultisigTest, AggregateTamperRejected) {
+  std::vector<bool> part(keys_.size(), true);
+  auto sig = fast_aggregate(keys_, part, msg_);
+  sig.aggregate ^= 1;
+  EXPECT_FALSE(fast_verify_multisig(ids_, msg_, sig));
+}
+
+TEST_F(FastMultisigTest, WrongMessageRejected) {
+  std::vector<bool> part(keys_.size(), true);
+  const auto sig = fast_aggregate(keys_, part, msg_);
+  EXPECT_FALSE(fast_verify_multisig(ids_, sha256("other"), sig));
+}
+
+TEST_F(FastMultisigTest, EmptySignerSetRejected) {
+  std::vector<bool> part(keys_.size(), false);
+  const auto sig = fast_aggregate(keys_, part, msg_);
+  EXPECT_FALSE(fast_verify_multisig(ids_, msg_, sig));
+}
+
+TEST_F(FastMultisigTest, GroupSizeMismatchRejected) {
+  std::vector<bool> part(keys_.size(), true);
+  const auto sig = fast_aggregate(keys_, part, msg_);
+  std::vector<std::uint64_t> fewer(ids_.begin(), ids_.end() - 1);
+  EXPECT_FALSE(fast_verify_multisig(fewer, msg_, sig));
+}
+
+TEST(FastCryptoWire, SizeConstantsSane) {
+  EXPECT_EQ(kSignatureWireBytes, 64u);
+  EXPECT_EQ(kPublicKeyWireBytes, 33u);
+}
+
+}  // namespace
+}  // namespace jenga::crypto

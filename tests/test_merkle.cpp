@@ -1,0 +1,101 @@
+// Merkle tree roots and inclusion proofs.
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.hpp"
+#include "crypto/sha256.hpp"
+
+namespace jenga::crypto {
+namespace {
+
+std::vector<Hash256> make_leaves(std::size_t n) {
+  std::vector<Hash256> leaves;
+  for (std::size_t i = 0; i < n; ++i) leaves.push_back(sha256("leaf-" + std::to_string(i)));
+  return leaves;
+}
+
+TEST(Merkle, EmptyTreeHasFixedRoot) {
+  EXPECT_EQ(merkle_root({}), merkle_root({}));
+  EXPECT_NE(merkle_root({}), merkle_root(make_leaves(1)));
+}
+
+TEST(Merkle, SingleLeafRootIsLeafHash) {
+  const auto leaves = make_leaves(1);
+  EXPECT_EQ(merkle_root(leaves), merkle_leaf_hash(leaves[0]));
+}
+
+TEST(Merkle, RootChangesWithAnyLeaf) {
+  auto leaves = make_leaves(8);
+  const Hash256 base = merkle_root(leaves);
+  for (std::size_t i = 0; i < leaves.size(); ++i) {
+    auto mutated = leaves;
+    mutated[i].bytes[0] ^= 1;
+    EXPECT_NE(merkle_root(mutated), base) << "leaf " << i;
+  }
+}
+
+TEST(Merkle, RootDependsOnOrder) {
+  auto leaves = make_leaves(4);
+  auto swapped = leaves;
+  std::swap(swapped[0], swapped[1]);
+  EXPECT_NE(merkle_root(leaves), merkle_root(swapped));
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(MerkleProofTest, AllLeavesProvable) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const Hash256 root = merkle_root(leaves);
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto proof = merkle_prove(leaves, i);
+    EXPECT_TRUE(merkle_verify(root, leaves[i], proof)) << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleProofTest, WrongLeafFailsProof) {
+  const std::size_t n = GetParam();
+  const auto leaves = make_leaves(n);
+  const Hash256 root = merkle_root(leaves);
+  const auto proof = merkle_prove(leaves, 0);
+  Hash256 wrong = leaves[0];
+  wrong.bytes[5] ^= 0x10;
+  EXPECT_FALSE(merkle_verify(root, wrong, proof));
+}
+
+// Odd sizes exercise the duplicate-last-node path.
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 33, 100));
+
+TEST(Merkle, TamperedProofRejected) {
+  const auto leaves = make_leaves(16);
+  const Hash256 root = merkle_root(leaves);
+  auto proof = merkle_prove(leaves, 5);
+  proof[1].sibling.bytes[0] ^= 0xFF;
+  EXPECT_FALSE(merkle_verify(root, leaves[5], proof));
+}
+
+TEST(Merkle, ProofAgainstWrongRootRejected) {
+  const auto leaves = make_leaves(8);
+  const auto other = make_leaves(9);
+  const auto proof = merkle_prove(leaves, 2);
+  EXPECT_FALSE(merkle_verify(merkle_root(other), leaves[2], proof));
+}
+
+TEST(Merkle, ProofLengthIsLogarithmic) {
+  const auto leaves = make_leaves(16);
+  EXPECT_EQ(merkle_prove(leaves, 0).size(), 4u);
+  const auto leaves17 = make_leaves(17);
+  EXPECT_EQ(merkle_prove(leaves17, 0).size(), 5u);
+}
+
+TEST(Merkle, LeafInteriorDomainSeparation) {
+  // A forged "leaf" equal to an interior node's preimage must not verify at
+  // the wrong level; domain tags make leaf and node hashes distinct functions.
+  const auto leaves = make_leaves(2);
+  const Hash256 root = merkle_root(leaves);
+  // Interior node value == root here; try to use it as a leaf of a 1-leaf tree.
+  EXPECT_NE(merkle_leaf_hash(root), root);
+}
+
+}  // namespace
+}  // namespace jenga::crypto

@@ -1,0 +1,180 @@
+// Schnorr single signatures and MuSig-style aggregation sessions.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "crypto/schnorr.hpp"
+#include "crypto/sha256.hpp"
+
+namespace jenga::crypto {
+namespace {
+
+std::vector<std::uint8_t> msg_bytes(std::string_view s) {
+  return {s.begin(), s.end()};
+}
+
+TEST(Schnorr, SignVerifyRoundTrip) {
+  const KeyPair kp = keypair_from_seed(1);
+  const auto msg = msg_bytes("hello jenga");
+  const Signature sig = sign(kp, msg);
+  EXPECT_TRUE(verify(kp.public_key, msg, sig));
+}
+
+TEST(Schnorr, WrongMessageRejected) {
+  const KeyPair kp = keypair_from_seed(2);
+  const Signature sig = sign(kp, msg_bytes("msg-a"));
+  EXPECT_FALSE(verify(kp.public_key, msg_bytes("msg-b"), sig));
+}
+
+TEST(Schnorr, WrongKeyRejected) {
+  const KeyPair kp1 = keypair_from_seed(3);
+  const KeyPair kp2 = keypair_from_seed(4);
+  const auto msg = msg_bytes("msg");
+  const Signature sig = sign(kp1, msg);
+  EXPECT_FALSE(verify(kp2.public_key, msg, sig));
+}
+
+TEST(Schnorr, TamperedSignatureRejected) {
+  const KeyPair kp = keypair_from_seed(5);
+  const auto msg = msg_bytes("msg");
+  Signature sig = sign(kp, msg);
+  sig.s = addmod(sig.s, U256(1), kOrderN);
+  EXPECT_FALSE(verify(kp.public_key, msg, sig));
+}
+
+TEST(Schnorr, DeterministicSignature) {
+  const KeyPair kp = keypair_from_seed(6);
+  const auto msg = msg_bytes("msg");
+  const Signature a = sign(kp, msg);
+  const Signature b = sign(kp, msg);
+  EXPECT_EQ(a.r, b.r);
+  EXPECT_EQ(a.s, b.s);
+}
+
+TEST(Schnorr, KeypairDeterministicFromSeed) {
+  EXPECT_EQ(keypair_from_seed(7).public_key, keypair_from_seed(7).public_key);
+  EXPECT_NE(keypair_from_seed(7).public_key, keypair_from_seed(8).public_key);
+}
+
+class MultisigTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (std::uint64_t i = 0; i < 5; ++i) keys_.push_back(keypair_from_seed(100 + i));
+    for (const auto& k : keys_) group_.push_back(k.public_key);
+    msg_ = msg_bytes("quorum certificate payload");
+  }
+
+  std::vector<KeyPair> keys_;
+  std::vector<Point> group_;
+  std::vector<std::uint8_t> msg_;
+};
+
+TEST_F(MultisigTest, FullGroupAggregates) {
+  MultisigSession session(group_, msg_);
+  std::vector<MultisigSession::Commitment> commits;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    commits.push_back(session.make_commitment(i, keys_[i], /*nonce_seed=*/i));
+    ASSERT_TRUE(session.add_commitment(commits.back()));
+  }
+  for (std::size_t i = 0; i < keys_.size(); ++i)
+    ASSERT_TRUE(session.add_response(i, session.make_response(commits[i], keys_[i])));
+  auto agg = session.aggregate();
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->signer_count(), 5u);
+  EXPECT_TRUE(verify_multisig(group_, msg_, *agg));
+}
+
+TEST_F(MultisigTest, SubsetAggregates) {
+  MultisigSession session(group_, msg_);
+  // Only signers 0, 2, 4 participate (a 3-of-5 quorum).  All commitments
+  // must be collected before any response: the challenge binds R_agg.
+  std::vector<MultisigSession::Commitment> commits;
+  for (std::size_t i : {0u, 2u, 4u}) {
+    commits.push_back(session.make_commitment(i, keys_[i], i));
+    ASSERT_TRUE(session.add_commitment(commits.back()));
+  }
+  for (const auto& c : commits)
+    ASSERT_TRUE(session.add_response(c.index, session.make_response(c, keys_[c.index])));
+  auto agg = session.aggregate();
+  ASSERT_TRUE(agg.has_value());
+  EXPECT_EQ(agg->signer_count(), 3u);
+  EXPECT_TRUE(verify_multisig(group_, msg_, *agg));
+}
+
+TEST_F(MultisigTest, BitmapTamperRejected) {
+  MultisigSession session(group_, msg_);
+  std::vector<MultisigSession::Commitment> commits;
+  for (std::size_t i : {0u, 1u, 2u}) {
+    commits.push_back(session.make_commitment(i, keys_[i], i));
+    ASSERT_TRUE(session.add_commitment(commits.back()));
+  }
+  for (const auto& c : commits)
+    ASSERT_TRUE(session.add_response(c.index, session.make_response(c, keys_[c.index])));
+  auto agg = session.aggregate();
+  ASSERT_TRUE(agg.has_value());
+  // Claiming an extra signer participated must fail verification.
+  agg->signers[3] = true;
+  EXPECT_FALSE(verify_multisig(group_, msg_, *agg));
+}
+
+TEST_F(MultisigTest, WrongMessageRejected) {
+  MultisigSession session(group_, msg_);
+  std::vector<MultisigSession::Commitment> commits;
+  for (std::size_t i = 0; i < keys_.size(); ++i) {
+    commits.push_back(session.make_commitment(i, keys_[i], i));
+    ASSERT_TRUE(session.add_commitment(commits.back()));
+  }
+  for (const auto& c : commits)
+    ASSERT_TRUE(session.add_response(c.index, session.make_response(c, keys_[c.index])));
+  auto agg = session.aggregate();
+  ASSERT_TRUE(agg.has_value());
+  const auto other = msg_bytes("different payload");
+  EXPECT_FALSE(verify_multisig(group_, other, *agg));
+}
+
+TEST_F(MultisigTest, BadResponseRejectedAtCollection) {
+  MultisigSession session(group_, msg_);
+  auto c = session.make_commitment(0, keys_[0], 0);
+  ASSERT_TRUE(session.add_commitment(c));
+  // A Byzantine replica submits garbage: per-signer verification catches it.
+  EXPECT_FALSE(session.add_response(0, U256(12345)));
+  // The honest response still goes through afterwards.
+  EXPECT_TRUE(session.add_response(0, session.make_response(c, keys_[0])));
+}
+
+TEST_F(MultisigTest, DuplicateCommitmentRejected) {
+  MultisigSession session(group_, msg_);
+  auto c = session.make_commitment(1, keys_[1], 1);
+  EXPECT_TRUE(session.add_commitment(c));
+  EXPECT_FALSE(session.add_commitment(c));
+}
+
+TEST_F(MultisigTest, MissingResponseBlocksAggregate) {
+  MultisigSession session(group_, msg_);
+  auto c0 = session.make_commitment(0, keys_[0], 0);
+  auto c1 = session.make_commitment(1, keys_[1], 1);
+  session.add_commitment(c0);
+  session.add_commitment(c1);
+  session.add_response(0, session.make_response(c0, keys_[0]));
+  // Signer 1 committed but never responded: aggregate unavailable.
+  EXPECT_FALSE(session.aggregate().has_value());
+}
+
+TEST_F(MultisigTest, EmptyAggregateUnavailable) {
+  MultisigSession session(group_, msg_);
+  EXPECT_FALSE(session.aggregate().has_value());
+}
+
+TEST_F(MultisigTest, RogueKeyBitmapSizeMismatchRejected) {
+  MultisigSession session(group_, msg_);
+  auto c = session.make_commitment(0, keys_[0], 0);
+  session.add_commitment(c);
+  session.add_response(0, session.make_response(c, keys_[0]));
+  auto agg = session.aggregate();
+  ASSERT_TRUE(agg.has_value());
+  std::vector<Point> smaller(group_.begin(), group_.end() - 1);
+  EXPECT_FALSE(verify_multisig(smaller, msg_, *agg));
+}
+
+}  // namespace
+}  // namespace jenga::crypto

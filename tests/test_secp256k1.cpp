@@ -1,0 +1,160 @@
+// secp256k1 group law, scalar multiplication against known vectors, and
+// point compression.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/secp256k1.hpp"
+
+namespace jenga::crypto {
+namespace {
+
+TEST(Secp256k1, GeneratorOnCurve) {
+  EXPECT_TRUE(is_on_curve(generator()));
+  EXPECT_FALSE(generator().infinity);
+}
+
+TEST(Secp256k1, FieldBasics) {
+  const U256 a = U256::from_hex("1234567890abcdef");
+  EXPECT_EQ(fp_add(a, U256(0)), a);
+  EXPECT_EQ(fp_sub(a, a), U256(0));
+  EXPECT_EQ(fp_mul(a, U256(1)), a);
+  // p ≡ 0 mod p: addmod reduces the unreduced input.
+  EXPECT_TRUE(fp_add(kFieldP, U256(0)).is_zero());
+  EXPECT_EQ(fp_sub(kFieldP, kFieldP), U256(0));
+}
+
+TEST(Secp256k1, FieldInverse) {
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    U256 a;
+    for (auto& l : a.limb) l = rng.next();
+    a = mod(U512{a, U256{}}, kFieldP);
+    if (a.is_zero()) continue;
+    EXPECT_EQ(fp_mul(a, fp_inv(a)), U256(1));
+  }
+}
+
+TEST(Secp256k1, FieldSqrtOfSquares) {
+  Rng rng(2);
+  for (int i = 0; i < 10; ++i) {
+    U256 a;
+    for (auto& l : a.limb) l = rng.next();
+    a = mod(U512{a, U256{}}, kFieldP);
+    const U256 sq = fp_sqr(a);
+    auto root = fp_sqrt(sq);
+    ASSERT_TRUE(root.has_value());
+    EXPECT_TRUE(*root == a || *root == fp_sub(U256{}, a));
+  }
+}
+
+TEST(Secp256k1, NonResidueRejected) {
+  // y^2 = x^3 + 7 has no solution for roughly half of x; find a non-residue.
+  int rejected = 0;
+  for (std::uint64_t x = 1; x < 40; ++x) {
+    const U256 rhs = fp_add(fp_mul(fp_sqr(U256(x)), U256(x)), U256(7));
+    if (!fp_sqrt(rhs)) ++rejected;
+  }
+  EXPECT_GT(rejected, 5);
+}
+
+TEST(Secp256k1, TwoGKnownVector) {
+  const Point two_g = point_double(generator());
+  EXPECT_EQ(two_g.x.to_hex(),
+            "c6047f9441ed7d6d3045406e95c07cd85c778e4b8cef3ca7abac09b95c709ee5");
+  EXPECT_EQ(two_g.y.to_hex(),
+            "1ae168fea63dc339a3c58419466ceaeef7f632653266d0e1236431a950cfe52a");
+}
+
+TEST(Secp256k1, ThreeGKnownVector) {
+  const Point three_g = point_add(point_double(generator()), generator());
+  EXPECT_EQ(three_g.x.to_hex(),
+            "f9308a019258c31049344f85f89d5229b531c845836f99b08601f113bce036f9");
+}
+
+TEST(Secp256k1, ScalarMulMatchesRepeatedAdd) {
+  Point acc;  // infinity
+  for (std::uint64_t k = 1; k <= 20; ++k) {
+    acc = point_add(acc, generator());
+    EXPECT_EQ(point_mul_g(U256(k)), acc) << "k=" << k;
+  }
+}
+
+TEST(Secp256k1, OrderTimesGeneratorIsInfinity) {
+  EXPECT_TRUE(point_mul(kOrderN, generator()).infinity);
+}
+
+TEST(Secp256k1, NMinusOneGIsNegG) {
+  std::uint64_t borrow;
+  const U256 n_minus_1 = sub(kOrderN, U256(1), borrow);
+  const Point p = point_mul_g(n_minus_1);
+  EXPECT_EQ(p, point_neg(generator()));
+}
+
+TEST(Secp256k1, AddCommutes) {
+  const Point a = point_mul_g(U256(12345));
+  const Point b = point_mul_g(U256(67890));
+  EXPECT_EQ(point_add(a, b), point_add(b, a));
+}
+
+TEST(Secp256k1, AddAssociates) {
+  const Point a = point_mul_g(U256(111));
+  const Point b = point_mul_g(U256(222));
+  const Point c = point_mul_g(U256(333));
+  EXPECT_EQ(point_add(point_add(a, b), c), point_add(a, point_add(b, c)));
+}
+
+TEST(Secp256k1, InfinityIsIdentity) {
+  const Point a = point_mul_g(U256(7));
+  const Point inf;
+  EXPECT_EQ(point_add(a, inf), a);
+  EXPECT_EQ(point_add(inf, a), a);
+  EXPECT_TRUE(point_add(a, point_neg(a)).infinity);
+}
+
+TEST(Secp256k1, ScalarDistributesOverAdd) {
+  // (k1 + k2)·G == k1·G + k2·G
+  Rng rng(3);
+  for (int i = 0; i < 5; ++i) {
+    const U256 k1(rng.uniform(1'000'000) + 1);
+    const U256 k2(rng.uniform(1'000'000) + 1);
+    std::uint64_t carry;
+    const U256 k = add(k1, k2, carry);
+    EXPECT_EQ(point_mul_g(k), point_add(point_mul_g(k1), point_mul_g(k2)));
+  }
+}
+
+TEST(Secp256k1, CompressRoundTrip) {
+  Rng rng(4);
+  for (int i = 0; i < 8; ++i) {
+    const Point p = point_mul_g(U256(rng.uniform(1ULL << 40) + 1));
+    auto back = decompress(compress(p));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, p);
+  }
+}
+
+TEST(Secp256k1, CompressInfinity) {
+  auto back = decompress(compress(Point{}));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->infinity);
+}
+
+TEST(Secp256k1, DecompressRejectsGarbage) {
+  CompressedPoint c{};
+  c[0] = 0x05;  // invalid prefix
+  EXPECT_FALSE(decompress(c).has_value());
+  // x >= p must be rejected.
+  CompressedPoint big{};
+  big[0] = 0x02;
+  for (std::size_t i = 1; i < 33; ++i) big[i] = 0xFF;
+  EXPECT_FALSE(decompress(big).has_value());
+}
+
+TEST(Secp256k1, OnCurveRejectsOffCurvePoint) {
+  Point p = generator();
+  p.y = fp_add(p.y, U256(1));
+  EXPECT_FALSE(is_on_curve(p));
+}
+
+}  // namespace
+}  // namespace jenga::crypto

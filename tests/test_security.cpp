@@ -1,0 +1,129 @@
+// Hypergeometric failure analysis (Eq. 1–3) and the Table I shard-size rule.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "security/failure.hpp"
+
+namespace jenga::security {
+namespace {
+
+TEST(LogChoose, KnownValues) {
+  EXPECT_NEAR(std::exp(log_choose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_choose(10, 10)), 1.0, 1e-9);
+  EXPECT_EQ(log_choose(3, 5), -std::numeric_limits<double>::infinity());
+}
+
+TEST(Hypergeometric, TinyExactCase) {
+  // Population 5 (2 marked), draw 2.  P[X>=1] = 1 - C(3,2)/C(5,2) = 1 - 3/10.
+  EXPECT_NEAR(hypergeometric_tail(5, 2, 2, 1), 0.7, 1e-12);
+  // P[X>=2] = C(2,2)/C(5,2) = 1/10.
+  EXPECT_NEAR(hypergeometric_tail(5, 2, 2, 2), 0.1, 1e-12);
+}
+
+TEST(Hypergeometric, DegenerateCases) {
+  EXPECT_NEAR(hypergeometric_tail(10, 5, 3, 0), 1.0, 1e-12);  // X>=0 always
+  EXPECT_NEAR(hypergeometric_tail(10, 0, 3, 1), 0.0, 1e-12);  // no marked items
+  EXPECT_NEAR(hypergeometric_tail(10, 10, 3, 3), 1.0, 1e-12);  // all marked
+}
+
+TEST(Hypergeometric, TailMonotoneInThreshold) {
+  double prev = 1.0;
+  for (std::uint64_t x = 0; x <= 20; ++x) {
+    const double p = hypergeometric_tail(100, 30, 20, x);
+    EXPECT_LE(p, prev + 1e-15);
+    prev = p;
+  }
+}
+
+TEST(ShardFailure, GrowsWithByzantineFraction) {
+  const double p20 = shard_failure_probability(1200, 0.20, 100);
+  const double p25 = shard_failure_probability(1200, 0.25, 100);
+  const double p30 = shard_failure_probability(1200, 0.30, 100);
+  EXPECT_LT(p20, p25);
+  EXPECT_LT(p25, p30);
+}
+
+TEST(ShardFailure, ShrinksWithShardSize) {
+  // Bigger shards concentrate less sampling variance around f < 1/3.
+  const double small = shard_failure_probability(4800, 0.20, 60);
+  const double large = shard_failure_probability(4800, 0.20, 240);
+  EXPECT_LT(large, small);
+}
+
+TEST(SubgroupFailure, ShrinksWithSubgroupSize) {
+  double prev = 1.0;
+  for (std::uint64_t j = 1; j <= 30; ++j) {
+    const double p = subgroup_failure_probability(240, j);
+    EXPECT_LT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(SubgroupFailure, SingleMemberIsOneThird) {
+  // One member drawn from a shard with exactly k/3 Byzantine nodes.
+  EXPECT_NEAR(subgroup_failure_probability(240, 1), 80.0 / 240.0, 1e-12);
+}
+
+TEST(SystemFailure, PaperTable1SizesAreSafe) {
+  // Table I: S in {4,6,8,10,12}, nodes/shard {180,200,210,230,240}, f=20%.
+  const std::pair<std::uint32_t, std::uint64_t> table[] = {
+      {4, 180}, {6, 200}, {8, 210}, {10, 230}, {12, 240}};
+  for (const auto& [s, k] : table) {
+    const double p = system_failure_probability(k * s, s, 0.20);
+    EXPECT_LT(p, kFailureTarget) << "S=" << s << " k=" << k;
+    EXPECT_GT(p, 0.0) << "S=" << s;
+  }
+}
+
+TEST(SystemFailure, ReproducesPaperTable1Values) {
+  // Paper Table I reports (in units of 1e-6): 1.6, 6.1, 5.1, 5.3, 2.8.
+  const std::tuple<std::uint32_t, std::uint64_t, double> rows[] = {
+      {4, 180, 1.6}, {6, 200, 6.1}, {8, 210, 5.1}, {10, 230, 5.3}, {12, 240, 2.8}};
+  for (const auto& [s, k, paper_e6] : rows) {
+    const double ours_e6 = system_failure_probability(k * s, s, 0.20) * 1e6;
+    EXPECT_NEAR(ours_e6, paper_e6, 0.15) << "S=" << s;
+  }
+}
+
+TEST(SystemFailure, MuchSmallerShardsUnsafe) {
+  // 40-node shards at 12 shards cannot meet the 2^-17 bound.
+  EXPECT_GT(system_failure_probability(40 * 12, 12, 0.20), kFailureTarget);
+}
+
+TEST(ChooseShardSize, MeetsTargetAndIsMinimal) {
+  for (std::uint32_t s : {4u, 6u, 8u, 10u, 12u}) {
+    const std::uint64_t k = choose_shard_size(s, 0.20);
+    ASSERT_GT(k, 0u) << "S=" << s;
+    EXPECT_EQ(k % s, 0u);  // integral subgroups
+    EXPECT_LT(system_failure_probability(k * s, s, 0.20), kFailureTarget);
+    if (k > s) {
+      EXPECT_GE(system_failure_probability((k - s) * s, s, 0.20), kFailureTarget)
+          << "k not minimal for S=" << s;
+    }
+  }
+}
+
+TEST(ChooseShardSize, ComparableToPaperTable1) {
+  // Our chooser should land in the same ballpark as the paper's hand-picked
+  // sizes (their sizes are safe but not exactly minimal).
+  const std::pair<std::uint32_t, std::uint64_t> table[] = {
+      {4, 180}, {6, 200}, {8, 210}, {10, 230}, {12, 240}};
+  for (const auto& [s, paper_k] : table) {
+    const std::uint64_t ours = choose_shard_size(s, 0.20);
+    EXPECT_LE(ours, paper_k + 60) << "S=" << s;
+    EXPECT_GE(ours, paper_k / 2) << "S=" << s;
+  }
+}
+
+TEST(ChooseShardSize, HigherFractionNeedsBiggerShards) {
+  EXPECT_GT(choose_shard_size(8, 0.25), choose_shard_size(8, 0.15));
+}
+
+TEST(ChooseShardSize, ImpossibleTargetReturnsZero) {
+  EXPECT_EQ(choose_shard_size(4, 0.33, 1e-300, /*max_k=*/256), 0u);
+}
+
+}  // namespace
+}  // namespace jenga::security

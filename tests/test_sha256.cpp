@@ -1,0 +1,99 @@
+// SHA-256 against FIPS 180-4 / NIST CAVS vectors.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/hex.hpp"
+#include "crypto/sha256.hpp"
+
+namespace jenga::crypto {
+namespace {
+
+std::string digest_hex(std::string_view msg) { return to_hex(sha256(msg)); }
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+  std::string msg(1000000, 'a');
+  EXPECT_EQ(digest_hex(msg),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, ExactBlockBoundary) {
+  // 64 bytes: exercises the path with no leftover buffer.
+  std::string msg(64, 'x');
+  Sha256 h;
+  h.update(msg);
+  const auto one_shot = h.finish();
+  // Same data split awkwardly across updates must agree.
+  Sha256 h2;
+  h2.update(msg.substr(0, 1));
+  h2.update(msg.substr(1, 62));
+  h2.update(msg.substr(63));
+  EXPECT_EQ(one_shot, h2.finish());
+}
+
+TEST(Sha256, IncrementalMatchesOneShotManySplits) {
+  std::string msg;
+  for (int i = 0; i < 300; ++i) msg += static_cast<char>('a' + i % 26);
+  const auto expect = sha256(msg);
+  for (std::size_t split = 1; split < msg.size(); split += 17) {
+    Sha256 h;
+    h.update(msg.substr(0, split));
+    h.update(msg.substr(split));
+    EXPECT_EQ(h.finish(), expect) << "split=" << split;
+  }
+}
+
+TEST(Sha256, ResetReusable) {
+  Sha256 h;
+  h.update("abc");
+  const auto first = h.finish();
+  h.reset();
+  h.update("abc");
+  EXPECT_EQ(h.finish(), first);
+}
+
+TEST(Sha256, UpdateU64LittleEndian) {
+  Sha256 a;
+  a.update_u64(0x0102030405060708ULL);
+  const std::uint8_t raw[8] = {8, 7, 6, 5, 4, 3, 2, 1};
+  Sha256 b;
+  b.update(std::span<const std::uint8_t>(raw, 8));
+  EXPECT_EQ(a.finish(), b.finish());
+}
+
+TEST(Sha256, TaggedHashesAreDomainSeparated) {
+  const std::uint8_t data[3] = {1, 2, 3};
+  const auto a = sha256_tagged("tag-a", std::span<const std::uint8_t>(data, 3));
+  const auto b = sha256_tagged("tag-b", std::span<const std::uint8_t>(data, 3));
+  EXPECT_NE(a, b);
+}
+
+// 55/56/57 bytes straddle the padding boundary (56 leaves no room for the
+// 8-byte length in the same block).
+TEST(Sha256, PaddingBoundaryLengths) {
+  EXPECT_EQ(digest_hex(std::string(55, 'a')),
+            "9f4390f8d30c2dd92ec9f095b65e2b9ae9b0a925a5258e241c9f1e910f734318");
+  EXPECT_EQ(digest_hex(std::string(56, 'a')),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+  EXPECT_EQ(digest_hex(std::string(57, 'a')),
+            "f13b2d724659eb3bf47f2dd6af1accc87b81f09f59f2b75e5c0bed6589dfe8c6");
+}
+
+}  // namespace
+}  // namespace jenga::crypto

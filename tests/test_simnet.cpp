@@ -1,0 +1,242 @@
+// Event queue and network timing model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "simnet/network.hpp"
+#include "simnet/simulator.hpp"
+
+namespace jenga::sim {
+namespace {
+
+struct IntPayload : Payload {
+  explicit IntPayload(int v) : value(v) {}
+  int value;
+};
+
+TEST(Simulator, RunsEventsInTimeOrder) {
+  Simulator sim;
+  std::vector<int> seen;
+  sim.schedule_at(30, [&] { seen.push_back(3); });
+  sim.schedule_at(10, [&] { seen.push_back(1); });
+  sim.schedule_at(20, [&] { seen.push_back(2); });
+  sim.run_until_idle();
+  EXPECT_EQ(seen, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), 30);
+}
+
+TEST(Simulator, SameTimeFifoOrder) {
+  Simulator sim;
+  std::vector<int> seen;
+  for (int i = 0; i < 10; ++i) sim.schedule_at(5, [&, i] { seen.push_back(i); });
+  sim.run_until_idle();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(seen[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Simulator, PastSchedulingClampsToNow) {
+  Simulator sim;
+  SimTime observed = -1;
+  sim.schedule_at(100, [&] {
+    sim.schedule_at(50, [&] { observed = sim.now(); });  // in the past
+  });
+  sim.run_until_idle();
+  EXPECT_EQ(observed, 100);
+}
+
+TEST(Simulator, RunUntilStopsAtDeadline) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_at(10, [&] { ++fired; });
+  sim.schedule_at(1000, [&] { ++fired; });
+  sim.run_until(500);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now(), 500);
+  EXPECT_EQ(sim.pending_events(), 1u);
+}
+
+TEST(Simulator, NestedSchedulingWorks) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) sim.schedule_after(10, recurse);
+  };
+  sim.schedule_at(0, recurse);
+  sim.run_until_idle();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.now(), 40);
+}
+
+TEST(Simulator, MaxEventsGuard) {
+  Simulator sim;
+  std::function<void()> forever = [&] { sim.schedule_after(1, forever); };
+  sim.schedule_at(0, forever);
+  EXPECT_EQ(sim.run_until_idle(100), 100u);
+}
+
+class NetworkTest : public ::testing::Test {
+ protected:
+  NetworkTest() : net_(sim_, NetConfig{}, Rng(7)) {
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      net_.register_node(NodeId{i}, [this, i](const Message& m) {
+        received_.push_back({NodeId{i}, m, sim_.now()});
+      });
+    }
+  }
+
+  Message make_msg(std::uint32_t size, int tag = 0) {
+    return make_message<IntPayload>(MsgType::kClientTx, NodeId{0}, size, tag);
+  }
+
+  struct Delivery {
+    NodeId to;
+    Message msg;
+    SimTime at;
+  };
+
+  Simulator sim_;
+  Network net_;
+  std::vector<Delivery> received_;
+};
+
+TEST_F(NetworkTest, UnicastPaysLatencyAndSerialization) {
+  // 25000 bytes at 20 Mbps = 10 ms serialization; +100 ms latency.
+  net_.send(NodeId{0}, NodeId{1}, make_msg(25000), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].at, 110 * kMillisecond);
+}
+
+TEST_F(NetworkTest, EgressQueueSerializesBackToBack) {
+  net_.send(NodeId{0}, NodeId{1}, make_msg(25000), TrafficClass::kIntraShard);
+  net_.send(NodeId{0}, NodeId{2}, make_msg(25000), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  ASSERT_EQ(received_.size(), 2u);
+  EXPECT_EQ(received_[0].at, 110 * kMillisecond);
+  EXPECT_EQ(received_[1].at, 120 * kMillisecond);  // queued behind the first
+}
+
+TEST_F(NetworkTest, ZeroBandwidthModelDisabled) {
+  NetConfig cfg;
+  cfg.model_bandwidth = false;
+  Network fast(sim_, cfg, Rng(1));
+  SimTime arrival = -1;
+  fast.register_node(NodeId{0}, [](const Message&) {});
+  fast.register_node(NodeId{1}, [&](const Message&) { arrival = sim_.now(); });
+  fast.send(NodeId{0}, NodeId{1}, make_msg(1 << 20), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  EXPECT_EQ(arrival, 100 * kMillisecond);
+}
+
+TEST_F(NetworkTest, MulticastSkipsSelf) {
+  std::vector<NodeId> group{NodeId{0}, NodeId{1}, NodeId{2}, NodeId{3}};
+  net_.multicast(NodeId{0}, group, make_msg(100), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  EXPECT_EQ(received_.size(), 3u);
+  for (const auto& d : received_) EXPECT_NE(d.to, NodeId{0});
+}
+
+TEST_F(NetworkTest, GossipReachesEveryMemberExactlyOnce) {
+  std::vector<NodeId> group;
+  for (std::uint32_t i = 0; i < 8; ++i) group.push_back(NodeId{i});
+  NetConfig cfg;
+  cfg.gossip_fanout = 2;
+  Network net(sim_, cfg, Rng(3));
+  std::vector<int> count(8, 0);
+  for (std::uint32_t i = 0; i < 8; ++i)
+    net.register_node(NodeId{i}, [&count, i](const Message&) { ++count[i]; });
+  net.gossip(NodeId{0}, group, make_msg(100), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  EXPECT_EQ(count[0], 0);  // sender does not self-deliver
+  for (std::uint32_t i = 1; i < 8; ++i) EXPECT_EQ(count[i], 1) << "node " << i;
+}
+
+TEST_F(NetworkTest, GossipFasterThanLinearBroadcastForLargePayloads) {
+  // 2 MB block to 63 peers: unicast from one sender serializes 63 copies;
+  // gossip pays ~log_8(63) levels.
+  constexpr std::uint32_t kBlock = 2 * 1024 * 1024;
+  std::vector<NodeId> group;
+  for (std::uint32_t i = 0; i < 64; ++i) group.push_back(NodeId{i});
+
+  Simulator sim_a;
+  Network a(sim_a, NetConfig{}, Rng(5));
+  SimTime last_a = 0;
+  for (std::uint32_t i = 0; i < 64; ++i)
+    a.register_node(NodeId{i}, [&](const Message&) { last_a = sim_a.now(); });
+  a.multicast(NodeId{0}, group, make_message<IntPayload>(MsgType::kClientTx, NodeId{0}, kBlock, 1),
+              TrafficClass::kIntraShard);
+  sim_a.run_until_idle();
+
+  Simulator sim_b;
+  Network b(sim_b, NetConfig{}, Rng(5));
+  SimTime last_b = 0;
+  for (std::uint32_t i = 0; i < 64; ++i)
+    b.register_node(NodeId{i}, [&](const Message&) { last_b = sim_b.now(); });
+  b.gossip(NodeId{0}, group, make_message<IntPayload>(MsgType::kClientTx, NodeId{0}, kBlock, 1),
+           TrafficClass::kIntraShard);
+  sim_b.run_until_idle();
+
+  EXPECT_LT(last_b, last_a / 3);
+}
+
+TEST_F(NetworkTest, TrafficAccountingByClass) {
+  net_.send(NodeId{0}, NodeId{1}, make_msg(100), TrafficClass::kIntraShard);
+  net_.send(NodeId{0}, NodeId{2}, make_msg(200), TrafficClass::kCrossShard);
+  net_.send(NodeId{0}, NodeId{3}, make_msg(200), TrafficClass::kCrossShard);
+  net_.client_send(NodeId{1}, make_msg(50));
+  sim_.run_until_idle();
+  const auto& st = net_.stats();
+  EXPECT_EQ(st.messages[0], 1u);
+  EXPECT_EQ(st.messages[1], 2u);
+  EXPECT_EQ(st.messages[2], 1u);
+  EXPECT_EQ(st.bytes[1], 400u);
+  EXPECT_NEAR(st.cross_shard_message_ratio(), 2.0 / 3.0, 1e-9);
+}
+
+TEST_F(NetworkTest, DownNodeDropsTraffic) {
+  net_.set_node_down(NodeId{1}, true);
+  net_.send(NodeId{0}, NodeId{1}, make_msg(10), TrafficClass::kIntraShard);
+  net_.send(NodeId{1}, NodeId{2}, make_msg(10), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  EXPECT_TRUE(received_.empty());
+  net_.set_node_down(NodeId{1}, false);
+  net_.send(NodeId{0}, NodeId{1}, make_msg(10), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  EXPECT_EQ(received_.size(), 1u);
+}
+
+TEST_F(NetworkTest, PayloadSharedAcrossDeliveries) {
+  const Message m = make_msg(10, 42);
+  std::vector<NodeId> group{NodeId{0}, NodeId{1}, NodeId{2}};
+  net_.multicast(NodeId{0}, group, m, TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  for (const auto& d : received_) {
+    EXPECT_EQ(payload_as<IntPayload>(d.msg).value, 42);
+    EXPECT_EQ(d.msg.payload.get(), m.payload.get());  // same allocation
+  }
+}
+
+TEST(NetworkDeterminism, SameSeedSameSchedule) {
+  for (int round = 0; round < 2; ++round) {
+    static std::vector<SimTime> first_run;
+    Simulator sim;
+    NetConfig cfg;
+    cfg.jitter_max = 10 * kMillisecond;
+    Network net(sim, cfg, Rng(99));
+    std::vector<SimTime> arrivals;
+    for (std::uint32_t i = 0; i < 16; ++i)
+      net.register_node(NodeId{i}, [&](const Message&) { arrivals.push_back(sim.now()); });
+    std::vector<NodeId> group;
+    for (std::uint32_t i = 0; i < 16; ++i) group.push_back(NodeId{i});
+    net.gossip(NodeId{0}, group,
+               make_message<IntPayload>(MsgType::kClientTx, NodeId{0}, 5000, 0),
+               TrafficClass::kIntraShard);
+    sim.run_until_idle();
+    if (round == 0)
+      first_run = arrivals;
+    else
+      EXPECT_EQ(arrivals, first_run);
+  }
+}
+
+}  // namespace
+}  // namespace jenga::sim

@@ -1,0 +1,95 @@
+// TxStats/StorageReport arithmetic and the client-relay cross-shard path.
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "simnet/network.hpp"
+
+namespace jenga {
+namespace {
+
+TEST(TxStats, TpsAndLatency) {
+  TxStats st;
+  st.committed = 100;
+  st.first_submit_time = 10 * kSecond;
+  st.last_commit_time = 30 * kSecond;
+  st.total_commit_latency = 100 * 2 * kSecond;
+  EXPECT_DOUBLE_EQ(st.tps(), 5.0);
+  EXPECT_DOUBLE_EQ(st.avg_latency_seconds(), 2.0);
+}
+
+TEST(TxStats, EmptyRunIsZeroNotNan) {
+  TxStats st;
+  EXPECT_EQ(st.tps(), 0.0);
+  EXPECT_EQ(st.avg_latency_seconds(), 0.0);
+}
+
+TEST(StorageReport, TotalSums) {
+  StorageReport r;
+  r.chain_bytes_per_node = 1;
+  r.state_bytes_per_node = 2;
+  r.logic_bytes_per_node = 3;
+  r.extra_bytes_per_node = 4;
+  EXPECT_EQ(r.total(), 10u);
+}
+
+struct NopPayload : sim::Payload {};
+
+TEST(Relay, PaysTwoLegsAndTwoMessages) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::NetConfig{}, Rng(1));
+  SimTime arrival = -1;
+  net.register_node(NodeId{0}, [](const sim::Message&) {});
+  net.register_node(NodeId{1}, [&](const sim::Message&) { arrival = sim.now(); });
+
+  sim::Message msg;
+  msg.type = sim::MsgType::kSubTxResult;
+  msg.from = NodeId{0};
+  msg.size_bytes = 25000;  // 10 ms serialization at 20 Mbps
+  msg.payload = std::make_shared<NopPayload>();
+  net.send_via_relay(NodeId{0}, NodeId{1}, msg, sim::TrafficClass::kCrossShard);
+  sim.run_until_idle();
+
+  // two latency legs (200 ms) + two serializations (20 ms).
+  EXPECT_EQ(arrival, 220 * kMillisecond);
+  EXPECT_EQ(net.stats().messages[1], 2u);  // accounted as two cross-shard sends
+  EXPECT_EQ(net.stats().bytes[1], 2u * 25000u);
+}
+
+TEST(Relay, SlowerThanDirectSend) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::NetConfig{}, Rng(2));
+  SimTime direct = -1, relayed = -1;
+  net.register_node(NodeId{0}, [](const sim::Message&) {});
+  net.register_node(NodeId{1}, [&](const sim::Message&) { direct = sim.now(); });
+  net.register_node(NodeId{2}, [&](const sim::Message&) { relayed = sim.now(); });
+
+  sim::Message msg;
+  msg.type = sim::MsgType::kSubTxResult;
+  msg.from = NodeId{0};
+  msg.size_bytes = 100;
+  msg.payload = std::make_shared<NopPayload>();
+  net.send(NodeId{0}, NodeId{1}, msg, sim::TrafficClass::kCrossShard);
+  net.send_via_relay(NodeId{0}, NodeId{2}, msg, sim::TrafficClass::kCrossShard);
+  sim.run_until_idle();
+  EXPECT_LT(direct, relayed);
+}
+
+TEST(Relay, DownSenderDropsSilently) {
+  sim::Simulator sim;
+  sim::Network net(sim, sim::NetConfig{}, Rng(3));
+  int delivered = 0;
+  net.register_node(NodeId{0}, [](const sim::Message&) {});
+  net.register_node(NodeId{1}, [&](const sim::Message&) { ++delivered; });
+  net.set_node_down(NodeId{0}, true);
+  sim::Message msg;
+  msg.type = sim::MsgType::kSubTxResult;
+  msg.from = NodeId{0};
+  msg.size_bytes = 100;
+  msg.payload = std::make_shared<NopPayload>();
+  net.send_via_relay(NodeId{0}, NodeId{1}, msg, sim::TrafficClass::kCrossShard);
+  sim.run_until_idle();
+  EXPECT_EQ(delivered, 0);
+}
+
+}  // namespace
+}  // namespace jenga

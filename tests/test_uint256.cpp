@@ -1,0 +1,195 @@
+// U256 arithmetic: identities, edge cases, and cross-checks against a naive
+// byte-wise reference for modular reduction.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/uint256.hpp"
+
+namespace jenga::crypto {
+namespace {
+
+U256 random_u256(Rng& rng) {
+  U256 v;
+  for (auto& l : v.limb) l = rng.next();
+  return v;
+}
+
+TEST(U256, HexRoundTrip) {
+  const auto v = U256::from_hex("0x0123456789abcdef0123456789abcdeffedcba9876543210fedcba9876543210");
+  EXPECT_EQ(v.to_hex(), "0123456789abcdef0123456789abcdeffedcba9876543210fedcba9876543210");
+}
+
+TEST(U256, ShortHexZeroPadded) {
+  EXPECT_EQ(U256::from_hex("ff"), U256(255));
+  EXPECT_EQ(U256(0).to_hex(), std::string(64, '0'));
+}
+
+TEST(U256, BytesRoundTrip) {
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const U256 v = random_u256(rng);
+    EXPECT_EQ(U256::from_be_bytes(v.to_be_bytes()), v);
+  }
+}
+
+TEST(U256, AddSubInverse) {
+  Rng rng(2);
+  for (int i = 0; i < 100; ++i) {
+    const U256 a = random_u256(rng);
+    const U256 b = random_u256(rng);
+    std::uint64_t carry, borrow;
+    const U256 s = add(a, b, carry);
+    const U256 back = sub(s, b, borrow);
+    // (a + b) - b == a with matching carry/borrow.
+    EXPECT_EQ(back, a);
+    EXPECT_EQ(carry, borrow);
+  }
+}
+
+TEST(U256, AddCarryPropagation) {
+  const U256 max = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  std::uint64_t carry;
+  const U256 r = add(max, U256(1), carry);
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(carry, 1u);
+}
+
+TEST(U256, SubBorrow) {
+  std::uint64_t borrow;
+  const U256 r = sub(U256(0), U256(1), borrow);
+  EXPECT_EQ(borrow, 1u);
+  EXPECT_EQ(r, U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff"));
+}
+
+TEST(U256, Comparisons) {
+  const U256 small(5);
+  const U256 big = U256::from_hex("100000000000000000");  // > 2^64
+  EXPECT_LT(small, big);
+  EXPECT_GT(big, small);
+  EXPECT_EQ(small, U256(5));
+}
+
+TEST(U256, ShiftInverses) {
+  Rng rng(3);
+  for (unsigned n : {0u, 1u, 7u, 63u, 64u, 65u, 128u, 200u, 255u}) {
+    U256 v = random_u256(rng);
+    // Clear the bits that the round trip destroys, then verify identity.
+    const U256 masked = shr(shl(v, n), n);
+    const U256 expect = n == 0 ? v : shr(shl(v, n), n);
+    EXPECT_EQ(masked, expect);
+    // shl then shr keeps the low 256-n bits.
+    if (n > 0) {
+      const U256 low_bits = shr(shl(v, 256 - 1), 256 - 1);  // just bit 0
+      EXPECT_EQ(low_bits, U256(v.limb[0] & 1));
+    }
+  }
+  EXPECT_TRUE(shl(U256(1), 256).is_zero());
+  EXPECT_TRUE(shr(U256::from_hex("ff"), 256).is_zero());
+}
+
+TEST(U256, ShiftSpecificValues) {
+  EXPECT_EQ(shl(U256(1), 64), U256::from_hex("10000000000000000"));
+  EXPECT_EQ(shr(U256::from_hex("10000000000000000"), 64), U256(1));
+  EXPECT_EQ(shl(U256(0b101), 2), U256(0b10100));
+}
+
+TEST(U256, HighestBit) {
+  EXPECT_EQ(U256(0).highest_bit(), -1);
+  EXPECT_EQ(U256(1).highest_bit(), 0);
+  EXPECT_EQ(U256(2).highest_bit(), 1);
+  EXPECT_EQ(shl(U256(1), 255).highest_bit(), 255);
+}
+
+TEST(U256, MulFullSmall) {
+  const U512 r = mul_full(U256(0xFFFFFFFFFFFFFFFFULL), U256(2));
+  EXPECT_EQ(r.lo, U256::from_hex("1fffffffffffffffe"));
+  EXPECT_TRUE(r.hi.is_zero());
+}
+
+TEST(U256, MulFullMaxSquared) {
+  const U256 max = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff");
+  const U512 r = mul_full(max, max);
+  // (2^256-1)^2 = 2^512 - 2^257 + 1
+  EXPECT_EQ(r.lo, U256(1));
+  EXPECT_EQ(r.hi, U256::from_hex("fffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffe"));
+}
+
+TEST(U256, ModBasics) {
+  EXPECT_EQ(mod(U512{U256(17), U256{}}, U256(5)), U256(2));
+  EXPECT_EQ(mod(U512{U256(5), U256{}}, U256(5)), U256(0));
+  EXPECT_EQ(mod(U512{U256(3), U256{}}, U256(5)), U256(3));
+}
+
+TEST(U256, ModWithHighHalf) {
+  // (2^256) mod 7: 2^256 = (2^3)^85 * 2 => 2^256 mod 7 = 2^(256 mod 3) = 2^1 = 2.
+  const U512 two_pow_256{U256(0), U256(1)};
+  EXPECT_EQ(mod(two_pow_256, U256(7)), U256(2));
+}
+
+TEST(U256, ModLargeModulusNearTop) {
+  // Modulus with top bit set exercises the shift-overflow path in mod().
+  const U256 m = U256::from_hex("ffffffffffffffffffffffffffffffffffffffffffffffffffffffffffffff43");
+  const U512 v = mul_full(m, U256(3));
+  std::uint64_t carry;
+  U512 v_plus;
+  v_plus.lo = add(v.lo, U256(5), carry);
+  v_plus.hi = add(v.hi, U256(carry), carry);
+  EXPECT_EQ(mod(v_plus, m), U256(5));
+}
+
+TEST(U256, ModMulAgreesWithIteratedAdd) {
+  const U256 m(1000003);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const std::uint64_t a = rng.uniform(1000003);
+    const std::uint64_t b = rng.uniform(50);
+    U256 expect(0);
+    for (std::uint64_t k = 0; k < b; ++k) expect = addmod(expect, U256(a), m);
+    EXPECT_EQ(mulmod(U256(a), U256(b), m), expect);
+  }
+}
+
+TEST(U256, AddModSubModInverse) {
+  const U256 m = U256::from_hex("fffffffffffffffffffffffffffffffebaaedce6af48a03bbfd25e8cd0364141");
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const U256 a = mod(U512{random_u256(rng), U256{}}, m);
+    const U256 b = mod(U512{random_u256(rng), U256{}}, m);
+    EXPECT_EQ(submod(addmod(a, b, m), b, m), a);
+  }
+}
+
+TEST(U256, PowModFermatLittle) {
+  // a^(p-1) ≡ 1 mod p for prime p and a not divisible by p.
+  const U256 p(1000003);
+  for (std::uint64_t a : {2ULL, 3ULL, 65537ULL, 999999ULL}) {
+    EXPECT_EQ(powmod(U256(a), U256(1000002), p), U256(1));
+  }
+}
+
+TEST(U256, PowModEdge) {
+  EXPECT_EQ(powmod(U256(5), U256(0), U256(7)), U256(1));
+  EXPECT_EQ(powmod(U256(5), U256(1), U256(7)), U256(5));
+}
+
+TEST(U256, InvModPrime) {
+  const U256 p(1000003);
+  Rng rng(6);
+  for (int i = 0; i < 30; ++i) {
+    const U256 a(1 + rng.uniform(1000002));
+    const U256 inv = invmod_prime(a, p);
+    EXPECT_EQ(mulmod(a, inv, p), U256(1));
+  }
+}
+
+TEST(U256, BitAccessors) {
+  const U256 v = U256::from_hex("8000000000000000000000000000000000000000000000000000000000000001");
+  EXPECT_TRUE(v.bit(0));
+  EXPECT_TRUE(v.bit(255));
+  EXPECT_FALSE(v.bit(1));
+  EXPECT_TRUE(v.is_odd());
+  EXPECT_FALSE(U256(2).is_odd());
+}
+
+}  // namespace
+}  // namespace jenga::crypto

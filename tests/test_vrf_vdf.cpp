@@ -1,0 +1,135 @@
+// VRF (evaluate/verify, uniqueness, unforgeability) and VDF (chain +
+// checkpoint verification) tests.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/vdf.hpp"
+#include "crypto/vrf.hpp"
+
+namespace jenga::crypto {
+namespace {
+
+std::vector<std::uint8_t> msg_bytes(std::string_view s) { return {s.begin(), s.end()}; }
+
+TEST(Vrf, EvaluateVerifyRoundTrip) {
+  const KeyPair kp = keypair_from_seed(10);
+  const auto msg = msg_bytes("epoch-42-randomness");
+  const VrfOutput out = vrf_evaluate(kp, msg);
+  auto beta = vrf_verify(kp.public_key, msg, out.proof);
+  ASSERT_TRUE(beta.has_value());
+  EXPECT_EQ(*beta, out.beta);
+}
+
+TEST(Vrf, OutputDeterministic) {
+  const KeyPair kp = keypair_from_seed(11);
+  const auto msg = msg_bytes("m");
+  EXPECT_EQ(vrf_evaluate(kp, msg).beta, vrf_evaluate(kp, msg).beta);
+}
+
+TEST(Vrf, DifferentMessagesDifferentOutputs) {
+  const KeyPair kp = keypair_from_seed(12);
+  EXPECT_NE(vrf_evaluate(kp, msg_bytes("a")).beta, vrf_evaluate(kp, msg_bytes("b")).beta);
+}
+
+TEST(Vrf, DifferentKeysDifferentOutputs) {
+  const auto msg = msg_bytes("same message");
+  EXPECT_NE(vrf_evaluate(keypair_from_seed(13), msg).beta,
+            vrf_evaluate(keypair_from_seed(14), msg).beta);
+}
+
+TEST(Vrf, WrongKeyProofRejected) {
+  const KeyPair kp1 = keypair_from_seed(15);
+  const KeyPair kp2 = keypair_from_seed(16);
+  const auto msg = msg_bytes("m");
+  const VrfOutput out = vrf_evaluate(kp1, msg);
+  EXPECT_FALSE(vrf_verify(kp2.public_key, msg, out.proof).has_value());
+}
+
+TEST(Vrf, TamperedGammaRejected) {
+  const KeyPair kp = keypair_from_seed(17);
+  const auto msg = msg_bytes("m");
+  VrfOutput out = vrf_evaluate(kp, msg);
+  out.proof.gamma = point_double(out.proof.gamma);
+  EXPECT_FALSE(vrf_verify(kp.public_key, msg, out.proof).has_value());
+}
+
+TEST(Vrf, TamperedResponseRejected) {
+  const KeyPair kp = keypair_from_seed(18);
+  const auto msg = msg_bytes("m");
+  VrfOutput out = vrf_evaluate(kp, msg);
+  out.proof.s = addmod(out.proof.s, U256(1), kOrderN);
+  EXPECT_FALSE(vrf_verify(kp.public_key, msg, out.proof).has_value());
+}
+
+TEST(Vrf, HashToCurveProducesCurvePoints) {
+  for (int i = 0; i < 10; ++i) {
+    const auto msg = msg_bytes("point-" + std::to_string(i));
+    const Point p = hash_to_curve(msg);
+    EXPECT_TRUE(is_on_curve(p));
+    EXPECT_FALSE(p.infinity);
+  }
+}
+
+TEST(Vrf, HashToCurveDeterministic) {
+  const auto m = msg_bytes("det");
+  EXPECT_EQ(hash_to_curve(m), hash_to_curve(m));
+}
+
+TEST(Vdf, EvaluateVerifyFull) {
+  const Hash256 input = sha256("vdf-input");
+  const VdfProof proof = vdf_evaluate(input, 1000, 10);
+  EXPECT_EQ(proof.checkpoints.size(), 10u);
+  EXPECT_TRUE(vdf_verify_full(proof));
+}
+
+TEST(Vdf, OutputIsLastCheckpoint) {
+  const VdfProof proof = vdf_evaluate(sha256("x"), 100, 4);
+  EXPECT_EQ(proof.output, proof.checkpoints.back());
+}
+
+TEST(Vdf, MoreIterationsDifferentOutput) {
+  const Hash256 input = sha256("vdf-input");
+  EXPECT_NE(vdf_evaluate(input, 100, 4).output, vdf_evaluate(input, 200, 4).output);
+}
+
+TEST(Vdf, TamperedCheckpointRejected) {
+  VdfProof proof = vdf_evaluate(sha256("y"), 500, 5);
+  proof.checkpoints[2].bytes[0] ^= 0xFF;
+  EXPECT_FALSE(vdf_verify_full(proof));
+}
+
+TEST(Vdf, TamperedOutputRejected) {
+  VdfProof proof = vdf_evaluate(sha256("z"), 500, 5);
+  proof.output.bytes[0] ^= 0x01;
+  EXPECT_FALSE(vdf_verify_full(proof));
+  Rng rng(1);
+  EXPECT_FALSE(vdf_verify_sampled(proof, 3, rng));
+}
+
+TEST(Vdf, SampledVerificationAcceptsValid) {
+  const VdfProof proof = vdf_evaluate(sha256("w"), 1000, 20);
+  Rng rng(2);
+  EXPECT_TRUE(vdf_verify_sampled(proof, 5, rng));
+}
+
+TEST(Vdf, SampledVerificationCatchesCorruptionEventually) {
+  VdfProof proof = vdf_evaluate(sha256("v"), 1000, 10);
+  proof.checkpoints[4].bytes[7] ^= 0x80;
+  // Re-patch the following checkpoint chainlessly: segment 4->5 now broken.
+  Rng rng(3);
+  bool caught = false;
+  for (int trial = 0; trial < 20 && !caught; ++trial)
+    caught = !vdf_verify_sampled(proof, 5, rng);
+  EXPECT_TRUE(caught);
+}
+
+TEST(Vdf, EmptyProofRejected) {
+  VdfProof proof;
+  EXPECT_FALSE(vdf_verify_full(proof));
+  Rng rng(4);
+  EXPECT_FALSE(vdf_verify_sampled(proof, 1, rng));
+}
+
+}  // namespace
+}  // namespace jenga::crypto
