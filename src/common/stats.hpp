@@ -1,7 +1,9 @@
 // Cross-system experiment statistics (shared by Jenga and the baselines).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <vector>
 
 #include "common/types.hpp"
 
@@ -16,6 +18,10 @@ struct TxStats {
   SimTime first_submit_time = 0;
   SimTime last_commit_time = 0;
   std::uint64_t fees_charged = 0;
+  /// Per-transaction commit latencies (same samples that sum to
+  /// total_commit_latency); kept so chaos/resilience runs can report tail
+  /// percentiles, which averages hide.
+  std::vector<SimTime> commit_latencies;
 
   [[nodiscard]] double tps() const {
     const SimTime span = last_commit_time - first_submit_time;
@@ -28,6 +34,20 @@ struct TxStats {
     if (committed == 0) return 0.0;
     return static_cast<double>(total_commit_latency) /
            (static_cast<double>(committed) * static_cast<double>(kSecond));
+  }
+
+  /// q in [0,1]; e.g. 0.5 for the median, 0.99 for p99.
+  [[nodiscard]] double latency_quantile_seconds(double q) const {
+    if (commit_latencies.empty()) return 0.0;
+    std::vector<SimTime> sorted = commit_latencies;
+    std::sort(sorted.begin(), sorted.end());
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const std::size_t idx = static_cast<std::size_t>(pos);
+    const SimTime lo = sorted[idx];
+    const SimTime hi = sorted[std::min(idx + 1, sorted.size() - 1)];
+    const double frac = pos - static_cast<double>(idx);
+    return (static_cast<double>(lo) * (1.0 - frac) + static_cast<double>(hi) * frac) /
+           static_cast<double>(kSecond);
   }
 };
 

@@ -85,11 +85,13 @@ void Replica::enter_height(std::uint64_t height) {
   prepared_cert_sent_ = false;
   commit_cert_sent_ = false;
   current_value_.reset();
+  seen_proposal_digest_.reset();
   sent_prepare_ = false;
   sent_commit_ = false;
   prepared_cert_.reset();
   view_votes_.clear();
   next_view_vote_ = 0;
+  equivocation_view_change_sent_ = false;
   arm_view_timer();
   if (is_leader()) {
     net_.simulator().schedule_after(0, [this, height] {
@@ -153,6 +155,11 @@ void Replica::try_propose() {
     return;
   }
 
+  if (byz_ == ByzantineMode::kEquivocator) {
+    propose_equivocating(*value);
+    return;
+  }
+
   proposal_ = *value;
   current_value_ = *value;
   auto payload = std::make_shared<ProposalPayload>();
@@ -180,6 +187,82 @@ void Replica::try_propose() {
       leader_try_assemble(/*prepared_phase=*/true);
     }
   });
+}
+
+void Replica::propose_equivocating(const ConsensusValue& value) {
+  // A Byzantine leader splits the group: value A goes to one half, a
+  // conflicting twin B to the other, and one victim gets both (so detection
+  // has something to detect).  Neither half can reach quorum, the height
+  // stalls, and honest replicas recover via view change.
+  ConsensusValue twin = value;
+  {
+    crypto::Sha256 h;
+    h.update("jenga/equivocation");
+    h.update(value.digest);
+    twin.digest = h.finish();
+  }
+  const std::uint64_t height = next_height_;
+  const std::uint32_t v = view_;
+  auto make = [&](const ConsensusValue& val) {
+    auto payload = std::make_shared<ProposalPayload>();
+    payload->group = config_->group_tag;
+    payload->height = height;
+    payload->view = v;
+    payload->value = val;
+    sim::Message m;
+    m.type = sim::MsgType::kBftPrePrepare;
+    m.from = self_;
+    m.size_bytes = kProposalOverheadBytes + val.size_bytes;
+    m.payload = std::move(payload);
+    return m;
+  };
+  const sim::Message msg_a = make(value);
+  const sim::Message msg_b = make(twin);
+  NodeId victim{};  // first non-self member receives both conflicting halves
+  bool victim_set = false;
+  bool victim_got_a = false;
+  for (std::size_t i = 0; i < config_->members.size(); ++i) {
+    const NodeId to = config_->members[i];
+    if (to == self_) continue;
+    const bool give_a = i % 2 == 0;
+    if (!victim_set) {
+      victim = to;
+      victim_set = true;
+      victim_got_a = give_a;
+    }
+    net_.send(self_, to, give_a ? msg_a : msg_b, config_->traffic);
+  }
+  if (victim_set) net_.send(self_, victim, victim_got_a ? msg_b : msg_a, config_->traffic);
+  // Deliberately do NOT set proposal_: the equivocator never assembles a
+  // certificate; it only tries to wedge the height.
+}
+
+void Replica::spam_votes(std::uint64_t height, std::uint32_t view, const Hash256& digest) {
+  const NodeId leader = leader_for(view_);
+  if (leader == self_) return;
+  const std::size_t n = config_->members.size();
+  const std::size_t idx = member_index(self_).value_or(0);
+  auto send_junk = [&](std::uint64_t h, std::size_t claimed_index, std::uint64_t sig) {
+    auto vote = std::make_shared<VotePayload>();
+    vote->group = config_->group_tag;
+    vote->height = h;
+    vote->view = view;
+    vote->digest = digest;
+    vote->member_index = claimed_index;
+    vote->signature = sig;  // junk: never verifies against any member key
+    sim::Message out;
+    out.type = sim::MsgType::kBftPrepareVote;
+    out.from = self_;
+    out.size_bytes = kVoteWireBytes;
+    out.payload = std::move(vote);
+    send_to(leader, out);
+  };
+  // Invalid-signature votes, including ones impersonating other members.
+  for (std::uint64_t i = 0; i < 3; ++i)
+    send_junk(height, (idx + i) % n, 0xDEADBEEFULL + i);
+  // Future-height votes: exercise peers' bounded future_ buffer.
+  for (std::uint64_t i = 0; i < 2; ++i)
+    send_junk(height + 3 + i, idx, 0xBADC0DEULL + i);
 }
 
 namespace {
@@ -211,10 +294,36 @@ void Replica::on_message(const sim::Message& msg) {
   // Drop messages belonging to a different consensus group on this node.
   const auto* tagged = dynamic_cast<const GroupPayload*>(msg.payload.get());
   if (tagged == nullptr || tagged->group != config_->group_tag) return;
-  if (message_height(msg) > next_height_) {
+  const std::uint64_t mh = message_height(msg);
+  if (mh > next_height_) {
     // Delivered ahead of this replica's progress; replay after we catch up.
-    if (future_.size() < 4096) future_.push_back(msg);
+    if (future_.size() < kFutureBufferCap) {
+      future_.push_back(msg);
+    } else {
+      ++stats_.future_dropped;
+    }
+    // A gap of two or more heights means this replica is genuinely behind
+    // (crash recovery / healed partition), not just seeing one reordered
+    // delivery — trigger the catch-up path.
+    if (mh > next_height_ + 1) request_sync();
     return;
+  }
+  // A view change or proposal for a height this replica already decided
+  // means the sender is stuck there: the commit certificate it missed is no
+  // longer being rebroadcast (certs are sent once), and if the group has
+  // drained its workload no higher-height traffic will ever trip the
+  // sender's own request_sync gap detector — so push history reactively.
+  // Late votes/certs for the previous height are NOT served: their senders
+  // already advanced.  Rate-limited: a wave of view-change messages from one
+  // stuck peer costs one response.
+  if (mh > 0 && mh < next_height_ &&
+      (msg.type == sim::MsgType::kBftViewChange ||
+       msg.type == sim::MsgType::kBftPrePrepare)) {
+    const SimTime now = net_.simulator().now();
+    if (last_catch_up_served_ < 0 || now - last_catch_up_served_ >= kSyncCooldown) {
+      last_catch_up_served_ = now;
+      serve_history(msg.from, mh);
+    }
   }
   switch (msg.type) {
     case sim::MsgType::kBftPrePrepare: handle_pre_prepare(msg); break;
@@ -224,6 +333,8 @@ void Replica::on_message(const sim::Message& msg) {
     case sim::MsgType::kBftCommitCert: handle_commit_cert(msg); break;
     case sim::MsgType::kBftViewChange: handle_view_change(msg); break;
     case sim::MsgType::kBftNewView: handle_new_view(msg); break;
+    case sim::MsgType::kBftSyncRequest: handle_sync_request(msg); break;
+    case sim::MsgType::kBftSyncResponse: handle_sync_response(msg); break;
     default: break;
   }
 }
@@ -232,7 +343,27 @@ void Replica::handle_pre_prepare(const sim::Message& msg) {
   const auto& p = sim::payload_as<ProposalPayload>(msg);
   if (p.height != next_height_ || p.view != view_) return;
   if (msg.from != leader_for(view_)) return;  // only the leader proposes
+
+  // Equivocation detection: a second proposal from the same leader for the
+  // same (height, view) with a different digest is proof of Byzantine
+  // behaviour.  Vote for a view change immediately (once per view) instead of
+  // waiting out the timer.  Checked before validation so an invalid twin
+  // still counts as evidence.
+  if (seen_proposal_digest_ && !(*seen_proposal_digest_ == p.value.digest)) {
+    ++stats_.equivocations_detected;
+    if (!equivocation_view_change_sent_) {
+      equivocation_view_change_sent_ = true;
+      on_view_timeout(next_height_, view_);
+    }
+    return;
+  }
+  seen_proposal_digest_ = p.value.digest;
+
   if (sent_prepare_) return;
+  if (byz_ == ByzantineMode::kVoteSpammer) {
+    spam_votes(p.height, p.view, p.value.digest);
+    return;  // the spammer's only votes are the junk ones above
+  }
   if (!app_.validate(p.height, p.value)) return;
 
   current_value_ = p.value;
@@ -254,10 +385,13 @@ void Replica::handle_pre_prepare(const sim::Message& msg) {
   out.size_bytes = kVoteWireBytes;
   out.payload = std::move(vote);
   // Verification (re-execution) time before the vote leaves this replica.
+  // A laggard delays every vote by a third of the view timeout on top —
+  // honest-but-slow, probing the protocol's timeout margins.
+  const SimTime lag = byz_ == ByzantineMode::kLaggard ? config_->view_timeout / 3 : 0;
   const std::uint64_t h = p.height;
   const std::uint32_t v = p.view;
   const NodeId leader = leader_for(view_);
-  net_.simulator().schedule_after(p.value.exec_delay, [this, h, v, leader, out] {
+  net_.simulator().schedule_after(p.value.exec_delay + lag, [this, h, v, leader, out] {
     if (next_height_ != h || view_ != v) return;
     send_to(leader, out);
   });
@@ -266,10 +400,16 @@ void Replica::handle_pre_prepare(const sim::Message& msg) {
 void Replica::handle_prepare_vote(const sim::Message& msg) {
   const auto& v = sim::payload_as<VotePayload>(msg);
   if (v.height != next_height_ || v.view != view_ || !is_leader() || !proposal_) return;
-  if (!(v.digest == proposal_->digest)) return;
+  if (!(v.digest == proposal_->digest)) {
+    ++stats_.invalid_votes_rejected;
+    return;
+  }
   if (v.member_index >= keys_.size()) return;
   const Hash256 digest = vote_digest(v.digest, v.height, v.view, false);
-  if (!crypto::fast_verify(public_ids_[v.member_index], digest, v.signature)) return;
+  if (!crypto::fast_verify(public_ids_[v.member_index], digest, v.signature)) {
+    ++stats_.invalid_votes_rejected;
+    return;
+  }
   prepare_votes_[v.member_index] = true;
   leader_try_assemble(/*prepared_phase=*/true);
 }
@@ -309,9 +449,15 @@ void Replica::handle_prepared_cert(const sim::Message& msg) {
   const auto& p = sim::payload_as<CertPayload>(msg);
   if (p.cert.height != next_height_ || p.cert.view != view_) return;
   if (sent_commit_) return;
-  if (p.cert.sig.signer_count() < quorum()) return;
+  if (p.cert.sig.signer_count() < quorum()) {
+    ++stats_.invalid_certs_rejected;
+    return;
+  }
   const Hash256 digest = vote_digest(p.cert.value_digest, p.cert.height, p.cert.view, false);
-  if (!crypto::fast_verify_multisig(public_ids_, digest, p.cert.sig)) return;
+  if (!crypto::fast_verify_multisig(public_ids_, digest, p.cert.sig)) {
+    ++stats_.invalid_certs_rejected;
+    return;
+  }
 
   if (!current_value_) current_value_ = p.value;  // recover value if gossip missed us
   prepared_cert_ = p.cert;
@@ -332,16 +478,32 @@ void Replica::handle_prepared_cert(const sim::Message& msg) {
   out.from = self_;
   out.size_bytes = kVoteWireBytes;
   out.payload = std::move(vote);
-  send_to(leader_for(view_), out);
+  if (byz_ == ByzantineMode::kLaggard) {
+    const std::uint64_t h = p.cert.height;
+    const std::uint32_t v = p.cert.view;
+    const NodeId leader = leader_for(view_);
+    net_.simulator().schedule_after(config_->view_timeout / 3, [this, h, v, leader, out] {
+      if (next_height_ != h || view_ != v) return;
+      send_to(leader, out);
+    });
+  } else {
+    send_to(leader_for(view_), out);
+  }
 }
 
 void Replica::handle_commit_vote(const sim::Message& msg) {
   const auto& v = sim::payload_as<VotePayload>(msg);
   if (v.height != next_height_ || v.view != view_ || !is_leader() || !proposal_) return;
-  if (!(v.digest == proposal_->digest)) return;
+  if (!(v.digest == proposal_->digest)) {
+    ++stats_.invalid_votes_rejected;
+    return;
+  }
   if (v.member_index >= keys_.size()) return;
   const Hash256 digest = vote_digest(v.digest, v.height, v.view, true);
-  if (!crypto::fast_verify(public_ids_[v.member_index], digest, v.signature)) return;
+  if (!crypto::fast_verify(public_ids_[v.member_index], digest, v.signature)) {
+    ++stats_.invalid_votes_rejected;
+    return;
+  }
   commit_votes_[v.member_index] = true;
   leader_try_assemble(/*prepared_phase=*/false);
 }
@@ -349,9 +511,15 @@ void Replica::handle_commit_vote(const sim::Message& msg) {
 void Replica::handle_commit_cert(const sim::Message& msg) {
   const auto& p = sim::payload_as<CertPayload>(msg);
   if (p.cert.height != next_height_) return;
-  if (p.cert.sig.signer_count() < quorum()) return;
+  if (p.cert.sig.signer_count() < quorum()) {
+    ++stats_.invalid_certs_rejected;
+    return;
+  }
   const Hash256 digest = vote_digest(p.cert.value_digest, p.cert.height, p.cert.view, true);
-  if (!crypto::fast_verify_multisig(public_ids_, digest, p.cert.sig)) return;
+  if (!crypto::fast_verify_multisig(public_ids_, digest, p.cert.sig)) {
+    ++stats_.invalid_certs_rejected;
+    return;
+  }
 
   ConsensusValue value = current_value_ && current_value_->digest == p.cert.value_digest
                              ? *current_value_
@@ -362,6 +530,8 @@ void Replica::handle_commit_cert(const sim::Message& msg) {
 
 void Replica::decide(const ConsensusValue& value, const QuorumCert& cert) {
   const std::uint64_t decided = next_height_;
+  decided_log_[decided] = DecidedEntry{value, cert};
+  if (decided >= kDecidedLogWindow) decided_log_.erase(decided - kDecidedLogWindow);
   app_.on_decide(decided, value, cert);
   enter_height(decided + 1);
 }
@@ -369,17 +539,26 @@ void Replica::decide(const ConsensusValue& value, const QuorumCert& cert) {
 void Replica::handle_view_change(const sim::Message& msg) {
   const auto& p = sim::payload_as<ViewChangePayload>(msg);
   if (p.height != next_height_ || p.new_view <= view_) return;
+  // Cap how far ahead a single vote can point: without this a Byzantine node
+  // could inflate view_votes_ with unbounded view numbers.
+  if (p.new_view > view_ + kMaxViewSkip) return;
   if (p.member_index >= config_->members.size()) return;
   auto& votes = view_votes_[p.new_view];
   if (votes.empty()) votes.assign(config_->members.size(), false);
   votes[p.member_index] = true;
 
   // Adopt the strongest prepared certificate seen so far, so a potentially
-  // decided value survives the view change.
+  // decided value survives the view change.  The certificate is re-verified
+  // here: a forged one is dropped (the view-change vote itself still counts).
   if (p.prepared && p.prepared->height == next_height_ &&
+      p.prepared->value_digest == p.prepared_value.digest &&
       (!prepared_cert_ || prepared_cert_->view < p.prepared->view)) {
-    prepared_cert_ = p.prepared;
-    current_value_ = p.prepared_value;
+    if (verify_cert(*p.prepared)) {
+      prepared_cert_ = p.prepared;
+      current_value_ = p.prepared_value;
+    } else {
+      ++stats_.invalid_certs_rejected;
+    }
   }
 
   const std::size_t count =
@@ -409,9 +588,19 @@ void Replica::handle_view_change(const sim::Message& msg) {
 void Replica::handle_new_view(const sim::Message& msg) {
   const auto& p = sim::payload_as<NewViewPayload>(msg);
   if (p.height != next_height_ || p.new_view <= view_) return;
+  if (p.new_view > view_ + kMaxViewSkip) return;
   const std::size_t n = config_->members.size();
   const NodeId expected_leader = config_->members[(p.height + p.new_view) % n];
   if (msg.from != expected_leader) return;
+  // A NEW_VIEW carrying a forged or mismatched prepared certificate is
+  // rejected wholesale: accepting it would let a Byzantine leader inject an
+  // arbitrary "locked" value.
+  if (p.prepared &&
+      (p.prepared->height != next_height_ ||
+       !(p.prepared->value_digest == p.prepared_value.digest) || !verify_cert(*p.prepared))) {
+    ++stats_.invalid_certs_rejected;
+    return;
+  }
 
   view_ = p.new_view;
   proposal_.reset();
@@ -421,6 +610,8 @@ void Replica::handle_new_view(const sim::Message& msg) {
   commit_cert_sent_ = false;
   sent_prepare_ = false;
   sent_commit_ = false;
+  seen_proposal_digest_.reset();
+  equivocation_view_change_sent_ = false;
   if (p.prepared) {
     prepared_cert_ = p.prepared;
     current_value_ = p.prepared_value;
@@ -451,6 +642,92 @@ void Replica::handle_new_view(const sim::Message& msg) {
     } else {
       try_propose();
     }
+  }
+}
+
+void Replica::request_sync() {
+  if (!started_) return;
+  const SimTime now = net_.simulator().now();
+  if (last_sync_request_ >= 0 && now - last_sync_request_ < kSyncCooldown) return;
+  last_sync_request_ = now;
+  ++stats_.sync_requests_sent;
+
+  auto payload = std::make_shared<SyncRequestPayload>();
+  payload->group = config_->group_tag;
+  payload->from_height = next_height_;
+  sim::Message msg;
+  msg.type = sim::MsgType::kBftSyncRequest;
+  msg.from = self_;
+  msg.size_bytes = kSyncRequestWireBytes;
+  msg.payload = std::move(payload);
+
+  // Ask two distinct peers; rotate the choice with the height so a single
+  // crashed or Byzantine peer cannot permanently wedge recovery.
+  const auto& m = config_->members;
+  const std::size_t n = m.size();
+  const std::size_t idx = member_index(self_).value_or(0);
+  std::size_t asked = 0;
+  for (std::size_t off = 1; off < n && asked < 2; ++off) {
+    const NodeId peer = m[(idx + off + next_height_) % n];
+    if (peer == self_) continue;
+    send_to(peer, msg);
+    ++asked;
+  }
+}
+
+void Replica::handle_sync_request(const sim::Message& msg) {
+  const auto& p = sim::payload_as<SyncRequestPayload>(msg);
+  serve_history(msg.from, p.from_height);
+}
+
+void Replica::serve_history(NodeId to, std::uint64_t from_height) {
+  if (from_height >= next_height_) return;  // requester is not behind us
+  auto payload = std::make_shared<SyncResponsePayload>();
+  payload->group = config_->group_tag;
+  payload->start_height = from_height;
+  std::uint32_t bytes = 0;
+  for (std::uint64_t h = from_height;
+       h < next_height_ && payload->entries.size() < kSyncBatchMax; ++h) {
+    const auto it = decided_log_.find(h);
+    if (it == decided_log_.end()) break;  // aged out of the window
+    payload->entries.emplace_back(it->second.value, it->second.cert);
+    bytes += it->second.value.size_bytes + it->second.cert.wire_size();
+  }
+  if (payload->entries.empty()) return;
+  ++stats_.sync_responses_served;
+  sim::Message out;
+  out.type = sim::MsgType::kBftSyncResponse;
+  out.from = self_;
+  out.size_bytes = kSyncRequestWireBytes + bytes;
+  out.payload = std::move(payload);
+  send_to(to, out);
+}
+
+void Replica::handle_sync_response(const sim::Message& msg) {
+  const auto& p = sim::payload_as<SyncResponsePayload>(msg);
+  bool advanced = false;
+  std::uint64_t h = p.start_height;
+  for (const auto& [value, cert] : p.entries) {
+    if (h < next_height_) {
+      ++h;  // already have it (e.g. two peers answered)
+      continue;
+    }
+    if (h > next_height_) break;  // non-consecutive; cannot verify a gap
+    // Every entry is applied only under a valid commit certificate: a
+    // Byzantine responder can withhold history but cannot rewrite it.
+    if (cert.height != h || !(cert.value_digest == value.digest) || !verify_cert(cert)) {
+      ++stats_.invalid_certs_rejected;
+      return;
+    }
+    ++stats_.sync_heights_applied;
+    decide(value, cert);  // advances next_height_ and replays future_
+    advanced = true;
+    ++h;
+  }
+  // A full batch means there may be more history; follow up immediately.
+  if (advanced && p.entries.size() >= kSyncBatchMax) {
+    last_sync_request_ = -1;
+    request_sync();
   }
 }
 

@@ -86,6 +86,22 @@ enum class ByzantineMode : std::uint8_t {
   kHonest = 0,
   kSilent,        // never votes / never proposes (crash-equivalent)
   kMuteProposer,  // votes, but withholds proposals when leader
+  kEquivocator,   // as leader, sends conflicting PRE_PREPAREs to disjoint halves
+  kVoteSpammer,   // floods the leader with invalid + future-height votes
+  kLaggard,       // votes honestly but delays every vote (tests timeout margins)
+};
+
+/// Per-replica defence counters: how much adversarial input this replica has
+/// detected and rejected, plus state-sync activity.  Exposed so chaos tests
+/// can assert the hardening paths actually fired.
+struct ReplicaStats {
+  std::uint64_t equivocations_detected = 0;   // conflicting proposals, same (h,v)
+  std::uint64_t invalid_votes_rejected = 0;   // bad signature or bad digest
+  std::uint64_t invalid_certs_rejected = 0;   // quorum/signature check failed
+  std::uint64_t future_dropped = 0;           // future_ buffer overflowed
+  std::uint64_t sync_requests_sent = 0;
+  std::uint64_t sync_responses_served = 0;
+  std::uint64_t sync_heights_applied = 0;     // decided via catch-up, not votes
 };
 
 /// One replica's state machine for one group.  All replicas of a group share
@@ -107,9 +123,17 @@ class Replica {
   [[nodiscard]] std::uint64_t decided_height() const { return next_height_; }
   [[nodiscard]] NodeId self() const { return self_; }
   [[nodiscard]] bool is_leader() const { return leader_for(view_) == self_; }
+  [[nodiscard]] std::uint32_t view() const { return view_; }
+  [[nodiscard]] NodeId current_leader() const { return leader_for(view_); }
 
   void set_byzantine(ByzantineMode mode) { byz_ = mode; }
   [[nodiscard]] ByzantineMode byzantine_mode() const { return byz_; }
+
+  [[nodiscard]] const ReplicaStats& stats() const { return stats_; }
+
+  /// Asks peers for decided heights this replica missed (crash recovery or a
+  /// healed partition).  Safe to call repeatedly: rate-limited internally.
+  void request_sync();
 
   /// f = ⌊(n-1)/3⌋; quorum = 2f+1.
   [[nodiscard]] std::size_t quorum() const { return 2 * ((config_->members.size() - 1) / 3) + 1; }
@@ -132,8 +156,14 @@ class Replica {
   void handle_commit_cert(const sim::Message& msg);
   void handle_view_change(const sim::Message& msg);
   void handle_new_view(const sim::Message& msg);
+  void handle_sync_request(const sim::Message& msg);
+  void handle_sync_response(const sim::Message& msg);
+  /// Pushes decided (value, cert) entries starting at `from_height` to `to`.
+  void serve_history(NodeId to, std::uint64_t from_height);
   void leader_try_assemble(bool prepared_phase);
   void decide(const ConsensusValue& value, const QuorumCert& cert);
+  void propose_equivocating(const ConsensusValue& value);
+  void spam_votes(std::uint64_t height, std::uint32_t view, const Hash256& digest);
 
   sim::Network& net_;
   NodeId self_;
@@ -158,6 +188,7 @@ class Replica {
 
   // Replica-side state.
   std::optional<ConsensusValue> current_value_;      // validated pre-prepare
+  std::optional<Hash256> seen_proposal_digest_;      // equivocation detection
   bool sent_prepare_ = false;
   bool sent_commit_ = false;
   std::optional<QuorumCert> prepared_cert_;          // carried into view changes
@@ -165,12 +196,32 @@ class Replica {
   // View change collection (on the prospective new leader).
   std::unordered_map<std::uint32_t, std::vector<bool>> view_votes_;
   std::uint32_t next_view_vote_ = 0;  // escalates past consecutively dead leaders
+  bool equivocation_view_change_sent_ = false;  // one immediate vote per view
 
   // Messages for heights this replica has not reached yet (reordered
   // deliveries); replayed on entering each new height.
   std::vector<sim::Message> future_;
 
+  // Recently decided heights with their commit certificates, kept for serving
+  // state-sync requests from recovering peers (FIFO window of
+  // kDecidedLogWindow heights).
+  struct DecidedEntry {
+    ConsensusValue value;
+    QuorumCert cert;
+  };
+  std::unordered_map<std::uint64_t, DecidedEntry> decided_log_;
+  SimTime last_sync_request_ = -1;  // rate limit: one request per cooldown
+  SimTime last_catch_up_served_ = -1;  // rate limit for reactive history pushes
+
+  ReplicaStats stats_;
+
   bool started_ = false;
+
+  static constexpr std::size_t kFutureBufferCap = 1024;
+  static constexpr std::uint64_t kDecidedLogWindow = 256;
+  static constexpr std::size_t kSyncBatchMax = 32;
+  static constexpr std::uint32_t kMaxViewSkip = 64;
+  static constexpr SimTime kSyncCooldown = kSecond;
 };
 
 }  // namespace jenga::consensus

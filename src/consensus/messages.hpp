@@ -49,9 +49,25 @@ struct NewViewPayload : GroupPayload {
   ConsensusValue prepared_value;
 };
 
+/// Catch-up request from a replica that fell behind (crash recovery, long
+/// partition, or message loss): "send me everything you decided from
+/// `from_height` on".
+struct SyncRequestPayload : GroupPayload {
+  std::uint64_t from_height = 0;
+};
+
+/// A batch of decided heights with their commit certificates; the requester
+/// verifies each certificate before applying, so a Byzantine responder can
+/// only withhold, never forge.
+struct SyncResponsePayload : GroupPayload {
+  std::uint64_t start_height = 0;
+  std::vector<std::pair<ConsensusValue, QuorumCert>> entries;  // consecutive
+};
+
 /// Wire sizes (bytes) for the small control messages.
 inline constexpr std::uint32_t kVoteWireBytes = 96;
 inline constexpr std::uint32_t kProposalOverheadBytes = 128;
 inline constexpr std::uint32_t kViewChangeWireBytes = 192;
+inline constexpr std::uint32_t kSyncRequestWireBytes = 64;
 
 }  // namespace jenga::consensus

@@ -106,8 +106,19 @@ struct GatherUnit {
 
   std::unordered_map<Hash256, Pending> pending;
   std::deque<Hash256> ready;
+  /// Transactions whose entry was consumed by a decision.  Late tx copies or
+  /// stray re-grants must not resurrect a Pending for them: a resurrected
+  /// entry eventually expires and emits a *second* abort/result for a tx the
+  /// shards already settled.
+  std::unordered_set<Hash256> done;
+
+  void finish(const Hash256& h) {
+    pending.erase(h);
+    done.insert(h);
+  }
 
   void on_tx(const TxPtr& tx, std::size_t expected, SimTime now) {
+    if (done.contains(tx->hash)) return;
     auto& p = pending[tx->hash];
     if (!p.tx) {
       p.tx = tx;
@@ -118,6 +129,7 @@ struct GatherUnit {
   }
 
   void on_grant(const StateGrant& grant, SimTime now) {
+    if (done.contains(grant.tx_hash)) return;
     auto& p = pending[grant.tx_hash];
     if (p.first_seen == 0) p.first_seen = now;
     if (p.reported.contains(grant.source.value)) return;
@@ -168,6 +180,15 @@ struct JengaSystem::ShardEngine {
   GatherUnit gather;  // kNoLattice / kNoGlobalLogic
 
   std::unordered_set<Hash256> seen_client;  // dedup client submissions
+  /// Txs whose outcome this shard already applied.  Per-shard, not global:
+  /// between the first and last involved shard applying an outcome the tx is
+  /// still in the global tracker, and a queued lock-retry firing in that
+  /// window at an already-settled shard would re-lock state with no
+  /// commit/abort left to release it.
+  std::unordered_set<Hash256> finished;
+  /// Abort fees waiting for the sender's account lock to clear (charging
+  /// while another tx holds the account would be lost to that tx's commit).
+  std::deque<std::pair<AccountId, std::uint64_t>> deferred_abort_fees;
   std::unordered_set<std::uint64_t> grant_dedup;   // (source<<32|height) keys
   std::unordered_set<std::uint64_t> result_dedup;  // (source<<32|height) keys
   std::unordered_map<Hash256, std::uint32_t> continuation_dedup;  // tx -> max step seen
@@ -313,9 +334,40 @@ void JengaSystem::start() {
 }
 
 void JengaSystem::set_node_silent(NodeId node) {
-  shard_replicas_[node.value]->set_byzantine(consensus::ByzantineMode::kSilent);
-  if (channel_replicas_[node.value])
-    channel_replicas_[node.value]->set_byzantine(consensus::ByzantineMode::kSilent);
+  set_node_byzantine(node, consensus::ByzantineMode::kSilent);
+}
+
+void JengaSystem::set_node_byzantine(NodeId node, consensus::ByzantineMode mode) {
+  shard_replicas_[node.value]->set_byzantine(mode);
+  if (channel_replicas_[node.value]) channel_replicas_[node.value]->set_byzantine(mode);
+}
+
+void JengaSystem::on_node_recovered(NodeId node) {
+  shard_replicas_[node.value]->request_sync();
+  if (channel_replicas_[node.value]) channel_replicas_[node.value]->request_sync();
+}
+
+NodeId JengaSystem::shard_leader(ShardId s) const {
+  const NodeId probe = lattice_->shard_members(s).front();
+  return shard_replicas_[probe.value]->current_leader();
+}
+
+void JengaSystem::note_decide(std::uint64_t group_tag, std::uint64_t height,
+                              const Hash256& digest) {
+  const auto [it, inserted] = decide_ledger_.try_emplace({group_tag, height}, digest);
+  if (!inserted && !(it->second == digest)) ++divergent_decides_;
+}
+
+void JengaSystem::relay_gossip(NodeId node, const std::vector<NodeId>& group,
+                               const sim::Message& msg) {
+  net_.gossip(node, group, msg, sim::TrafficClass::kIntraShard);
+  if (!net_.fault_profile().any()) return;
+  for (const SimTime delay : {2 * kSecond, 8 * kSecond}) {
+    sim_.schedule_after(delay, [this, node, group, msg] {
+      if (net_.node_down(node)) return;
+      net_.gossip(node, group, msg, sim::TrafficClass::kIntraShard);
+    });
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -664,7 +716,7 @@ std::optional<consensus::ConsensusValue> JengaSystem::shard_propose(ShardEngine&
       if (it == eng.gather.pending.end()) continue;
       eng.visits.push_back(
           ExecVisit{it->second.tx, std::move(it->second.gathered), 0, it->second.abort});
-      eng.gather.pending.erase(it);
+      eng.gather.finish(h);
     }
   }
 
@@ -730,6 +782,7 @@ std::optional<consensus::ConsensusValue> JengaSystem::shard_propose(ShardEngine&
 
 void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t height,
                                const consensus::ConsensusValue& value) {
+  note_decide(kShardGroupTag | eng.id.value, height, value.digest);
   const auto* payload = dynamic_cast<const ShardBlockPayload*>(value.data.get());
   if (payload == nullptr) return;
 
@@ -743,6 +796,13 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
     std::map<std::uint32_t, GrantBatchPayload> batches;  // key: channel or shard
     for (const DetermineItem& det : payload->determine) {
       const TxPtr& tx = det.tx;
+      // The tx may have resolved while this item waited in the mempool (e.g.
+      // another shard exhausted its lock retries and the channel's abort
+      // already reached us).  Granting now would lock state for a dead tx —
+      // with no commit/abort ever coming to release it.  `finished` covers
+      // the window where this shard settled the tx but the tracker still
+      // waits on other shards.
+      if (!tracker_.contains(tx->hash) || eng.finished.contains(tx->hash)) continue;
       StateGrant grant;
       grant.tx_hash = tx->hash;
       grant.source = eng.id;
@@ -756,29 +816,23 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
           local_accounts.push_back(a);
 
       bool ok = true;
-      std::vector<ContractId> locked_c;
-      std::vector<AccountId> locked_a;
       for (auto c : local_contracts) {
-        if (eng.locks.lock_contract(c, tx->hash)) {
-          locked_c.push_back(c);
-        } else {
+        if (!eng.locks.lock_contract(c, tx->hash)) {
           ok = false;
           break;
         }
       }
       if (ok) {
         for (auto a : local_accounts) {
-          if (eng.locks.lock_account(a, tx->hash)) {
-            locked_a.push_back(a);
-          } else {
+          if (!eng.locks.lock_account(a, tx->hash)) {
             ok = false;
             break;
           }
         }
       }
       if (!ok) {
-        for (auto c : locked_c) eng.locks.unlock_contract(c, tx->hash);
-        for (auto a : locked_a) eng.locks.unlock_account(a, tx->hash);
+        // Partial acquisition: drop whatever this tx managed to lock.
+        eng.locks.release_all(tx->hash);
         if (det.retries < config_.max_lock_retries) {
           // Locked by another in-flight tx: retry from the mempool in a
           // later block rather than aborting outright.
@@ -866,13 +920,16 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
     std::uint64_t body_bytes = 0;
     for (const CommitItem& item : payload->commits) {
       const Transaction& tx = *item.tx;
-      // Unlock everything this shard holds for the tx.
-      for (auto c : tx.contracts)
-        if (ledger::shard_of_contract(c, config_.num_shards) == eng.id)
-          eng.locks.unlock_contract(c, tx.hash);
-      for (auto a : tx.accounts)
-        if (ledger::shard_of_account(a, config_.num_shards) == eng.id)
-          eng.locks.unlock_account(a, tx.hash);
+      // Unlock everything this shard holds for the tx.  Release by owner, not
+      // by enumerating the footprint: a footprint walk silently leaks any
+      // lock the enumeration misses, and a leaked lock wedges that state key
+      // forever.
+      eng.locks.release_all(tx.hash);
+      // One outcome per tx per shard: under heavy loss a settled tx can come
+      // back (a resurrected gather entry re-expiring, say), and applying a
+      // second outcome double-counts the fee or overwrites newer state with
+      // a stale snapshot.
+      if (!eng.finished.insert(tx.hash).second) continue;
 
       const bool sender_local =
           ledger::shard_of_account(tx.sender, config_.num_shards) == eng.id;
@@ -885,12 +942,34 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
         body_bytes += tx.wire_size();
       } else if (sender_local) {
         // Abort: the fee is still deducted (paper §V-C, Transaction Fee).
-        const std::uint64_t bal = eng.store.balance(tx.sender).value_or(0);
-        const std::uint64_t charge = std::min(bal, tx.fee);
-        eng.store.set_balance(tx.sender, bal - charge);
-        stats_.fees_charged += charge;
+        // If another in-flight tx holds the sender's account, its gathered
+        // snapshot predates this deduction and its commit would silently
+        // overwrite it — defer the charge until the lock clears.
+        if (eng.locks.account_locked(tx.sender)) {
+          eng.deferred_abort_fees.emplace_back(tx.sender, tx.fee);
+        } else {
+          const std::uint64_t bal = eng.store.balance(tx.sender).value_or(0);
+          const std::uint64_t charge = std::min(bal, tx.fee);
+          eng.store.set_balance(tx.sender, bal - charge);
+          stats_.fees_charged += charge;
+        }
       }
       tx_shard_finished(tx.hash, item.ok);
+    }
+
+    // Charge deferred abort fees whose account lock has since been released
+    // (commits above are the only place locks clear, so retry per block).
+    for (std::size_t n = eng.deferred_abort_fees.size(); n-- > 0;) {
+      const auto [acct, fee] = eng.deferred_abort_fees.front();
+      eng.deferred_abort_fees.pop_front();
+      if (eng.locks.account_locked(acct)) {
+        eng.deferred_abort_fees.emplace_back(acct, fee);
+        continue;
+      }
+      const std::uint64_t bal = eng.store.balance(acct).value_or(0);
+      const std::uint64_t charge = std::min(bal, fee);
+      eng.store.set_balance(acct, bal - charge);
+      stats_.fees_charged += charge;
     }
 
     // --- Transfers (traditional 2PC path, §V-D) -------------------------
@@ -1041,7 +1120,7 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
     for (const auto& [tx, result] : payload->exec_entries) {
       // Retire the gathered entry.
       if (!eng.gather.ready.empty()) eng.gather.ready.pop_front();
-      eng.gather.pending.erase(result.tx_hash);
+      eng.gather.finish(result.tx_hash);
       if (!tx) continue;
       add_result(*tx, result);
     }
@@ -1099,7 +1178,7 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
     // Gossip rather than unicast-to-all: batches carry whole contract
     // states, and a fanout tree spreads the serialization load across the
     // channel instead of saturating each subgroup member's uplink.
-    net_.gossip(node, lattice_->channel_members(ch), copy, sim::TrafficClass::kIntraShard);
+    relay_gossip(node, lattice_->channel_members(ch), copy);
     on_node_message(node, copy);  // local ingest (gossip skips self)
   }
 }
@@ -1139,6 +1218,7 @@ std::optional<consensus::ConsensusValue> JengaSystem::channel_propose(ChannelEng
 
 void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t height,
                                  const consensus::ConsensusValue& value) {
+  note_decide(kChannelGroupTag | eng.id.value, height, value.digest);
   const auto* payload = dynamic_cast<const ChannelBlockPayload*>(value.data.get());
   if (payload == nullptr) return;
 
@@ -1150,7 +1230,7 @@ void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t 
     std::map<std::uint32_t, ResultBatchPayload> batches;
     for (const auto& [tx, result] : payload->entries) {
       if (!eng.gather.ready.empty()) eng.gather.ready.pop_front();
-      eng.gather.pending.erase(result.tx_hash);
+      eng.gather.finish(result.tx_hash);
       if (!tx) continue;
       for (ShardId target : involved_shards(*tx)) {
         auto& batch = batches[target.value];
@@ -1182,7 +1262,7 @@ void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t 
     if (asg.shard != shard) continue;
     sim::Message copy = msg;
     copy.from = node;
-    net_.gossip(node, lattice_->shard_members(shard), copy, sim::TrafficClass::kIntraShard);
+    relay_gossip(node, lattice_->shard_members(shard), copy);
     on_node_message(node, copy);
   }
 }
@@ -1202,6 +1282,7 @@ void JengaSystem::tx_shard_finished(const Hash256& tx_hash, bool ok) {
   } else {
     ++stats_.committed;
     stats_.total_commit_latency += sim_.now() - e.submitted;
+    stats_.commit_latencies.push_back(sim_.now() - e.submitted);
     stats_.last_commit_time = std::max(stats_.last_commit_time, sim_.now());
   }
   tracker_.erase(it);

@@ -30,6 +30,7 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -96,9 +97,32 @@ class JengaSystem {
   [[nodiscard]] const ledger::StateStore& shard_store(ShardId s) const;
   [[nodiscard]] std::uint64_t total_account_balance() const;
   [[nodiscard]] std::size_t held_locks() const;
+  /// Transactions submitted but neither committed nor aborted yet.
+  [[nodiscard]] std::size_t in_flight() const { return tracker_.size(); }
+  /// Safety violations observed: two replicas of one group deciding different
+  /// digests at the same height.  Must stay 0 under every fault schedule.
+  [[nodiscard]] std::uint64_t divergent_decides() const { return divergent_decides_; }
 
   /// Marks a node Byzantine-silent (consensus-level fault injection).
   void set_node_silent(NodeId node);
+  /// Generalized consensus-level fault injection: the mode applies to both of
+  /// the node's replicas (state shard and execution channel).
+  void set_node_byzantine(NodeId node, consensus::ByzantineMode mode);
+  /// Call after bringing a crashed node back up: both of its replicas request
+  /// state sync so they catch up instead of silently resuming at a stale
+  /// height.
+  void on_node_recovered(NodeId node);
+
+  /// Replica introspection for fault injection and tests.
+  [[nodiscard]] const consensus::Replica& shard_replica(NodeId node) const {
+    return *shard_replicas_[node.value];
+  }
+  [[nodiscard]] const consensus::Replica* channel_replica(NodeId node) const {
+    return channel_replicas_[node.value].get();
+  }
+  /// The node currently leading shard `s`'s consensus (as seen by the first
+  /// member's replica) — the target for leader-assassination faults.
+  [[nodiscard]] NodeId shard_leader(ShardId s) const;
 
  private:
   struct ShardEngine;
@@ -115,6 +139,13 @@ class JengaSystem {
   void handle_result_batch(NodeId node, const sim::Message& msg);
   void handle_two_pc(NodeId node, const sim::Message& msg);
   void tx_shard_finished(const Hash256& tx_hash, bool ok);
+  void note_decide(std::uint64_t group_tag, std::uint64_t height, const Hash256& digest);
+  /// Forwarding-duty gossip of a certified outcome (grants into a channel,
+  /// results into a shard).  On a lossless network this is one gossip; when a
+  /// link-fault profile is active the relay re-gossips twice more (receivers
+  /// dedup by batch key), because a fully lost outcome relay has no other
+  /// retransmission path and would wedge its transactions' locks forever.
+  void relay_gossip(NodeId node, const std::vector<NodeId>& group, const sim::Message& msg);
 
   // Consensus app plumbing (payload types are internal to the .cpp).
   [[nodiscard]] std::optional<consensus::ConsensusValue> shard_propose(ShardEngine& eng,
@@ -161,6 +192,11 @@ class JengaSystem {
   /// without shipping the tx in every message.
   std::unordered_map<Hash256, TxPtr> tx_for_result_;
   TxStats stats_;
+
+  // First digest decided per (group tag, height), for divergence detection
+  // across the replicas of each group.
+  std::map<std::pair<std::uint64_t, std::uint64_t>, Hash256> decide_ledger_;
+  std::uint64_t divergent_decides_ = 0;
 
   std::uint64_t contact_rr_ = 0;  // round-robin over members for client entry
 };

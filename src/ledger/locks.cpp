@@ -26,6 +26,15 @@ bool LockManager::unlock_account(AccountId id, const Hash256& owner) {
   return true;
 }
 
+std::size_t LockManager::release_all(const Hash256& owner) {
+  std::size_t released = 0;
+  released += std::erase_if(contract_locks_,
+                            [&](const auto& kv) { return kv.second == owner; });
+  released += std::erase_if(account_locks_,
+                            [&](const auto& kv) { return kv.second == owner; });
+  return released;
+}
+
 bool LockManager::contract_locked(ContractId id) const { return contract_locks_.contains(id); }
 bool LockManager::account_locked(AccountId id) const { return account_locks_.contains(id); }
 

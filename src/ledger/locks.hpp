@@ -25,6 +25,12 @@ class LockManager {
   bool unlock_contract(ContractId id, const Hash256& owner);
   bool unlock_account(AccountId id, const Hash256& owner);
 
+  /// Releases every lock held by `owner` (both kinds); returns how many were
+  /// released.  The one safe way to clean up on abort: enumerating the
+  /// transaction's footprint at the call site risks missing locks acquired
+  /// before a partial failure.
+  std::size_t release_all(const Hash256& owner);
+
   [[nodiscard]] bool contract_locked(ContractId id) const;
   [[nodiscard]] bool account_locked(AccountId id) const;
   [[nodiscard]] const Hash256* contract_owner(ContractId id) const;

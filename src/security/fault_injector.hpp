@@ -1,0 +1,128 @@
+// Scripted fault injection + invariant checking for chaos experiments.
+//
+// A FaultPlan is a declarative schedule of adversarial events over simulation
+// time: link-fault profile ramps (drop/duplicate/delay), bidirectional
+// partition windows, crash/recover churn, static Byzantine role assignments,
+// and leader assassination (crash whichever node leads a shard at a chosen
+// moment).  FaultInjector::arm() translates the plan into simulator events
+// once; the same plan + the same seed replays bit-identically.
+//
+// After the run drains, check_invariants() audits the safety properties that
+// must hold under ANY fault schedule the protocol claims to tolerate:
+//   - no leaked locks (every Phase-1 lock released by Phase-3 commit/abort),
+//   - conservation of total balance (minus explicitly charged fees),
+//   - no two replicas of one group deciding different values at a height,
+//   - no transaction left in limbo (neither committed nor aborted).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "consensus/bft.hpp"
+#include "core/jenga_system.hpp"
+#include "simnet/network.hpp"
+#include "simnet/simulator.hpp"
+
+namespace jenga::security {
+
+/// At time `at`, replace the network's global link-fault profile.  A sequence
+/// of ramps sweeps drop rates up and down over a run.
+struct FaultRamp {
+  SimTime at = 0;
+  sim::LinkFaults faults;
+};
+
+/// Between [start, end) the `isolated` nodes sit in their own partition
+/// group: no traffic crosses between them and the rest of the network.
+struct PartitionWindow {
+  SimTime start = 0;
+  SimTime end = 0;
+  std::vector<NodeId> isolated;
+  std::uint8_t group = 1;  // distinct groups allow overlapping windows
+};
+
+/// Crash `node` at crash_at; bring it back at recover_at (0 = stays down).
+/// Recovery triggers the BFT state-sync path rather than a silent resume.
+struct CrashWindow {
+  NodeId node;
+  SimTime crash_at = 0;
+  SimTime recover_at = 0;
+};
+
+/// Assign a consensus-level Byzantine role to a node for the whole run.
+struct ByzantineAssignment {
+  NodeId node;
+  consensus::ByzantineMode mode = consensus::ByzantineMode::kSilent;
+};
+
+/// At time `at`, crash whichever node currently leads shard `shard`'s
+/// consensus (resolved at fire time, not at arm time); revive it at
+/// recover_at (0 = stays down).
+struct LeaderAssassination {
+  ShardId shard;
+  SimTime at = 0;
+  SimTime recover_at = 0;
+};
+
+struct FaultPlan {
+  std::vector<FaultRamp> ramps;
+  std::vector<PartitionWindow> partitions;
+  std::vector<CrashWindow> crashes;
+  std::vector<ByzantineAssignment> byzantine;
+  std::vector<LeaderAssassination> assassinations;
+
+  [[nodiscard]] std::size_t event_count() const {
+    return ramps.size() + partitions.size() + crashes.size() + byzantine.size() +
+           assassinations.size();
+  }
+};
+
+class FaultInjector {
+ public:
+  FaultInjector(sim::Simulator& sim, sim::Network& net, core::JengaSystem& sys)
+      : sim_(sim), net_(net), sys_(sys) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules every event of `plan` (copied) on the simulator.  Call once,
+  /// before running the simulation; Byzantine assignments apply immediately.
+  void arm(FaultPlan plan);
+
+  [[nodiscard]] std::size_t events_armed() const { return events_armed_; }
+
+ private:
+  sim::Simulator& sim_;
+  sim::Network& net_;
+  core::JengaSystem& sys_;
+  FaultPlan plan_;
+  std::size_t events_armed_ = 0;
+};
+
+/// Outcome of the post-run safety audit.  `ok()` is the chaos-test verdict.
+struct InvariantReport {
+  std::size_t leaked_locks = 0;
+  std::uint64_t expected_balance = 0;
+  std::uint64_t actual_balance = 0;
+  std::uint64_t divergent_decides = 0;
+  std::size_t limbo_txs = 0;
+
+  [[nodiscard]] bool balance_conserved() const { return expected_balance == actual_balance; }
+  [[nodiscard]] bool ok() const {
+    return leaked_locks == 0 && balance_conserved() && divergent_decides == 0 &&
+           limbo_txs == 0;
+  }
+  /// Human-readable one-per-line summary (for test failure output and the
+  /// resilience benchmark report).
+  [[nodiscard]] std::string describe() const;
+};
+
+/// Audits `sys` after the simulation drained.  `initial_balance` is the sum
+/// of all genesis account balances; fees charged during the run are the only
+/// legitimate sink.
+[[nodiscard]] InvariantReport check_invariants(const core::JengaSystem& sys,
+                                               std::uint64_t initial_balance);
+
+}  // namespace jenga::security

@@ -25,6 +25,8 @@ enum class MsgType : std::uint16_t {
   kBftCommitCert = 14,
   kBftViewChange = 15,
   kBftNewView = 16,
+  kBftSyncRequest = 17,   // recovering replica asks a peer for decided heights
+  kBftSyncResponse = 18,  // (value, commit cert) entries for missed heights
 
   // Jenga cross-shard protocol (travels via subgroup members, §V-C)
   kStateGrant = 30,      // state shard -> execution channel (state + lock proof)

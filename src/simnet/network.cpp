@@ -10,8 +10,75 @@ void Network::register_node(NodeId id, Handler handler) {
     handlers_.resize(id.value + 1);
     egress_busy_until_.resize(id.value + 1, 0);
     down_.resize(id.value + 1, false);
+    partition_group_.resize(id.value + 1, 0);
   }
   handlers_[id.value] = std::move(handler);
+}
+
+void Network::set_link_delay(NodeId from, NodeId to, SimTime extra) {
+  const std::uint64_t key = (static_cast<std::uint64_t>(from.value) << 32) | to.value;
+  if (extra <= 0) {
+    link_delay_.erase(key);
+  } else {
+    link_delay_[key] = extra;
+  }
+}
+
+void Network::set_partition_group(NodeId id, std::uint8_t group) {
+  if (partition_group_.size() <= id.value) partition_group_.resize(id.value + 1, 0);
+  partition_group_[id.value] = group;
+}
+
+void Network::partition(std::span<const NodeId> nodes, std::uint8_t group) {
+  for (NodeId n : nodes) set_partition_group(n, group);
+}
+
+void Network::heal_partitions() {
+  std::fill(partition_group_.begin(), partition_group_.end(), 0);
+}
+
+bool Network::partitioned(NodeId a, NodeId b) const {
+  const std::uint8_t ga = a.value < partition_group_.size() ? partition_group_[a.value] : 0;
+  const std::uint8_t gb = b.value < partition_group_.size() ? partition_group_[b.value] : 0;
+  return ga != gb;
+}
+
+bool Network::deliver_faulty(NodeId from, SimTime when, NodeId to, Message msg) {
+  if (partitioned(from, to)) {
+    ++fault_stats_.partition_blocked;
+    return false;
+  }
+  if (to.value < down_.size() && down_[to.value]) {
+    ++fault_stats_.down_blocked;
+    return false;
+  }
+  if (!link_delay_.empty()) {
+    const auto it =
+        link_delay_.find((static_cast<std::uint64_t>(from.value) << 32) | to.value);
+    if (it != link_delay_.end()) when += it->second;
+  }
+  // Guard every rng draw behind its knob so fault-free runs consume the
+  // exact same random stream as before the fault layer existed.
+  if (faults_.extra_delay_max > 0)
+    when += static_cast<SimTime>(rng_.uniform(static_cast<std::uint64_t>(faults_.extra_delay_max)));
+  bool scheduled = false;
+  if (faults_.duplicate_rate > 0 && rng_.chance(faults_.duplicate_rate)) {
+    ++fault_stats_.duplicated;
+    // The extra copy trails the original by one latency quantum and is
+    // itself subject to the drop draw below.
+    if (!(faults_.drop_rate > 0 && rng_.chance(faults_.drop_rate))) {
+      deliver_at(when + config_.base_latency / 4, to, msg);
+      scheduled = true;
+    } else {
+      ++fault_stats_.dropped;
+    }
+  }
+  if (faults_.drop_rate > 0 && rng_.chance(faults_.drop_rate)) {
+    ++fault_stats_.dropped;
+    return scheduled;
+  }
+  deliver_at(when, to, std::move(msg));
+  return true;
 }
 
 SimTime Network::serialization_delay(std::uint32_t bytes) const {
@@ -35,8 +102,13 @@ SimTime Network::reserve_egress(NodeId from, std::uint32_t bytes) {
 
 void Network::deliver_at(SimTime when, NodeId to, Message msg) {
   if (to.value >= handlers_.size() || !handlers_[to.value]) return;
-  if (down_[to.value]) return;
+  if (down_[to.value]) {
+    ++fault_stats_.down_blocked;
+    return;
+  }
   sim_.schedule_at(when, [this, to, msg = std::move(msg)] {
+    // Re-checked at delivery time: a message in flight to a node that
+    // crashes before it lands is lost with the crash.
     if (!down_[to.value]) handlers_[to.value](msg);
   });
 }
@@ -50,7 +122,7 @@ void Network::send(NodeId from, NodeId to, Message msg, TrafficClass cls) {
   if (from.value < down_.size() && down_[from.value]) return;
   account(cls, msg.size_bytes);
   const SimTime departure = reserve_egress(from, msg.size_bytes);
-  deliver_at(departure + config_.base_latency + jitter(), to, std::move(msg));
+  deliver_faulty(from, departure + config_.base_latency + jitter(), to, std::move(msg));
 }
 
 void Network::multicast(NodeId from, std::span<const NodeId> group, const Message& msg,
@@ -80,6 +152,11 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
 
   // arrival[i]: when order[i] has fully received the message.
   std::vector<SimTime> arrival(order.size(), 0);
+  // received[i]: whether order[i] actually got a copy.  A relay whose own
+  // delivery was dropped (or partitioned away) cannot forward, so its whole
+  // subtree goes dark — that is what makes gossip genuinely fragile under
+  // message loss, and what the subgroup-redundancy property defends against.
+  std::vector<bool> received(order.size(), false);
   // Track per-relay egress reservations locally: relays forward *after* they
   // receive, so the global egress ledger (keyed at current sim time) cannot
   // be used directly for future sends.
@@ -93,7 +170,7 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
     root_departure += ser;
     arrival[i] = root_departure + config_.base_latency + jitter();
     account(cls, msg.size_bytes);
-    deliver_at(arrival[i], order[i], msg);
+    received[i] = deliver_faulty(from, arrival[i], order[i], msg);
   }
   if (!order.empty()) egress_busy_until_[from.value] = root_departure;
 
@@ -101,11 +178,12 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
   // forest — order[child]'s parent is order[(child - fanout) / fanout].
   for (std::size_t child = fanout; child < order.size(); ++child) {
     const std::size_t parent = (child - fanout) / fanout;
+    if (!received[parent]) continue;  // relay never got the message
     const SimTime departure = std::max(arrival[parent], relay_busy[parent]) + ser;
     relay_busy[parent] = departure;
     arrival[child] = departure + config_.base_latency + jitter();
     account(cls, msg.size_bytes);
-    deliver_at(arrival[child], order[child], msg);
+    received[child] = deliver_faulty(order[parent], arrival[child], order[child], msg);
   }
 }
 
@@ -117,7 +195,13 @@ void Network::send_via_relay(NodeId from, NodeId to, Message msg, TrafficClass c
   // The relay's own serialization is charged as one extra payload time.
   const SimTime arrival = departure + serialization_delay(msg.size_bytes) +
                           2 * config_.base_latency + jitter() + jitter();
-  deliver_at(arrival, to, std::move(msg));
+  // Two physical legs -> two independent drop opportunities; modelled as one
+  // faulty delivery per leg by drawing the drop twice.
+  if (faults_.drop_rate > 0 && rng_.chance(faults_.drop_rate)) {
+    ++fault_stats_.dropped;
+    return;
+  }
+  deliver_faulty(from, arrival, to, std::move(msg));
 }
 
 void Network::client_send(NodeId to, Message msg) {

@@ -11,11 +11,20 @@
 // Every delivery is tagged intra-shard / cross-shard / client; those
 // counters are the measurement behind Fig. 3e and the communication
 // breakdowns discussed throughout the paper.
+//
+// Adversarial link model (DESIGN.md "Fault model"): on top of the timing
+// model the network can probabilistically drop or duplicate messages, add
+// per-link extra delay, enforce bidirectional partitions between node sets,
+// and take nodes down/up (crash churn).  All fault draws come from the same
+// deterministic rng stream as jitter, so a faulted run replays bit-identically
+// for a given seed.  Fault knobs apply to node-to-node traffic only; client
+// injection (`client_send`) is assumed reliable — clients retry out of band.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <span>
+#include <unordered_map>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -34,6 +43,32 @@ struct NetConfig {
   std::size_t gossip_fanout = 8;
   /// If false, serialization delay is skipped (pure-latency model for tests).
   bool model_bandwidth = true;
+};
+
+/// Probabilistic link-fault profile.  Each delivery attempt is an independent
+/// Bernoulli draw; duplication schedules a second attempt (itself subject to
+/// the drop draw) shortly after the first.
+struct LinkFaults {
+  double drop_rate = 0.0;       // P(a delivery attempt is silently lost)
+  double duplicate_rate = 0.0;  // P(an extra copy of the message is delivered)
+  SimTime extra_delay_max = 0;  // uniform [0, max) added per delivery
+
+  [[nodiscard]] bool any() const {
+    return drop_rate > 0 || duplicate_rate > 0 || extra_delay_max > 0;
+  }
+};
+
+/// Counters for injected faults (reported next to TrafficStats so chaos runs
+/// can assert determinism over the whole fault schedule).
+struct FaultStats {
+  std::uint64_t dropped = 0;
+  std::uint64_t duplicated = 0;
+  std::uint64_t partition_blocked = 0;
+  std::uint64_t down_blocked = 0;
+
+  [[nodiscard]] std::uint64_t total() const {
+    return dropped + duplicated + partition_blocked + down_blocked;
+  }
 };
 
 struct TrafficStats {
@@ -96,12 +131,37 @@ class Network {
   void set_node_down(NodeId id, bool down);
   [[nodiscard]] bool node_down(NodeId id) const;
 
+  // --- Adversarial link model ---------------------------------------------
+
+  /// Installs the global probabilistic fault profile (drop/duplicate/delay).
+  void set_fault_profile(const LinkFaults& faults) { faults_ = faults; }
+  [[nodiscard]] const LinkFaults& fault_profile() const { return faults_; }
+
+  /// Extra fixed delay on the directed link from -> to (0 clears it).
+  void set_link_delay(NodeId from, NodeId to, SimTime extra);
+
+  /// Assigns `nodes` to partition `group`; traffic between nodes in
+  /// different groups is blocked in both directions (checked when the send
+  /// is initiated — messages already in flight still arrive).  Group 0 is
+  /// the default connected component.
+  void partition(std::span<const NodeId> nodes, std::uint8_t group);
+  void set_partition_group(NodeId id, std::uint8_t group);
+  /// Reconnects everything (all nodes back to group 0).
+  void heal_partitions();
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const;
+
+  [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
+
  private:
   [[nodiscard]] SimTime serialization_delay(std::uint32_t bytes) const;
   [[nodiscard]] SimTime jitter();
   /// Reserves the sender's egress link and returns the departure time.
   SimTime reserve_egress(NodeId from, std::uint32_t bytes);
   void deliver_at(SimTime when, NodeId to, Message msg);
+  /// Applies partition / drop / duplicate / extra-delay faults, then
+  /// delivers.  Returns true if at least one copy was scheduled (gossip uses
+  /// this to cut off the subtree of a relay that never received the message).
+  bool deliver_faulty(NodeId from, SimTime when, NodeId to, Message msg);
   void account(TrafficClass cls, std::uint32_t bytes);
 
   Simulator& sim_;
@@ -110,7 +170,11 @@ class Network {
   std::vector<Handler> handlers_;
   std::vector<SimTime> egress_busy_until_;
   std::vector<bool> down_;
+  std::vector<std::uint8_t> partition_group_;
+  std::unordered_map<std::uint64_t, SimTime> link_delay_;  // (from<<32|to)
+  LinkFaults faults_;
   TrafficStats stats_;
+  FaultStats fault_stats_;
 };
 
 }  // namespace jenga::sim

@@ -213,5 +213,96 @@ TEST(Bft, LargeGroupDecides) {
   EXPECT_EQ(complete, 40u);
 }
 
+TEST(Bft, StaleViewChangeAfterDecideIgnored) {
+  // Regression: a view-change vote for a (height, view) that already decided
+  // must not advance anyone's view at the current height — the stale-timer
+  // generation guard and the height check both have to hold.
+  BftHarness h(4, 3);
+  h.start_all();
+  h.run(2 * kSecond);  // height 0 decided at view 0
+  ASSERT_GE(h.apps_[0]->decided.size(), 1u);
+  for (std::size_t target = 0; target < 4; ++target) {
+    for (std::size_t from = 0; from < 4; ++from) {
+      auto payload = std::make_shared<ViewChangePayload>();
+      payload->group = 0;
+      payload->height = 0;  // stale: everyone is past height 0 already
+      payload->new_view = 1;
+      payload->member_index = from;
+      sim::Message msg;
+      msg.type = sim::MsgType::kBftViewChange;
+      msg.from = NodeId{static_cast<std::uint32_t>(from)};
+      msg.size_bytes = kViewChangeWireBytes;
+      msg.payload = std::move(payload);
+      h.replicas_[target]->on_message(msg);
+    }
+  }
+  // Run long enough for the remaining heights to decide but shorter than the
+  // idle view timeout at the final (never-proposed) height.
+  h.run(4 * kSecond);
+  for (const auto& r : h.replicas_) EXPECT_EQ(r->view(), 0u);
+  for (const auto& app : h.apps_) {
+    ASSERT_EQ(app->decided.size(), 3u);
+    EXPECT_EQ(app->last_cert.view, 0u);  // every height decided without a view change
+  }
+}
+
+TEST(Bft, EquivocatingLeaderRecoveredByViewChange) {
+  BftHarness h(4, 2, /*view_timeout=*/2 * kSecond);
+  h.replicas_[0]->set_byzantine(ByzantineMode::kEquivocator);  // leads height 0
+  h.start_all();
+  h.run(120 * kSecond);
+  // The split proposals cannot reach quorum; the view change elects an honest
+  // leader and both heights decide on every honest replica.
+  for (std::size_t i = 1; i < 4; ++i) ASSERT_EQ(h.apps_[i]->decided.size(), 2u) << i;
+  for (std::size_t i = 2; i < 4; ++i)
+    EXPECT_EQ(h.apps_[i]->decided, h.apps_[1]->decided) << i;
+  // At least the double-delivered victim observed the conflicting proposals.
+  std::uint64_t detected = 0;
+  for (const auto& r : h.replicas_) detected += r->stats().equivocations_detected;
+  EXPECT_GE(detected, 1u);
+}
+
+TEST(Bft, VoteSpammerToleratedAndRejected) {
+  BftHarness h(5, 3);  // quorum 3; four honest replicas carry the protocol
+  h.replicas_[2]->set_byzantine(ByzantineMode::kVoteSpammer);
+  h.start_all();
+  h.run(60 * kSecond);
+  for (std::size_t i : {0u, 1u, 3u, 4u})
+    EXPECT_EQ(h.apps_[i]->decided.size(), 3u) << i;
+  // Every junk vote bounced off a signature or digest check somewhere.
+  std::uint64_t rejected = 0;
+  for (const auto& r : h.replicas_) rejected += r->stats().invalid_votes_rejected;
+  EXPECT_GT(rejected, 0u);
+}
+
+TEST(Bft, LaggardTolerated) {
+  // Lag of view_timeout/3 = 2 s per vote: slower heights, no view changes
+  // needed, everyone still decides everything.
+  BftHarness h(4, 3, /*view_timeout=*/6 * kSecond);
+  h.replicas_[2]->set_byzantine(ByzantineMode::kLaggard);
+  h.start_all();
+  h.run(120 * kSecond);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(h.apps_[i]->decided.size(), 3u) << i;
+}
+
+TEST(Bft, CrashedReplicaCatchesUpViaSync) {
+  BftHarness h(4, 6);
+  h.start_all();
+  h.net_.set_node_down(NodeId{3}, true);
+  h.run(30 * kSecond);  // the other three decide all heights meanwhile
+  ASSERT_EQ(h.apps_[0]->decided.size(), 6u);
+  EXPECT_LT(h.apps_[3]->decided.size(), 6u);
+
+  h.net_.set_node_down(NodeId{3}, false);
+  h.replicas_[3]->request_sync();
+  h.run(60 * kSecond);
+  EXPECT_EQ(h.apps_[3]->decided, h.apps_[0]->decided);
+  EXPECT_GT(h.replicas_[3]->stats().sync_heights_applied, 0u);
+  // Someone served the request.
+  std::uint64_t served = 0;
+  for (const auto& r : h.replicas_) served += r->stats().sync_responses_served;
+  EXPECT_GT(served, 0u);
+}
+
 }  // namespace
 }  // namespace jenga::consensus

@@ -215,6 +215,117 @@ TEST_F(NetworkTest, PayloadSharedAcrossDeliveries) {
   }
 }
 
+TEST_F(NetworkTest, CertainDropBlocksDelivery) {
+  LinkFaults faults;
+  faults.drop_rate = 1.0;
+  net_.set_fault_profile(faults);
+  net_.send(NodeId{0}, NodeId{1}, make_msg(10), TrafficClass::kIntraShard);
+  net_.send(NodeId{2}, NodeId{3}, make_msg(10), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  EXPECT_TRUE(received_.empty());
+  EXPECT_EQ(net_.fault_stats().dropped, 2u);
+  // Clearing the profile restores lossless delivery.
+  net_.set_fault_profile(LinkFaults{});
+  net_.send(NodeId{0}, NodeId{1}, make_msg(10), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  EXPECT_EQ(received_.size(), 1u);
+}
+
+TEST_F(NetworkTest, CertainDuplicationDeliversTwice) {
+  LinkFaults faults;
+  faults.duplicate_rate = 1.0;
+  net_.set_fault_profile(faults);
+  net_.send(NodeId{0}, NodeId{1}, make_msg(10, 7), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  ASSERT_EQ(received_.size(), 2u);
+  for (const auto& d : received_) {
+    EXPECT_EQ(d.to, NodeId{1});
+    EXPECT_EQ(payload_as<IntPayload>(d.msg).value, 7);
+  }
+  EXPECT_GT(received_[1].at, received_[0].at);  // copy arrives strictly later
+  EXPECT_EQ(net_.fault_stats().duplicated, 1u);
+}
+
+TEST_F(NetworkTest, PartitionBlocksBothDirectionsUntilHealed) {
+  const NodeId island[] = {NodeId{1}, NodeId{2}};
+  net_.partition(island, 1);
+  EXPECT_TRUE(net_.partitioned(NodeId{0}, NodeId{1}));
+  EXPECT_FALSE(net_.partitioned(NodeId{1}, NodeId{2}));  // same side
+  net_.send(NodeId{0}, NodeId{1}, make_msg(10), TrafficClass::kIntraShard);
+  net_.send(NodeId{1}, NodeId{0}, make_msg(10), TrafficClass::kIntraShard);
+  net_.send(NodeId{1}, NodeId{2}, make_msg(10), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  ASSERT_EQ(received_.size(), 1u);  // only the intra-island message
+  EXPECT_EQ(received_[0].to, NodeId{2});
+  EXPECT_EQ(net_.fault_stats().partition_blocked, 2u);
+
+  net_.heal_partitions();
+  net_.send(NodeId{0}, NodeId{1}, make_msg(10), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  EXPECT_EQ(received_.size(), 2u);
+}
+
+TEST_F(NetworkTest, PerLinkExtraDelayIsDirectional) {
+  net_.set_link_delay(NodeId{0}, NodeId{1}, 500 * kMillisecond);
+  net_.send(NodeId{0}, NodeId{1}, make_msg(25000), TrafficClass::kIntraShard);
+  net_.send(NodeId{1}, NodeId{0}, make_msg(25000), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  ASSERT_EQ(received_.size(), 2u);
+  // Reverse direction pays only serialization + base latency.
+  EXPECT_EQ(received_[0].at, 110 * kMillisecond);
+  EXPECT_EQ(received_[0].to, NodeId{0});
+  EXPECT_EQ(received_[1].at, 610 * kMillisecond);
+  EXPECT_EQ(received_[1].to, NodeId{1});
+
+  net_.set_link_delay(NodeId{0}, NodeId{1}, 0);  // cleared
+  received_.clear();
+  const SimTime resend = sim_.now();
+  net_.send(NodeId{0}, NodeId{1}, make_msg(25000), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  ASSERT_EQ(received_.size(), 1u);
+  EXPECT_EQ(received_[0].at - resend, 110 * kMillisecond);
+}
+
+TEST(NetworkDeterminism, SameSeedSameFaultSchedule) {
+  // Under a lossy+duplicating profile, the same seed must reproduce the exact
+  // delivery schedule and fault counters.
+  static std::vector<std::pair<std::uint32_t, SimTime>> first_run;
+  static FaultStats first_faults;
+  for (int round = 0; round < 2; ++round) {
+    Simulator sim;
+    NetConfig cfg;
+    cfg.jitter_max = 5 * kMillisecond;
+    Network net(sim, cfg, Rng(1234));
+    LinkFaults faults;
+    faults.drop_rate = 0.3;
+    faults.duplicate_rate = 0.2;
+    faults.extra_delay_max = 50 * kMillisecond;
+    net.set_fault_profile(faults);
+    std::vector<std::pair<std::uint32_t, SimTime>> arrivals;
+    for (std::uint32_t i = 0; i < 12; ++i)
+      net.register_node(NodeId{i}, [&arrivals, &sim, i](const Message&) {
+        arrivals.emplace_back(i, sim.now());
+      });
+    std::vector<NodeId> group;
+    for (std::uint32_t i = 0; i < 12; ++i) group.push_back(NodeId{i});
+    for (int k = 0; k < 10; ++k) {
+      net.gossip(NodeId{static_cast<std::uint32_t>(k % 12)}, group,
+                 make_message<IntPayload>(MsgType::kClientTx, NodeId{0}, 2000, k),
+                 TrafficClass::kIntraShard);
+    }
+    sim.run_until_idle();
+    if (round == 0) {
+      first_run = arrivals;
+      first_faults = net.fault_stats();
+      EXPECT_GT(first_faults.dropped, 0u);
+    } else {
+      EXPECT_EQ(arrivals, first_run);
+      EXPECT_EQ(net.fault_stats().dropped, first_faults.dropped);
+      EXPECT_EQ(net.fault_stats().duplicated, first_faults.duplicated);
+    }
+  }
+}
+
 TEST(NetworkDeterminism, SameSeedSameSchedule) {
   for (int round = 0; round < 2; ++round) {
     static std::vector<SimTime> first_run;
