@@ -13,6 +13,7 @@
 int main() {
   using namespace jenga;
   using namespace jenga::bench;
+  ShapeReporter rep;
 
   header("Ablation — gossip tree vs unicast-to-all dissemination latency",
          "DESIGN.md design-choice ablation (not a paper figure)");
@@ -55,7 +56,7 @@ int main() {
     }
   }
   std::printf("\n");
-  shape_check(gossip_wins_large,
+  rep.check(gossip_wins_large,
               "gossip dissemination beats unicast-to-all for large payloads/groups");
-  return finish("bench_ablation_dissemination");
+  return rep.finish("bench_ablation_dissemination");
 }

@@ -11,6 +11,7 @@
 int main() {
   using namespace jenga;
   using namespace jenga::bench;
+  ShapeReporter rep;
 
   header("Fig. 3a/3c/3d — contract-tx share, steps/tx, contracts/tx over block windows",
          "paper Fig. 3a, 3c, 3d");
@@ -34,16 +35,16 @@ int main() {
 
   const auto& first = rows.front();
   const auto& last = rows.back();
-  shape_check(last.contract_tx_ratio > 0.66 && last.contract_tx_ratio < 0.78,
+  rep.check(last.contract_tx_ratio > 0.66 && last.contract_tx_ratio < 0.78,
               "Fig.3a: recent blocks reach ~70% contract transactions");
-  shape_check(first.contract_tx_ratio < last.contract_tx_ratio,
+  rep.check(first.contract_tx_ratio < last.contract_tx_ratio,
               "Fig.3a: contract-tx share trends upward");
-  shape_check(last.avg_steps > 8.5 && last.avg_steps < 11.5,
+  rep.check(last.avg_steps > 8.5 && last.avg_steps < 11.5,
               "Fig.3c: average steps per contract tx reaches ~10");
-  shape_check(first.avg_steps < last.avg_steps, "Fig.3c: steps per tx trend upward");
-  shape_check(last.avg_contracts > 4.0 && last.avg_contracts < 5.4,
+  rep.check(first.avg_steps < last.avg_steps, "Fig.3c: steps per tx trend upward");
+  rep.check(last.avg_contracts > 4.0 && last.avg_contracts < 5.4,
               "Fig.3d: average contracts per tx reaches ~4.7");
-  shape_check(first.avg_contracts < last.avg_contracts,
+  rep.check(first.avg_contracts < last.avg_contracts,
               "Fig.3d: contracts per tx trend upward");
-  return finish("bench_fig3_trace");
+  return rep.finish("bench_fig3_trace");
 }

@@ -10,6 +10,7 @@
 int main() {
   using namespace jenga;
   using namespace jenga::bench;
+  ShapeReporter rep;
   using namespace jenga::harness;
 
   header("Fig. 3b — CX Func TPS: transfer vs smart-contract transactions",
@@ -36,9 +37,9 @@ int main() {
   }
   const double avg_ratio = ratios_sum / rows;
   std::printf("\naverage transfer/contract TPS ratio: %.2fx\n\n", avg_ratio);
-  shape_check(transfer_wins_everywhere,
+  rep.check(transfer_wins_everywhere,
               "Fig.3b: transfer TPS exceeds contract TPS at every shard count");
-  shape_check(avg_ratio > 1.8,
+  rep.check(avg_ratio > 1.8,
               "Fig.3b: contract processing costs a large factor (paper: ~3x)");
-  return finish("bench_fig3b_transfer_vs_contract");
+  return rep.finish("bench_fig3b_transfer_vs_contract");
 }

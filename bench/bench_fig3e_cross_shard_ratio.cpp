@@ -12,6 +12,7 @@
 int main() {
   using namespace jenga;
   using namespace jenga::bench;
+  ShapeReporter rep;
   using namespace jenga::harness;
 
   header("Fig. 3e — cross-shard communication ratio vs number of shards",
@@ -33,9 +34,9 @@ int main() {
     std::printf("%-8u %-26.3f %-26.3f\n", s, rq.cross_ratio, rr.cross_ratio);
   }
   std::printf("\n");
-  shape_check(quorum_ratio.back() > quorum_ratio.front(),
+  rep.check(quorum_ratio.back() > quorum_ratio.front(),
               "Fig.3e: cross-shard ratio rises with the number of shards");
-  shape_check(quorum_ratio.back() > 0.5,
+  rep.check(quorum_ratio.back() > 0.5,
               "Fig.3e: cross-shard traffic dominates at 12 shards (paper: >90%)");
-  return finish("bench_fig3e_cross_shard_ratio");
+  return rep.finish("bench_fig3e_cross_shard_ratio");
 }

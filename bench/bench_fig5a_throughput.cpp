@@ -11,6 +11,7 @@
 int main() {
   using namespace jenga;
   using namespace jenga::bench;
+  ShapeReporter rep;
   using namespace jenga::harness;
 
   header("Fig. 5a — system throughput (TPS) vs number of shards", "paper Fig. 5a");
@@ -42,17 +43,17 @@ int main() {
               jenga12 / ss12, jenga12 / cxf12, jenga12 / pyramid12);
   std::printf("Jenga scaling 6->12 shards: %.2fx\n\n", tps[{3, 12}] / tps[{3, 6}]);
 
-  shape_check(jenga12 > pyramid12 && pyramid12 > cxf12,
+  rep.check(jenga12 > pyramid12 && pyramid12 > cxf12,
               "Fig.5a: Jenga > Pyramid > CX Func at 12 shards");
-  shape_check(jenga12 > ss12 * 1.8,
+  rep.check(jenga12 > ss12 * 1.8,
               "Fig.5a: Jenga decisively beats Single Shard at 12 shards (paper: 14.3x)");
-  shape_check(jenga12 / cxf12 > 1.5,
+  rep.check(jenga12 / cxf12 > 1.5,
               "Fig.5a: Jenga vs CX Func gap is a large factor (paper: up to 2.3x)");
-  shape_check(jenga12 / pyramid12 > 1.15,
+  rep.check(jenga12 / pyramid12 > 1.15,
               "Fig.5a: Jenga vs Pyramid gap (paper: 1.5x)");
-  shape_check(tps[{3, 12}] > tps[{3, 6}] * 1.15,
+  rep.check(tps[{3, 12}] > tps[{3, 6}] * 1.15,
               "Fig.5a: Jenga throughput scales when doubling shards (paper: up to 1.8x)");
-  shape_check(tps[{0, 12}] < tps[{0, 4}] * 1.3,
+  rep.check(tps[{0, 12}] < tps[{0, 4}] * 1.3,
               "Fig.5a: Single Shard throughput does not scale with shards");
-  return finish("bench_fig5a_throughput");
+  return rep.finish("bench_fig5a_throughput");
 }

@@ -1,6 +1,8 @@
 // Fig. 6a: transaction confirmation latency of CX Func, Pyramid and Jenga
 // vs shard count.  Paper: Jenga cuts latency by up to 55.6% vs CX Func and
 // 33.8% vs Pyramid at 12 shards; latency grows with the shard count.
+// Alongside the paper's means we report p50/p99 (one sorted pass per run):
+// tails tell saturation stories averages hide.
 #include <cstdio>
 #include <map>
 
@@ -13,18 +15,20 @@ int main() {
   using namespace jenga::harness;
 
   header("Fig. 6a — confirmation latency (s) vs number of shards", "paper Fig. 6a");
+  ShapeReporter rep;
 
   const SystemKind systems[] = {SystemKind::kCxFunc, SystemKind::kPyramid, SystemKind::kJenga};
   std::map<std::pair<int, std::uint32_t>, double> lat;
-  std::printf("%-14s", "latency (s)");
-  for (std::uint32_t s : kShardCounts) std::printf("  S=%-8u", s);
+  std::printf("%-14s", "mean/p50/p99");
+  for (std::uint32_t s : kShardCounts) std::printf("  S=%-18u", s);
   std::printf("\n");
   for (int i = 0; i < 3; ++i) {
     std::printf("%-14s", system_name(systems[i]));
     for (std::uint32_t s : kShardCounts) {
       const auto r = run_experiment(perf_config(systems[i], s));
       lat[{i, s}] = r.latency_s;
-      std::printf("  %-10.2f", r.latency_s);
+      const auto q = r.stats.latency_quantiles_seconds({0.5, 0.99});
+      std::printf("  %5.2f/%5.2f/%6.2f", r.latency_s, q[0], q[1]);
       std::fflush(stdout);
     }
     std::printf("\n");
@@ -34,11 +38,11 @@ int main() {
   std::printf("\nat 12 shards: Jenga saves %.1f%% vs CX Func (paper: 55.6%%), %.1f%% vs Pyramid (paper: 33.8%%)\n\n",
               100 * (1 - jen12 / cxf12), 100 * (1 - jen12 / pyr12));
 
-  shape_check(jen12 < pyr12 && pyr12 < cxf12,
-              "Fig.6a: Jenga < Pyramid < CX Func latency at 12 shards");
-  shape_check(1 - jen12 / cxf12 > 0.25,
-              "Fig.6a: Jenga saves a large latency fraction vs CX Func (paper: 55.6%)");
-  shape_check(lat[{2, 12}] > lat[{2, 4}],
-              "Fig.6a: latency increases with the number of shards");
-  return finish("bench_fig6a_latency");
+  rep.check(jen12 < pyr12 && pyr12 < cxf12,
+            "Fig.6a: Jenga < Pyramid < CX Func latency at 12 shards");
+  rep.check(1 - jen12 / cxf12 > 0.25,
+            "Fig.6a: Jenga saves a large latency fraction vs CX Func (paper: 55.6%)");
+  rep.check(lat[{2, 12}] > lat[{2, 4}],
+            "Fig.6a: latency increases with the number of shards");
+  return rep.finish("bench_fig6a_latency");
 }

@@ -2,22 +2,32 @@
 // Network-Wide Logic Storage cuts confirmation latency by ~51.5% (no more
 // multi-round cross-shard execution); the Orthogonal Lattice Structure cuts
 // another ~15.8% (no cross-shard state fetch/return).
+//
+// The per-phase table comes from the phase tracer: every committed tx's
+// latency is partitioned exactly into state_lock / grant_relay / execute /
+// commit intervals, so the per-phase sums reconcile with the end-to-end
+// commit latency by construction (checked below to within 1%).
+#include <cmath>
 #include <cstdio>
 #include <map>
 
 #include "bench_config.hpp"
 #include "report.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jenga;
   using namespace jenga::bench;
   using namespace jenga::harness;
 
   header("Fig. 6b — latency breakdown (ablations of the two designs)", "paper Fig. 6b");
+  const std::string trace_out = trace_out_from_args(argc, argv);
+  ShapeReporter rep;
 
   const SystemKind systems[] = {SystemKind::kJengaNoGlobalLogic, SystemKind::kJengaNoLattice,
                                 SystemKind::kJenga};
   std::map<std::pair<int, std::uint32_t>, double> lat;
+  std::map<int, telemetry::PhaseBreakdown> bd12;  // per-system breakdown at S=12
+  std::map<int, double> e2e12;                    // tracker-side mean latency at S=12
   std::printf("%-16s", "latency (s)");
   for (std::uint32_t s : kShardCounts) std::printf("  S=%-8u", s);
   std::printf("\n");
@@ -27,11 +37,47 @@ int main() {
       RunConfig cfg = perf_config(systems[i], s);
       cfg.contract_txs /= 4;       // ratios need less volume than absolutes
       cfg.closed_loop_window /= 4;
+      if (s == 12 && systems[i] == SystemKind::kJenga) cfg.trace_out = trace_out;
       const auto r = run_experiment(cfg);
       lat[{i, s}] = r.latency_s;
+      if (s == 12) {
+        bd12[i] = r.breakdown;
+        e2e12[i] = r.latency_s;
+      }
       std::printf("  %-10.2f", r.latency_s);
       std::fflush(stdout);
     }
+    std::printf("\n");
+  }
+
+  // Tracer-derived breakdown at 12 shards: where each design point spends
+  // its time, and which phase dominates the critical path.
+  std::printf("\nper-phase mean latency at S=12 (s, from the phase tracer)\n");
+  std::printf("%-16s", "system");
+  for (std::size_t p = 0; p < telemetry::kIntervalCount; ++p)
+    std::printf("  %-11s", telemetry::interval_name(p));
+  std::printf("  %-9s  %-9s  %-9s  %s\n", "total", "p50", "p99", "dominant");
+  for (int i = 0; i < 3; ++i) {
+    const auto& b = bd12[i];
+    std::printf("%-16s", system_name(systems[i]));
+    for (std::size_t p = 0; p < telemetry::kIntervalCount; ++p)
+      std::printf("  %-11.3f", b.mean_interval_seconds(p));
+    std::printf("  %-9.3f  %-9.3f  %-9.3f  %s\n", b.mean_total_seconds(),
+                b.total_hist.quantile(0.5) / static_cast<double>(kSecond),
+                b.total_hist.quantile(0.99) / static_cast<double>(kSecond),
+                telemetry::interval_name(b.dominant_interval()));
+  }
+  std::printf("\ncritical-path attribution at S=12 (share of txs whose longest phase is ...)\n");
+  std::printf("%-16s", "system");
+  for (std::size_t p = 0; p < telemetry::kIntervalCount; ++p)
+    std::printf("  %-11s", telemetry::interval_name(p));
+  std::printf("\n");
+  for (int i = 0; i < 3; ++i) {
+    const auto& b = bd12[i];
+    const double n = b.committed > 0 ? static_cast<double>(b.committed) : 1.0;
+    std::printf("%-16s", system_name(systems[i]));
+    for (std::size_t p = 0; p < telemetry::kIntervalCount; ++p)
+      std::printf("  %-11.1f", 100.0 * static_cast<double>(b.critical[p]) / n);
     std::printf("\n");
   }
 
@@ -39,9 +85,27 @@ int main() {
   std::printf("\nat 12 shards: NWLS saves %.1f%% (paper: 51.5%%), OLS saves %.1f%% (paper: 15.8%%)\n\n",
               100 * (1 - full12 / no_nwls12), 100 * (1 - full12 / no_ols12));
 
-  shape_check(full12 < no_nwls12, "Fig.6b: NWLS reduces confirmation latency");
-  shape_check(full12 < no_ols12, "Fig.6b: OLS reduces confirmation latency");
-  shape_check((1 - full12 / no_nwls12) > (1 - full12 / no_ols12),
-              "Fig.6b: NWLS saves more latency than OLS (paper: 51.5% vs 15.8%)");
-  return finish("bench_fig6b_latency_breakdown");
+  rep.check(full12 < no_nwls12, "Fig.6b: NWLS reduces confirmation latency");
+  rep.check(full12 < no_ols12, "Fig.6b: OLS reduces confirmation latency");
+  rep.check((1 - full12 / no_nwls12) > (1 - full12 / no_ols12),
+            "Fig.6b: NWLS saves more latency than OLS (paper: 51.5% vs 15.8%)");
+
+  // Reconciliation: Σ per-phase sums vs (a) the tracer's total and (b) the
+  // independent end-to-end latency tracked by the system's stats.
+  for (int i = 0; i < 3; ++i) {
+    const auto& b = bd12[i];
+    std::int64_t phase_sum = 0;
+    for (std::size_t p = 0; p < telemetry::kIntervalCount; ++p) phase_sum += b.interval_sum[p];
+    const double tracer_total = static_cast<double>(b.total_sum);
+    const bool traced_ok =
+        b.committed > 0 &&
+        std::abs(static_cast<double>(phase_sum) - tracer_total) <= 0.01 * tracer_total;
+    rep.check(traced_ok, std::string("Fig.6b: phase sums reconcile with traced total (") +
+                             system_name(systems[i]) + ")");
+    const double mean_gap = std::abs(b.mean_total_seconds() - e2e12[i]);
+    rep.check(b.committed > 0 && mean_gap <= 0.01 * e2e12[i],
+              std::string("Fig.6b: traced total matches end-to-end latency within 1% (") +
+                  system_name(systems[i]) + ")");
+  }
+  return rep.finish("bench_fig6b_latency_breakdown");
 }

@@ -12,6 +12,7 @@
 int main() {
   using namespace jenga;
   using namespace jenga::bench;
+  ShapeReporter rep;
   using namespace jenga::harness;
 
   header("Fig. 7a — average per-node storage (MB) vs number of shards", "paper Fig. 7a");
@@ -40,15 +41,15 @@ int main() {
               jenga12, jenga_logic, cxf12, pyr12);
   std::printf("Jenga saves %.1f%% vs Pyramid (paper: 65.2%%)\n\n", 100 * (1 - jenga12 / pyr12));
 
-  shape_check(mb(store[{2, 12}].total()) < mb(store[{2, 4}].total()),
+  rep.check(mb(store[{2, 12}].total()) < mb(store[{2, 4}].total()),
               "Fig.7a: Jenga per-node storage decreases with more shards");
-  shape_check(mb(store[{0, 12}].total()) < mb(store[{0, 4}].total()),
+  rep.check(mb(store[{0, 12}].total()) < mb(store[{0, 4}].total()),
               "Fig.7a: CX Func per-node storage decreases with more shards");
-  shape_check(mb(store[{1, 12}].total()) > mb(store[{1, 4}].total()) * 0.95,
+  rep.check(mb(store[{1, 12}].total()) > mb(store[{1, 4}].total()) * 0.95,
               "Fig.7a: Pyramid per-node storage does NOT shrink (paper: it grows)");
-  shape_check(jenga12 < pyr12 * 0.6,
+  rep.check(jenga12 < pyr12 * 0.6,
               "Fig.7a: Jenga stores far less per node than Pyramid at 12 shards (paper: -65.2%)");
-  shape_check(jenga12 > cxf12 && jenga12 - cxf12 < 200,
+  rep.check(jenga12 > cxf12 && jenga12 - cxf12 < 200,
               "Fig.7a: Jenga pays only a small logic premium over CX Func (paper: <200 MB)");
-  return finish("bench_fig7a_storage");
+  return rep.finish("bench_fig7a_storage");
 }

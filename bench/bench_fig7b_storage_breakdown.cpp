@@ -14,6 +14,7 @@
 int main() {
   using namespace jenga;
   using namespace jenga::bench;
+  ShapeReporter rep;
 
   header("Fig. 7b — logic vs total storage over block history (unsharded)",
          "paper Fig. 7b");
@@ -85,10 +86,10 @@ int main() {
     }
   }
   std::printf("\n");
-  shape_check(logic_share.back() < 0.25,
+  rep.check(logic_share.back() < 0.25,
               "Fig.7b: logic is a small share of total storage");
-  shape_check(logic_share.back() < logic_share.front(),
+  rep.check(logic_share.back() < logic_share.front(),
               "Fig.7b: the logic share shrinks as the chain grows");
-  shape_check(chain.verify(), "the replayed chain verifies end-to-end");
-  return finish("bench_fig7b_storage_breakdown");
+  rep.check(chain.verify(), "the replayed chain verifies end-to-end");
+  return rep.finish("bench_fig7b_storage_breakdown");
 }

@@ -4,8 +4,16 @@
 // decides, no limbo transactions) as the safety verdict for every cell.
 // Emits a machine-readable JSON report (stdout + bench_resilience.json) next
 // to the usual table + shape checks.
+//
+// Every cell is traced: the phase tracer's breakdown shows *which* pipeline
+// phase the faults inflate (checked against the clean cell below), and
+// `--trace-out <file>.jsonl` exports the reference faulted cell's full
+// telemetry (metrics, per-tx phase intervals, BFT spans) for offline
+// analysis / the CI trace linter.  JENGA_RESILIENCE_QUICK=1 shrinks the
+// sweep to {clean, 10% drop} for smoke runs.
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <memory>
 #include <sstream>
@@ -16,6 +24,7 @@
 #include "harness/genesis.hpp"
 #include "report.hpp"
 #include "security/fault_injector.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/trace.hpp"
 
 namespace {
@@ -30,22 +39,32 @@ struct CellResult {
   std::uint64_t aborted = 0;
   double commit_rate = 0.0;
   double p50_s = 0.0;
+  double p99_s = 0.0;
   double avg_s = 0.0;
   bool invariants_ok = false;
+  telemetry::PhaseBreakdown breakdown;
+  std::shared_ptr<telemetry::Telemetry> telemetry;
 };
+
+bool quick_mode() {
+  const char* env = std::getenv("JENGA_RESILIENCE_QUICK");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
 
 SimTime horizon() {
   // Drain horizon per cell.  The 20%-drop column is glacial (worst observed
   // commit lands around t=2800s) but not wedged; the horizon must cover it
-  // or the "every transaction resolves" check reports false limbo.
+  // or the "every transaction resolves" check reports false limbo.  Quick
+  // mode only runs up to 10% drop, which settles far earlier.
   const char* env = std::getenv("JENGA_RESILIENCE_HORIZON_S");
   const long long secs = env != nullptr ? std::atoll(env) : 0;
-  return (secs > 0 ? secs : 3000) * jenga::kSecond;  // garbage/unset -> default
+  if (secs > 0) return secs * jenga::kSecond;  // garbage/unset -> default
+  return (quick_mode() ? 1500 : 3000) * jenga::kSecond;
 }
 
 CellResult run_cell(double drop, int byz_per_shard) {
   constexpr std::uint32_t kShards = 2;
-  constexpr int kTxs = 40;
+  const int kTxs = quick_mode() ? 24 : 40;
 
   core::JengaConfig cfg;
   cfg.num_shards = kShards;
@@ -64,6 +83,9 @@ CellResult run_cell(double drop, int byz_per_shard) {
   sim::Network net(sim, sim::NetConfig{}, Rng(cfg.seed));
   core::JengaSystem system(sim, net, cfg, harness::make_genesis(gen));
   security::FaultInjector injector(sim, net, system);
+  auto telemetry = std::make_shared<telemetry::Telemetry>();
+  net.set_telemetry(telemetry.get());
+  system.set_telemetry(telemetry.get());
   const std::uint64_t initial_balance = system.total_account_balance();
   system.start();
 
@@ -103,10 +125,24 @@ CellResult run_cell(double drop, int byz_per_shard) {
   r.committed = st.committed;
   r.aborted = st.aborted;
   r.commit_rate = static_cast<double>(st.committed) / static_cast<double>(st.submitted);
-  r.p50_s = st.latency_quantile_seconds(0.5);
+  const auto q = st.latency_quantiles_seconds({0.5, 0.99});
+  r.p50_s = q[0];
+  r.p99_s = q[1];
   r.avg_s = st.avg_latency_seconds();
   r.invariants_ok = report.ok();
+  r.breakdown = telemetry->tracer.breakdown();
+  // Fold the network fault counters in so the exported trace is
+  // self-describing about what the cell endured.
+  auto& reg = telemetry->registry;
+  reg.counter("net.faults.dropped").set(net.fault_stats().dropped);
+  reg.counter("net.faults.duplicated").set(net.fault_stats().duplicated);
+  reg.counter("tx.submitted").set(st.submitted);
+  r.telemetry = telemetry;
   if (!report.ok()) std::printf("%s\n", report.describe().c_str());
+  // Detach before net/system go out of scope (the telemetry outlives them
+  // through the shared_ptr in the result).
+  net.set_telemetry(nullptr);
+  system.set_telemetry(nullptr);
   return r;
 }
 
@@ -115,16 +151,19 @@ std::string to_json(const std::vector<CellResult>& cells) {
   out << "{\"bench\":\"resilience\",\"cells\":[";
   for (std::size_t i = 0; i < cells.size(); ++i) {
     const CellResult& c = cells[i];
-    char buf[256];
+    char buf[384];
     std::snprintf(buf, sizeof(buf),
                   "{\"drop\":%.2f,\"byz_per_shard\":%d,\"submitted\":%llu,"
                   "\"committed\":%llu,\"aborted\":%llu,\"commit_rate\":%.4f,"
-                  "\"p50_s\":%.3f,\"avg_s\":%.3f,\"invariants_ok\":%s}",
+                  "\"p50_s\":%.3f,\"p99_s\":%.3f,\"avg_s\":%.3f,"
+                  "\"dominant_phase\":\"%s\",\"invariants_ok\":%s}",
                   c.drop, c.byz_per_shard,
                   static_cast<unsigned long long>(c.submitted),
                   static_cast<unsigned long long>(c.committed),
                   static_cast<unsigned long long>(c.aborted), c.commit_rate,
-                  c.p50_s, c.avg_s, c.invariants_ok ? "true" : "false");
+                  c.p50_s, c.p99_s, c.avg_s,
+                  telemetry::interval_name(c.breakdown.dominant_interval()),
+                  c.invariants_ok ? "true" : "false");
     out << (i ? "," : "") << buf;
   }
   out << "]}";
@@ -133,25 +172,32 @@ std::string to_json(const std::vector<CellResult>& cells) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace jenga::bench;
 
   header("Resilience — commit rate under drop rate x Byzantine fraction",
          "fault-tolerance claims, paper SSIV/SSVI");
+  const std::string trace_out = trace_out_from_args(argc, argv);
+  ShapeReporter rep;
 
-  const double drops[] = {0.0, 0.05, 0.10, 0.20};
-  const int byz_counts[] = {0, 1, 2};
+  std::vector<double> drops = {0.0, 0.05, 0.10, 0.20};
+  std::vector<int> byz_counts = {0, 1, 2};
+  if (quick_mode()) {
+    std::printf("(JENGA_RESILIENCE_QUICK=1: clean + 10%% drop only)\n");
+    drops = {0.0, 0.10};
+    byz_counts = {0};
+  }
 
   std::vector<CellResult> cells;
-  std::printf("%-8s %-6s %-10s %-8s %-8s %-8s %-8s %-10s\n", "drop", "byz",
-              "committed", "aborted", "rate", "p50(s)", "avg(s)", "invariants");
+  std::printf("%-8s %-6s %-10s %-8s %-8s %-8s %-8s %-8s %-10s\n", "drop", "byz",
+              "committed", "aborted", "rate", "p50(s)", "p99(s)", "avg(s)", "invariants");
   for (int byz : byz_counts) {
     for (double drop : drops) {
       const CellResult r = run_cell(drop, byz);
-      std::printf("%-8.2f %-6d %-10llu %-8llu %-8.3f %-8.2f %-8.2f %-10s\n", r.drop,
+      std::printf("%-8.2f %-6d %-10llu %-8llu %-8.3f %-8.2f %-8.2f %-8.2f %-10s\n", r.drop,
                   r.byz_per_shard, static_cast<unsigned long long>(r.committed),
                   static_cast<unsigned long long>(r.aborted), r.commit_rate, r.p50_s,
-                  r.avg_s, r.invariants_ok ? "ok" : "VIOLATION");
+                  r.p99_s, r.avg_s, r.invariants_ok ? "ok" : "VIOLATION");
       std::fflush(stdout);
       cells.push_back(r);
     }
@@ -160,23 +206,58 @@ int main() {
 
   bool all_invariants = true;
   bool all_resolved = true;
+  const CellResult* clean = nullptr;
+  const CellResult* faulted = nullptr;  // reference faulted cell: 10% drop, 0 byz
   for (const CellResult& c : cells) {
     all_invariants = all_invariants && c.invariants_ok;
     all_resolved = all_resolved && (c.committed + c.aborted == c.submitted);
+    if (c.drop == 0.0 && c.byz_per_shard == 0) clean = &c;
+    if (c.drop == 0.10 && c.byz_per_shard == 0) faulted = &c;
   }
-  const CellResult& clean = cells.front();
 
-  shape_check(all_invariants, "safety invariants hold in every cell of the sweep");
-  shape_check(all_resolved, "every transaction resolves (no limbo) in every cell");
-  shape_check(clean.commit_rate == 1.0, "fault-free cell commits 100%");
+  // Clean-vs-faulted phase attribution: the tracer localises the fault's
+  // latency cost to a specific phase instead of smearing it over the mean.
+  if (clean != nullptr && faulted != nullptr && clean->breakdown.committed > 0 &&
+      faulted->breakdown.committed > 0) {
+    std::printf("phase means, clean vs 10%% drop (s): fault-inflated phase from the tracer\n");
+    std::size_t worst = 0;
+    double worst_ratio = 0.0;
+    for (std::size_t p = 0; p < telemetry::kIntervalCount; ++p) {
+      const double base = clean->breakdown.mean_interval_seconds(p);
+      const double hit = faulted->breakdown.mean_interval_seconds(p);
+      const double ratio = base > 0 ? hit / base : (hit > 0 ? 1e9 : 1.0);
+      std::printf("  %-12s %8.3f -> %8.3f  (x%.2f)\n", telemetry::interval_name(p), base, hit,
+                  ratio);
+      if (ratio > worst_ratio) {
+        worst_ratio = ratio;
+        worst = p;
+      }
+    }
+    std::printf("  fault-inflated phase: %s (x%.2f)\n\n", telemetry::interval_name(worst),
+                worst_ratio);
+    rep.check(worst_ratio >= 1.3,
+              "tracer identifies the fault-inflated phase (>= 1.3x vs clean run)");
+  }
+
+  rep.check(all_invariants, "safety invariants hold in every cell of the sweep");
+  rep.check(all_resolved, "every transaction resolves (no limbo) in every cell");
+  rep.check(clean != nullptr && clean->commit_rate == 1.0, "fault-free cell commits 100%");
   bool faulted_ok = true;
   for (const CellResult& c : cells)
     if (c.drop <= 0.10 && c.byz_per_shard <= 1) faulted_ok = faulted_ok && c.commit_rate >= 0.9;
-  shape_check(faulted_ok, "commit rate stays >= 90% up to 10% drop + 1 Byzantine/shard");
+  rep.check(faulted_ok, "commit rate stays >= 90% up to 10% drop + 1 Byzantine/shard");
+
+  if (!trace_out.empty() && faulted != nullptr && faulted->telemetry) {
+    std::ofstream out(trace_out);
+    if (out) {
+      faulted->telemetry->export_jsonl(out);
+      std::printf("wrote %s (telemetry of the 10%% drop cell)\n", trace_out.c_str());
+    }
+  }
 
   const std::string json = to_json(cells);
   std::printf("\nJSON: %s\n", json.c_str());
   std::ofstream("bench_resilience.json") << json << "\n";
   std::printf("wrote bench_resilience.json\n");
-  return finish("bench_resilience");
+  return rep.finish("bench_resilience");
 }

@@ -8,6 +8,7 @@
 int main() {
   using namespace jenga;
   using namespace jenga::bench;
+  ShapeReporter rep;
   using namespace jenga::security;
 
   header("Table I — choice of number of nodes per shard and failure probability",
@@ -33,9 +34,9 @@ int main() {
     ++i;
   }
   std::printf("\n");
-  shape_check(all_match, "our Eq.1-3 reproduce the paper's Table I probabilities exactly");
-  shape_check(all_safe, "every paper (S, k) choice is below the 7.6e-6 target");
-  shape_check(choose_shard_size(8, 0.25) > choose_shard_size(8, 0.15),
+  rep.check(all_match, "our Eq.1-3 reproduce the paper's Table I probabilities exactly");
+  rep.check(all_safe, "every paper (S, k) choice is below the 7.6e-6 target");
+  rep.check(choose_shard_size(8, 0.25) > choose_shard_size(8, 0.15),
               "more Byzantine nodes require bigger shards");
-  return finish("bench_table1_shard_size");
+  return rep.finish("bench_table1_shard_size");
 }

@@ -4,36 +4,55 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
 namespace jenga::bench {
 
-inline int g_shape_failures = 0;
-inline int g_shape_passes = 0;
+/// Pass/fail accumulator for one bench binary (replaces the old mutable
+/// inline globals, which silently shared state across translation units).
+/// Each main() owns one reporter; finish() is the process exit code.
+struct ShapeReporter {
+  int passes = 0;
+  int failures = 0;
 
-inline void shape_check(bool ok, const std::string& claim) {
-  std::printf("  shape %-4s | %s\n", ok ? "PASS" : "FAIL", claim.c_str());
-  if (ok) {
-    ++g_shape_passes;
-  } else {
-    ++g_shape_failures;
+  void check(bool ok, const std::string& claim) {
+    std::printf("  shape %-4s | %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+    if (ok) {
+      ++passes;
+    } else {
+      ++failures;
+    }
   }
-}
 
-/// Prints the summary; returns 0 so a failed shape check is visible but does
-/// not abort a bench sweep.
-inline int finish(const char* name) {
-  std::printf("\n%s: %d shape checks passed, %d failed\n", name, g_shape_passes,
-              g_shape_failures);
-  return 0;
-}
+  /// Prints the summary.  Returns 0 normally (a failed shape check is
+  /// visible but does not abort a bench sweep); under JENGA_STRICT_SHAPES=1
+  /// failures turn into a nonzero exit code so CI can gate on them.
+  [[nodiscard]] int finish(const char* name) const {
+    std::printf("\n%s: %d shape checks passed, %d failed\n", name, passes, failures);
+    const char* strict = std::getenv("JENGA_STRICT_SHAPES");
+    if (failures > 0 && strict != nullptr && std::strcmp(strict, "1") == 0) return 1;
+    return 0;
+  }
+};
 
 inline void header(const char* title, const char* paper_ref) {
   std::printf("==============================================================\n");
   std::printf("%s\n", title);
   std::printf("(reproduces %s)\n", paper_ref);
   std::printf("==============================================================\n");
+}
+
+/// Parses `--trace-out <file>` / `--trace-out=<file>` from argv (the harness
+/// runner writes the telemetry JSONL there).  Empty string when absent.
+inline std::string trace_out_from_args(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) return argv[i + 1];
+    if (std::strncmp(argv[i], "--trace-out=", 12) == 0) return argv[i] + 12;
+  }
+  return {};
 }
 
 }  // namespace jenga::bench

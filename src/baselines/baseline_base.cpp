@@ -140,12 +140,19 @@ NodeId BaselineSystem::contact(ShardId s) const {
                 static_cast<std::uint32_t>(contact_rr_ % config_.nodes_per_shard)};
 }
 
+void BaselineSystem::set_telemetry(telemetry::Telemetry* t) {
+  telemetry_ = t;
+  for (auto& r : replicas_)
+    if (r) r->set_telemetry(t);
+}
+
 void BaselineSystem::submit(TxPtr tx) {
   const SimTime now = sim_.now();
   ++stats_.submitted;
   if (stats_.first_submit_time == 0 && stats_.submitted == 1) stats_.first_submit_time = now;
   const auto involved = involved_shards(*tx);
   tracker_[tx->hash] = TrackEntry{now, static_cast<std::uint32_t>(involved.size()), false};
+  if (telemetry_ != nullptr) telemetry_->tracer.on_submit(tx->hash, now);
   ++contact_rr_;
 
   WorkItem item;
@@ -257,6 +264,25 @@ void BaselineSystem::decide(Shard& shard, NodeId node, std::uint64_t height,
 
   BlockCtx ctx;
   for (const WorkItem& item : payload->items) {
+    if (telemetry_ != nullptr && item.tx) {
+      // Classify the decided item onto the shared phase partition so the
+      // latency-breakdown benches compare baselines against Jenga like for
+      // like: state movement/locking, execution, commit application.
+      telemetry::Phase ph;
+      switch (item.kind) {
+        case WorkItem::Kind::kMoveOut: ph = telemetry::Phase::kStateLock; break;
+        case WorkItem::Kind::kStepExec:
+        case WorkItem::Kind::kExec: ph = telemetry::Phase::kExecute; break;
+        case WorkItem::Kind::kCommit: ph = telemetry::Phase::kCommitApply; break;
+        case WorkItem::Kind::kTransfer:
+          ph = item.stage == 0   ? telemetry::Phase::kStateLock
+               : item.stage == 1 ? telemetry::Phase::kExecute
+                                 : telemetry::Phase::kCommitApply;
+          break;
+        default: ph = telemetry::Phase::kExecute; break;
+      }
+      telemetry_->tracer.phase_event(item.tx->hash, ph, shard.id.value, sim_.now());
+    }
     if (item.kind == WorkItem::Kind::kTransfer) {
       process_transfer(shard, node, item, ctx);
     } else {
@@ -387,7 +413,14 @@ void BaselineSystem::tx_shard_finished(const Hash256& tx_hash, bool ok) {
   } else {
     ++stats_.committed;
     stats_.total_commit_latency += sim_.now() - e.submitted;
+    stats_.commit_latencies.push_back(sim_.now() - e.submitted);
     stats_.last_commit_time = std::max(stats_.last_commit_time, sim_.now());
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer.on_finish(tx_hash, !e.aborted, sim_.now());
+    telemetry_->registry.counter(e.aborted ? "tx.aborted" : "tx.committed").inc();
+    if (!e.aborted)
+      telemetry_->registry.histogram("tx.commit_latency_us").record(sim_.now() - e.submitted);
   }
   tracker_.erase(it);
 }

@@ -89,6 +89,12 @@ class BaselineSystem {
   void start();
   void submit(TxPtr tx);
 
+  /// Attaches a telemetry context (nullptr detaches): per-tx phase tracing
+  /// plus BFT sub-spans in every replica.  Call before start().  The baseline
+  /// flows map onto the same phase partition as Jenga (work-item kinds are
+  /// classified in decide()), so breakdown benches compare like with like.
+  void set_telemetry(telemetry::Telemetry* t);
+
   [[nodiscard]] const TxStats& stats() const { return stats_; }
   [[nodiscard]] const BaselineConfig& config() const { return config_; }
   [[nodiscard]] virtual StorageReport storage_report() const;
@@ -169,6 +175,7 @@ class BaselineSystem {
   std::unordered_map<Hash256, TrackEntry> tracker_;
   TxStats stats_;
   std::uint64_t contact_rr_ = 0;
+  telemetry::Telemetry* telemetry_ = nullptr;
 
  private:
   struct App;

@@ -1,11 +1,14 @@
 #include "common/log.hpp"
 
 #include <atomic>
+#include <cstdarg>
+#include <cstdio>
 
 namespace jenga {
 namespace {
 
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+LogSink g_sink;  // empty -> stderr
 
 const char* level_name(LogLevel level) {
   switch (level) {
@@ -23,10 +26,20 @@ const char* level_name(LogLevel level) {
 LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
-namespace detail {
-void log_line(LogLevel level, const std::string& msg) {
-  std::fprintf(stderr, "[%s] %s\n", level_name(level), msg.c_str());
+void set_log_sink(LogSink sink) { g_sink = std::move(sink); }
+
+void log_at(LogLevel level, const char* fmt, ...) {
+  if (level < log_level()) return;
+  char buf[1024];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (g_sink) {
+    g_sink(level, buf);
+  } else {
+    std::fprintf(stderr, "[%s] %s\n", level_name(level), buf);
+  }
 }
-}  // namespace detail
 
 }  // namespace jenga

@@ -1,8 +1,20 @@
 // Tiny leveled logger.  Simulation code logs with the simulated timestamp.
+//
+// The format string is checked at compile time (printf attribute), and the
+// sink is redirectable: tests capture log output by installing a sink with
+// set_log_sink(), benches can route it into a file, and an empty sink
+// restores the default (stderr).
 #pragma once
 
-#include <cstdio>
+#include <functional>
 #include <string>
+
+#if defined(__GNUC__) || defined(__clang__)
+#define JENGA_PRINTF_ATTR(fmt_idx, first_arg) \
+  __attribute__((format(printf, fmt_idx, first_arg)))
+#else
+#define JENGA_PRINTF_ATTR(fmt_idx, first_arg)
+#endif
 
 namespace jenga {
 
@@ -12,17 +24,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 LogLevel log_level();
 void set_log_level(LogLevel level);
 
-namespace detail {
-void log_line(LogLevel level, const std::string& msg);
-}
+/// Installs a log sink; all formatted lines go through it instead of stderr.
+/// Pass an empty function to restore the default stderr sink.
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+void set_log_sink(LogSink sink);
 
-template <typename... Args>
-void log_at(LogLevel level, const char* fmt, Args... args) {
-  if (level < log_level()) return;
-  char buf[1024];
-  std::snprintf(buf, sizeof(buf), fmt, args...);
-  detail::log_line(level, buf);
-}
+/// Formats and emits one line if `level` passes the threshold.  The format
+/// string is validated against the arguments at compile time.
+void log_at(LogLevel level, const char* fmt, ...) JENGA_PRINTF_ATTR(2, 3);
 
 #define JENGA_LOG_DEBUG(...) ::jenga::log_at(::jenga::LogLevel::kDebug, __VA_ARGS__)
 #define JENGA_LOG_INFO(...) ::jenga::log_at(::jenga::LogLevel::kInfo, __VA_ARGS__)

@@ -76,7 +76,19 @@ void Replica::send_to(NodeId to, const sim::Message& msg) {
   net_.send(self_, to, msg, config_->traffic);
 }
 
+void Replica::set_telemetry(telemetry::Telemetry* t) {
+  telemetry_ = t;
+  if (t == nullptr) {
+    round_hist_ = nullptr;
+    view_change_hist_ = nullptr;
+    return;
+  }
+  round_hist_ = &t->registry.histogram("bft.round_us");
+  view_change_hist_ = &t->registry.histogram("bft.view_change_us");
+}
+
 void Replica::enter_height(std::uint64_t height) {
+  round_begin_ = net_.simulator().now();
   next_height_ = height;
   view_ = 0;
   proposal_.reset();
@@ -117,6 +129,7 @@ void Replica::arm_view_timer() {
 void Replica::on_view_timeout(std::uint64_t height, std::uint32_t view) {
   if (next_height_ != height || view_ != view) return;
   if (byz_ == ByzantineMode::kSilent) return;
+  if (view_change_begin_ < 0) view_change_begin_ = net_.simulator().now();
   // Escalate one view further on each consecutive timeout, so a run of dead
   // leaders is eventually skipped.
   const std::uint32_t new_view = std::max(view + 1, next_view_vote_ + 1);
@@ -530,6 +543,23 @@ void Replica::handle_commit_cert(const sim::Message& msg) {
 
 void Replica::decide(const ConsensusValue& value, const QuorumCert& cert) {
   const std::uint64_t decided = next_height_;
+  if (telemetry_ != nullptr) {
+    const SimTime now = net_.simulator().now();
+    if (round_begin_ >= 0) {
+      telemetry_->tracer.span("bft.round", config_->group_tag, decided, round_begin_, now);
+      round_hist_->record(now - round_begin_);
+      telemetry_->registry.counter("bft.rounds").inc();
+    }
+    if (view_change_begin_ >= 0) {
+      // Height resolved while a view change was still pending (e.g. a commit
+      // certificate landed anyway) — close the span at the decide instant.
+      telemetry_->tracer.span("bft.view_change", config_->group_tag, decided,
+                              view_change_begin_, now);
+      view_change_hist_->record(now - view_change_begin_);
+      telemetry_->registry.counter("bft.view_changes").inc();
+    }
+  }
+  view_change_begin_ = -1;
   decided_log_[decided] = DecidedEntry{value, cert};
   if (decided >= kDecidedLogWindow) decided_log_.erase(decided - kDecidedLogWindow);
   app_.on_decide(decided, value, cert);
@@ -603,6 +633,16 @@ void Replica::handle_new_view(const sim::Message& msg) {
   }
 
   view_ = p.new_view;
+  if (view_change_begin_ >= 0) {
+    const SimTime now = net_.simulator().now();
+    if (telemetry_ != nullptr) {
+      telemetry_->tracer.span("bft.view_change", config_->group_tag, next_height_,
+                              view_change_begin_, now);
+      view_change_hist_->record(now - view_change_begin_);
+      telemetry_->registry.counter("bft.view_changes").inc();
+    }
+    view_change_begin_ = -1;
+  }
   proposal_.reset();
   prepare_votes_.assign(n, false);
   commit_votes_.assign(n, false);

@@ -141,6 +141,12 @@ class Replica {
   /// Verifies a certificate against this group's membership and quorum rule.
   [[nodiscard]] bool verify_cert(const QuorumCert& cert) const;
 
+  /// Attaches a telemetry context (nullptr detaches).  Every deciding replica
+  /// records a "bft.round" span per height (and a "bft.view_change" span when
+  /// one happened), plus round/view-change duration histograms.  Passive: no
+  /// rng draws, no scheduling.
+  void set_telemetry(telemetry::Telemetry* t);
+
  private:
   [[nodiscard]] NodeId leader_for(std::uint32_t view) const;
   [[nodiscard]] std::optional<std::size_t> member_index(NodeId id) const;
@@ -214,6 +220,12 @@ class Replica {
   SimTime last_catch_up_served_ = -1;  // rate limit for reactive history pushes
 
   ReplicaStats stats_;
+
+  telemetry::Telemetry* telemetry_ = nullptr;
+  telemetry::Histogram* round_hist_ = nullptr;        // "bft.round_us"
+  telemetry::Histogram* view_change_hist_ = nullptr;  // "bft.view_change_us"
+  SimTime round_begin_ = -1;        // when this replica entered the height
+  SimTime view_change_begin_ = -1;  // first timeout of the stalled height
 
   bool started_ = false;
 

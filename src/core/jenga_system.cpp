@@ -106,6 +106,10 @@ struct GatherUnit {
 
   std::unordered_map<Hash256, Pending> pending;
   std::deque<Hash256> ready;
+  /// Optional phase tracer: a tx becoming ready is the kGather checkpoint
+  /// (the moment the execution site holds every involved shard's grant).
+  telemetry::PhaseTracer* tracer = nullptr;
+  std::uint32_t tracer_key = 0;  // shard / channel id for the trace event
   /// Transactions whose entry was consumed by a decision.  Late tx copies or
   /// stray re-grants must not resurrect a Pending for them: a resurrected
   /// entry eventually expires and emits a *second* abort/result for a tx the
@@ -125,7 +129,7 @@ struct GatherUnit {
       p.expected = expected;
       if (p.first_seen == 0) p.first_seen = now;
     }
-    maybe_ready(tx->hash);
+    maybe_ready(tx->hash, now);
   }
 
   void on_grant(const StateGrant& grant, SimTime now) {
@@ -139,10 +143,10 @@ struct GatherUnit {
     } else {
       p.gathered.merge(grant.states);
     }
-    maybe_ready(grant.tx_hash);
+    maybe_ready(grant.tx_hash, now);
   }
 
-  void maybe_ready(const Hash256& h) {
+  void maybe_ready(const Hash256& h, SimTime now) {
     auto it = pending.find(h);
     if (it == pending.end()) return;
     Pending& p = it->second;
@@ -150,6 +154,8 @@ struct GatherUnit {
     if (p.reported.size() >= p.expected) {
       p.queued = true;
       ready.push_back(h);
+      if (tracer != nullptr)
+        tracer->phase_event(h, telemetry::Phase::kGather, tracer_key, now);
     }
   }
 
@@ -161,6 +167,8 @@ struct GatherUnit {
         p.abort = true;
         p.queued = true;
         ready.push_back(h);
+        if (tracer != nullptr)
+          tracer->phase_event(h, telemetry::Phase::kGather, tracer_key, now);
       }
     }
   }
@@ -347,6 +355,22 @@ void JengaSystem::on_node_recovered(NodeId node) {
   if (channel_replicas_[node.value]) channel_replicas_[node.value]->request_sync();
 }
 
+void JengaSystem::set_telemetry(telemetry::Telemetry* t) {
+  telemetry_ = t;
+  for (auto& r : shard_replicas_) r->set_telemetry(t);
+  for (auto& r : channel_replicas_)
+    if (r) r->set_telemetry(t);
+  telemetry::PhaseTracer* tracer = t == nullptr ? nullptr : &t->tracer;
+  for (auto& s : shards_) {
+    s->gather.tracer = tracer;
+    s->gather.tracer_key = s->id.value;
+  }
+  for (auto& c : channels_) {
+    c->gather.tracer = tracer;
+    c->gather.tracer_key = c->id.value;
+  }
+}
+
 NodeId JengaSystem::shard_leader(ShardId s) const {
   const NodeId probe = lattice_->shard_members(s).front();
   return shard_replicas_[probe.value]->current_leader();
@@ -412,6 +436,7 @@ void JengaSystem::submit(TxPtr tx) {
   const auto involved = involved_shards(*tx);
   tracker_[tx->hash] = TrackEntry{now, static_cast<std::uint32_t>(involved.size()), false};
   tx_for_result_[tx->hash] = tx;
+  if (telemetry_ != nullptr) telemetry_->tracer.on_submit(tx->hash, now);
 
   ++contact_rr_;
   auto payload = std::make_shared<TxPayload>();
@@ -849,6 +874,10 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
           grant.states.balances[a] = eng.store.balance(a).value_or(0);
       }
 
+      if (telemetry_ != nullptr)
+        telemetry_->tracer.phase_event(tx->hash, telemetry::Phase::kStateLock,
+                                       eng.id.value, now);
+
       std::uint32_t dest = 0;
       switch (config_.pipeline) {
         case Pipeline::kFull:
@@ -930,6 +959,9 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
       // second outcome double-counts the fee or overwrites newer state with
       // a stale snapshot.
       if (!eng.finished.insert(tx.hash).second) continue;
+      if (telemetry_ != nullptr)
+        telemetry_->tracer.phase_event(tx.hash, telemetry::Phase::kCommitApply,
+                                       eng.id.value, now);
 
       const bool sender_local =
           ledger::shard_of_account(tx.sender, config_.num_shards) == eng.id;
@@ -976,6 +1008,14 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
     for (const TransferItem& item : payload->transfers) {
       const Transaction& tx = *item.tx;
       const ShardId dest = ledger::shard_of_account(tx.to, config_.num_shards);
+      if (telemetry_ != nullptr) {
+        // 2PC stages map onto the phase partition: debit = lock acquisition,
+        // credit = the "execution", finalize = commit application.
+        const telemetry::Phase ph = item.stage == 0   ? telemetry::Phase::kStateLock
+                                    : item.stage == 1 ? telemetry::Phase::kExecute
+                                                      : telemetry::Phase::kCommitApply;
+        telemetry_->tracer.phase_event(tx.hash, ph, eng.id.value, now);
+      }
       switch (item.stage) {
         case 0: {  // debit at the sender's shard
           const auto bal = eng.store.balance(tx.sender);
@@ -1084,6 +1124,9 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
       }
 
       auto emit_results = [&](bool success) {
+        if (telemetry_ != nullptr)
+          telemetry_->tracer.phase_event(tx.hash, telemetry::Phase::kExecute,
+                                         eng.id.value, now);
         ExecResult result;
         result.tx_hash = tx.hash;
         result.ok = success;
@@ -1121,6 +1164,9 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
       // Retire the gathered entry.
       if (!eng.gather.ready.empty()) eng.gather.ready.pop_front();
       eng.gather.finish(result.tx_hash);
+      if (telemetry_ != nullptr)
+        telemetry_->tracer.phase_event(result.tx_hash, telemetry::Phase::kExecute,
+                                       eng.id.value, now);
       if (!tx) continue;
       add_result(*tx, result);
     }
@@ -1224,6 +1270,7 @@ void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t 
 
   if (height >= eng.next_process_height) {
     eng.next_process_height = height + 1;
+    const SimTime now = sim_.now();
     ChannelEngine::Outcome outcome;
 
     // Group results per target shard.
@@ -1231,6 +1278,9 @@ void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t 
     for (const auto& [tx, result] : payload->entries) {
       if (!eng.gather.ready.empty()) eng.gather.ready.pop_front();
       eng.gather.finish(result.tx_hash);
+      if (telemetry_ != nullptr)
+        telemetry_->tracer.phase_event(result.tx_hash, telemetry::Phase::kExecute,
+                                       eng.id.value, now);
       if (!tx) continue;
       for (ShardId target : involved_shards(*tx)) {
         auto& batch = batches[target.value];
@@ -1284,6 +1334,12 @@ void JengaSystem::tx_shard_finished(const Hash256& tx_hash, bool ok) {
     stats_.total_commit_latency += sim_.now() - e.submitted;
     stats_.commit_latencies.push_back(sim_.now() - e.submitted);
     stats_.last_commit_time = std::max(stats_.last_commit_time, sim_.now());
+  }
+  if (telemetry_ != nullptr) {
+    telemetry_->tracer.on_finish(tx_hash, !e.aborted, sim_.now());
+    telemetry_->registry.counter(e.aborted ? "tx.aborted" : "tx.committed").inc();
+    if (!e.aborted)
+      telemetry_->registry.histogram("tx.commit_latency_us").record(sim_.now() - e.submitted);
   }
   tracker_.erase(it);
   tx_for_result_.erase(tx_hash);

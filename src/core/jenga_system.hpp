@@ -113,6 +113,11 @@ class JengaSystem {
   /// height.
   void on_node_recovered(NodeId node);
 
+  /// Attaches a telemetry context (nullptr detaches): per-tx phase tracing in
+  /// this layer, BFT sub-spans in every replica.  Call before start().
+  /// Recording is passive — an instrumented run is bit-identical to a bare one.
+  void set_telemetry(telemetry::Telemetry* t);
+
   /// Replica introspection for fault injection and tests.
   [[nodiscard]] const consensus::Replica& shard_replica(NodeId node) const {
     return *shard_replicas_[node.value];
@@ -199,6 +204,8 @@ class JengaSystem {
   std::uint64_t divergent_decides_ = 0;
 
   std::uint64_t contact_rr_ = 0;  // round-robin over members for client entry
+
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace jenga::core

@@ -1,6 +1,7 @@
 #include "harness/runner.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <memory>
 
 #include "baselines/cxfunc.hpp"
@@ -73,6 +74,10 @@ RunResult run_experiment(const RunConfig& config) {
   sim::Network net(sim, config.net, Rng(config.seed ^ 0x9E7));
   const core::Genesis genesis = make_genesis(gen);
 
+  // Always-on telemetry: passive recording, bit-identical runs.
+  auto telemetry = std::make_shared<telemetry::Telemetry>();
+  net.set_telemetry(telemetry.get());
+
   // The system under test, behind a uniform submit/metric facade.
   std::unique_ptr<core::JengaSystem> jenga;
   std::unique_ptr<baselines::BaselineSystem> baseline;
@@ -121,8 +126,10 @@ RunResult run_experiment(const RunConfig& config) {
   auto stats = [&]() -> const TxStats& { return jenga ? jenga->stats() : baseline->stats(); };
 
   if (jenga) {
+    jenga->set_telemetry(telemetry.get());
     jenga->start();
   } else {
+    baseline->set_telemetry(telemetry.get());
     baseline->start();
   }
 
@@ -186,6 +193,7 @@ RunResult run_experiment(const RunConfig& config) {
   RunResult result;
   result.stats = stats();
   result.traffic = net.stats();
+  result.faults = net.fault_stats();
   result.storage = jenga ? jenga->storage_report() : baseline->storage_report();
   result.tps = result.stats.tps();
   result.latency_s = result.stats.avg_latency_seconds();
@@ -194,6 +202,35 @@ RunResult run_experiment(const RunConfig& config) {
   result.sim_end = sim.now();
   result.nodes_per_shard = k;
   result.total_nodes = k * config.num_shards;
+
+  // Fold the run-level counters into the registry so one metrics snapshot
+  // carries the whole picture (traffic, faults, outcome counts).
+  auto& reg = telemetry->registry;
+  reg.counter("net.messages.intra_shard").set(result.traffic.messages[0]);
+  reg.counter("net.messages.cross_shard").set(result.traffic.messages[1]);
+  reg.counter("net.messages.client").set(result.traffic.messages[2]);
+  reg.counter("net.bytes.intra_shard").set(result.traffic.bytes[0]);
+  reg.counter("net.bytes.cross_shard").set(result.traffic.bytes[1]);
+  reg.counter("net.bytes.client").set(result.traffic.bytes[2]);
+  reg.counter("net.faults.dropped").set(result.faults.dropped);
+  reg.counter("net.faults.duplicated").set(result.faults.duplicated);
+  reg.counter("net.faults.partition_blocked").set(result.faults.partition_blocked);
+  reg.counter("net.faults.down_blocked").set(result.faults.down_blocked);
+  reg.counter("tx.submitted").set(result.stats.submitted);
+  reg.counter("sim.events").set(result.sim_events);
+
+  result.breakdown = telemetry->tracer.breakdown();
+  result.telemetry = telemetry;
+
+  if (!config.trace_out.empty()) {
+    std::ofstream out(config.trace_out);
+    if (out) telemetry->export_jsonl(out);
+  }
+  // Detach before the systems/network go out of scope (telemetry outlives
+  // them via the shared_ptr in the result).
+  net.set_telemetry(nullptr);
+  if (jenga) jenga->set_telemetry(nullptr);
+  if (baseline) baseline->set_telemetry(nullptr);
   return result;
 }
 

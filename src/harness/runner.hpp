@@ -2,10 +2,12 @@
 // through it, and extracts the metrics the paper's evaluation reports.
 #pragma once
 
+#include <memory>
 #include <string>
 
 #include "baselines/baseline_base.hpp"
 #include "core/jenga_system.hpp"
+#include "telemetry/telemetry.hpp"
 #include "workload/trace.hpp"
 
 namespace jenga::harness {
@@ -48,11 +50,14 @@ struct RunConfig {
   std::uint32_t merge_span = 0;  // Pyramid; 0 = max(2, S/2)
   std::uint32_t max_block_items = 4096;
   sim::NetConfig net;
+  /// Non-empty: write the full JSONL telemetry trace here after the run.
+  std::string trace_out;
 };
 
 struct RunResult {
   TxStats stats;
   sim::TrafficStats traffic;
+  sim::FaultStats faults;
   StorageReport storage;
   double tps = 0;
   double latency_s = 0;
@@ -61,6 +66,11 @@ struct RunResult {
   SimTime sim_end = 0;
   std::uint32_t nodes_per_shard = 0;
   std::uint32_t total_nodes = 0;
+  /// Every run is instrumented (telemetry is cheap enough to stay on): the
+  /// full metric registry / tracer / message telemetry, and the per-phase
+  /// latency breakdown derived from the tracer.
+  std::shared_ptr<telemetry::Telemetry> telemetry;
+  telemetry::PhaseBreakdown breakdown;
 };
 
 [[nodiscard]] RunResult run_experiment(const RunConfig& config);

@@ -42,6 +42,33 @@ enum class MsgType : std::uint16_t {
   kTwoPcCommit = 44,     // transfer txs: classic 2PC commit
 };
 
+/// Human-readable name for a message type (telemetry export); nullptr for
+/// values outside the taxonomy.
+[[nodiscard]] constexpr const char* msg_type_name(MsgType t) {
+  switch (t) {
+    case MsgType::kClientTx: return "client_tx";
+    case MsgType::kBftPrePrepare: return "bft_pre_prepare";
+    case MsgType::kBftPrepareVote: return "bft_prepare_vote";
+    case MsgType::kBftPreparedCert: return "bft_prepared_cert";
+    case MsgType::kBftCommitVote: return "bft_commit_vote";
+    case MsgType::kBftCommitCert: return "bft_commit_cert";
+    case MsgType::kBftViewChange: return "bft_view_change";
+    case MsgType::kBftNewView: return "bft_new_view";
+    case MsgType::kBftSyncRequest: return "bft_sync_request";
+    case MsgType::kBftSyncResponse: return "bft_sync_response";
+    case MsgType::kStateGrant: return "state_grant";
+    case MsgType::kAbortRequest: return "abort_request";
+    case MsgType::kExecResult: return "exec_result";
+    case MsgType::kExecAbort: return "exec_abort";
+    case MsgType::kSubTxResult: return "subtx_result";
+    case MsgType::kStateMove: return "state_move";
+    case MsgType::kMergedCommit: return "merged_commit";
+    case MsgType::kTwoPcPrepare: return "twopc_prepare";
+    case MsgType::kTwoPcCommit: return "twopc_commit";
+  }
+  return nullptr;
+}
+
 /// Base class for all payloads; concrete types live with their protocols.
 struct Payload {
   virtual ~Payload() = default;

@@ -44,6 +44,8 @@ bool Network::partitioned(NodeId a, NodeId b) const {
 }
 
 bool Network::deliver_faulty(NodeId from, SimTime when, NodeId to, Message msg) {
+  const std::uint64_t link_key =
+      (static_cast<std::uint64_t>(from.value) << 32) | to.value;
   if (partitioned(from, to)) {
     ++fault_stats_.partition_blocked;
     return false;
@@ -53,8 +55,7 @@ bool Network::deliver_faulty(NodeId from, SimTime when, NodeId to, Message msg) 
     return false;
   }
   if (!link_delay_.empty()) {
-    const auto it =
-        link_delay_.find((static_cast<std::uint64_t>(from.value) << 32) | to.value);
+    const auto it = link_delay_.find(link_key);
     if (it != link_delay_.end()) when += it->second;
   }
   // Guard every rng draw behind its knob so fault-free runs consume the
@@ -64,6 +65,7 @@ bool Network::deliver_faulty(NodeId from, SimTime when, NodeId to, Message msg) 
   bool scheduled = false;
   if (faults_.duplicate_rate > 0 && rng_.chance(faults_.duplicate_rate)) {
     ++fault_stats_.duplicated;
+    ++fault_stats_.per_link[link_key].duplicated;
     // The extra copy trails the original by one latency quantum and is
     // itself subject to the drop draw below.
     if (!(faults_.drop_rate > 0 && rng_.chance(faults_.drop_rate))) {
@@ -71,10 +73,12 @@ bool Network::deliver_faulty(NodeId from, SimTime when, NodeId to, Message msg) 
       scheduled = true;
     } else {
       ++fault_stats_.dropped;
+      ++fault_stats_.per_link[link_key].dropped;
     }
   }
   if (faults_.drop_rate > 0 && rng_.chance(faults_.drop_rate)) {
     ++fault_stats_.dropped;
+    ++fault_stats_.per_link[link_key].dropped;
     return scheduled;
   }
   deliver_at(when, to, std::move(msg));
@@ -106,6 +110,7 @@ void Network::deliver_at(SimTime when, NodeId to, Message msg) {
     ++fault_stats_.down_blocked;
     return;
   }
+  if (telemetry_ != nullptr) telemetry_->net.hop_delay_us.record(when - sim_.now());
   sim_.schedule_at(when, [this, to, msg = std::move(msg)] {
     // Re-checked at delivery time: a message in flight to a node that
     // crashes before it lands is lost with the crash.
@@ -113,14 +118,23 @@ void Network::deliver_at(SimTime when, NodeId to, Message msg) {
   });
 }
 
-void Network::account(TrafficClass cls, std::uint32_t bytes) {
+void Network::account(TrafficClass cls, MsgType type, std::uint32_t bytes) {
   stats_.messages[static_cast<std::size_t>(cls)] += 1;
   stats_.bytes[static_cast<std::size_t>(cls)] += bytes;
+  if (telemetry_ != nullptr)
+    telemetry_->net.record(static_cast<std::uint16_t>(type), bytes);
+}
+
+void Network::set_telemetry(telemetry::Telemetry* t) {
+  telemetry_ = t;
+  if (t == nullptr) return;
+  for (std::size_t i = 0; i < telemetry::MessageTelemetry::kMaxTypes; ++i)
+    t->net.type_name[i] = msg_type_name(static_cast<MsgType>(i));
 }
 
 void Network::send(NodeId from, NodeId to, Message msg, TrafficClass cls) {
   if (from.value < down_.size() && down_[from.value]) return;
-  account(cls, msg.size_bytes);
+  account(cls, msg.type, msg.size_bytes);
   const SimTime departure = reserve_egress(from, msg.size_bytes);
   deliver_faulty(from, departure + config_.base_latency + jitter(), to, std::move(msg));
 }
@@ -169,7 +183,7 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
   for (std::size_t i = 0; i < order.size() && i < fanout; ++i) {
     root_departure += ser;
     arrival[i] = root_departure + config_.base_latency + jitter();
-    account(cls, msg.size_bytes);
+    account(cls, msg.type, msg.size_bytes);
     received[i] = deliver_faulty(from, arrival[i], order[i], msg);
   }
   if (!order.empty()) egress_busy_until_[from.value] = root_departure;
@@ -182,15 +196,15 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
     const SimTime departure = std::max(arrival[parent], relay_busy[parent]) + ser;
     relay_busy[parent] = departure;
     arrival[child] = departure + config_.base_latency + jitter();
-    account(cls, msg.size_bytes);
+    account(cls, msg.type, msg.size_bytes);
     received[child] = deliver_faulty(order[parent], arrival[child], order[child], msg);
   }
 }
 
 void Network::send_via_relay(NodeId from, NodeId to, Message msg, TrafficClass cls) {
   if (from.value < down_.size() && down_[from.value]) return;
-  account(cls, msg.size_bytes);
-  account(cls, msg.size_bytes);  // second leg: relay -> destination
+  account(cls, msg.type, msg.size_bytes);
+  account(cls, msg.type, msg.size_bytes);  // second leg: relay -> destination
   const SimTime departure = reserve_egress(from, msg.size_bytes);
   // The relay's own serialization is charged as one extra payload time.
   const SimTime arrival = departure + serialization_delay(msg.size_bytes) +
@@ -199,13 +213,15 @@ void Network::send_via_relay(NodeId from, NodeId to, Message msg, TrafficClass c
   // faulty delivery per leg by drawing the drop twice.
   if (faults_.drop_rate > 0 && rng_.chance(faults_.drop_rate)) {
     ++fault_stats_.dropped;
+    ++fault_stats_.per_link[(static_cast<std::uint64_t>(from.value) << 32) | to.value]
+          .dropped;
     return;
   }
   deliver_faulty(from, arrival, to, std::move(msg));
 }
 
 void Network::client_send(NodeId to, Message msg) {
-  account(TrafficClass::kClient, msg.size_bytes);
+  account(TrafficClass::kClient, msg.type, msg.size_bytes);
   deliver_at(sim_.now() + config_.base_latency + jitter(), to, std::move(msg));
 }
 

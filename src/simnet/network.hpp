@@ -31,6 +31,7 @@
 #include "common/types.hpp"
 #include "simnet/message.hpp"
 #include "simnet/simulator.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace jenga::sim {
 
@@ -65,6 +66,14 @@ struct FaultStats {
   std::uint64_t duplicated = 0;
   std::uint64_t partition_blocked = 0;
   std::uint64_t down_blocked = 0;
+
+  /// Per-directed-link drop/duplicate attribution, keyed (from << 32 | to).
+  /// Lets a chaos report say *which* links the fault injector actually hit.
+  struct LinkFaultCounts {
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+  };
+  std::unordered_map<std::uint64_t, LinkFaultCounts> per_link;
 
   [[nodiscard]] std::uint64_t total() const {
     return dropped + duplicated + partition_blocked + down_blocked;
@@ -152,6 +161,11 @@ class Network {
 
   [[nodiscard]] const FaultStats& fault_stats() const { return fault_stats_; }
 
+  /// Attaches a telemetry context (nullptr detaches).  Recording is passive:
+  /// an instrumented run consumes the same rng stream and schedules the same
+  /// events as a bare one.
+  void set_telemetry(telemetry::Telemetry* t);
+
  private:
   [[nodiscard]] SimTime serialization_delay(std::uint32_t bytes) const;
   [[nodiscard]] SimTime jitter();
@@ -162,7 +176,7 @@ class Network {
   /// delivers.  Returns true if at least one copy was scheduled (gossip uses
   /// this to cut off the subtree of a relay that never received the message).
   bool deliver_faulty(NodeId from, SimTime when, NodeId to, Message msg);
-  void account(TrafficClass cls, std::uint32_t bytes);
+  void account(TrafficClass cls, MsgType type, std::uint32_t bytes);
 
   Simulator& sim_;
   NetConfig config_;
@@ -175,6 +189,7 @@ class Network {
   LinkFaults faults_;
   TrafficStats stats_;
   FaultStats fault_stats_;
+  telemetry::Telemetry* telemetry_ = nullptr;
 };
 
 }  // namespace jenga::sim

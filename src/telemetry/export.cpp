@@ -1,0 +1,406 @@
+#include "telemetry/telemetry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <istream>
+#include <map>
+#include <ostream>
+#include <vector>
+
+#include "common/hex.hpp"
+
+namespace jenga::telemetry {
+
+// ---------------------------------------------------------------------------
+// Export
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void write_line(std::ostream& out, const char* fmt, auto... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out << buf << "\n";
+}
+
+}  // namespace
+
+void Telemetry::export_jsonl(std::ostream& out) const {
+  const PhaseBreakdown b = tracer.breakdown();
+  write_line(out,
+             "{\"kind\":\"meta\",\"version\":1,\"traced_txs\":%zu,\"spans\":%zu,"
+             "\"spans_dropped\":%llu,\"committed\":%llu,\"aborted\":%llu,"
+             "\"incomplete\":%llu}",
+             tracer.traced(), tracer.spans().size(),
+             static_cast<unsigned long long>(tracer.spans_dropped()),
+             static_cast<unsigned long long>(b.committed),
+             static_cast<unsigned long long>(b.aborted),
+             static_cast<unsigned long long>(b.incomplete));
+
+  for (const auto& [name, c] : registry.counters())
+    write_line(out, "{\"kind\":\"metric\",\"type\":\"counter\",\"name\":\"%s\",\"value\":%llu}",
+               name.c_str(), static_cast<unsigned long long>(c.value()));
+  for (const auto& [name, g] : registry.gauges())
+    write_line(out, "{\"kind\":\"metric\",\"type\":\"gauge\",\"name\":\"%s\",\"value\":%lld}",
+               name.c_str(), static_cast<long long>(g.value()));
+  auto write_hist = [&out](const std::string& name, const Histogram& h) {
+    write_line(out,
+               "{\"kind\":\"metric\",\"type\":\"histogram\",\"name\":\"%s\",\"count\":%llu,"
+               "\"sum\":%lld,\"min\":%lld,\"max\":%lld,\"mean\":%.6g,\"p50\":%.6g,"
+               "\"p99\":%.6g}",
+               name.c_str(), static_cast<unsigned long long>(h.count()),
+               static_cast<long long>(h.sum()), static_cast<long long>(h.min()),
+               static_cast<long long>(h.max()), h.mean(), h.quantile(0.5), h.quantile(0.99));
+  };
+  for (const auto& [name, h] : registry.histograms()) write_hist(name, h);
+  write_hist("net.hop_delay_us", net.hop_delay_us);
+
+  for (std::size_t t = 0; t < MessageTelemetry::kMaxTypes; ++t) {
+    if (net.per_type[t].count == 0) continue;
+    write_line(out,
+               "{\"kind\":\"msgtype\",\"id\":%zu,\"name\":\"%s\",\"count\":%llu,"
+               "\"bytes\":%llu}",
+               t, net.type_name[t] != nullptr ? net.type_name[t] : "unknown",
+               static_cast<unsigned long long>(net.per_type[t].count),
+               static_cast<unsigned long long>(net.per_type[t].bytes));
+  }
+
+  for (std::size_t i = 0; i < kIntervalCount; ++i) {
+    const Histogram& h = b.interval_hist[i];
+    write_line(out,
+               "{\"kind\":\"phase_hist\",\"phase\":\"%s\",\"count\":%llu,\"sum_us\":%lld,"
+               "\"mean_s\":%.6f,\"p50_s\":%.6f,\"p99_s\":%.6f,\"critical\":%llu}",
+               interval_name(i), static_cast<unsigned long long>(h.count()),
+               static_cast<long long>(b.interval_sum[i]), b.mean_interval_seconds(i),
+               b.quantile_interval_seconds(i, 0.5), b.quantile_interval_seconds(i, 0.99),
+               static_cast<unsigned long long>(b.critical[i]));
+  }
+
+  // Tx lines, sorted for deterministic output across platforms.
+  std::vector<const std::pair<const Hash256, TxTrace>*> order;
+  order.reserve(tracer.traces().size());
+  for (const auto& entry : tracer.traces()) order.push_back(&entry);
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b2) {
+    if (a->second.submit != b2->second.submit) return a->second.submit < b2->second.submit;
+    return a->first < b2->first;
+  });
+  for (const auto* entry : order) {
+    const TxTrace& t = entry->second;
+    const std::string hash = to_hex(entry->first);
+    if (!t.done) {
+      write_line(out,
+                 "{\"kind\":\"tx\",\"hash\":\"%s\",\"outcome\":\"incomplete\","
+                 "\"submit_us\":%lld}",
+                 hash.c_str(), static_cast<long long>(t.submit));
+      continue;
+    }
+    const auto iv = t.intervals();
+    write_line(out,
+               "{\"kind\":\"tx\",\"hash\":\"%s\",\"outcome\":\"%s\",\"submit_us\":%lld,"
+               "\"finish_us\":%lld,\"state_lock_us\":%lld,\"grant_relay_us\":%lld,"
+               "\"execute_us\":%lld,\"commit_us\":%lld,\"critical\":\"%s\"}",
+               hash.c_str(), t.committed ? "commit" : "abort",
+               static_cast<long long>(t.submit), static_cast<long long>(t.finish),
+               static_cast<long long>(iv[0]), static_cast<long long>(iv[1]),
+               static_cast<long long>(iv[2]), static_cast<long long>(iv[3]),
+               interval_name(t.critical_interval()));
+  }
+
+  for (const SpanRecord& s : tracer.spans()) {
+    write_line(out,
+               "{\"kind\":\"span\",\"name\":\"%s\",\"group\":%llu,\"seq\":%llu,"
+               "\"begin_us\":%lld,\"end_us\":%lld}",
+               s.name, static_cast<unsigned long long>(s.group),
+               static_cast<unsigned long long>(s.seq), static_cast<long long>(s.begin),
+               static_cast<long long>(s.end));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Validation (shared by tools/trace_lint and the telemetry tests)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct JsonValue {
+  enum class Kind { kString, kNumber, kBool };
+  Kind kind = Kind::kNumber;
+  std::string text;  // string contents (unescaped not needed: exporter never escapes)
+  double num = 0.0;
+};
+
+using FlatObject = std::map<std::string, JsonValue>;
+
+void skip_ws(const std::string& s, std::size_t& i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+}
+
+bool parse_string(const std::string& s, std::size_t& i, std::string* out) {
+  if (i >= s.size() || s[i] != '"') return false;
+  ++i;
+  out->clear();
+  while (i < s.size() && s[i] != '"') {
+    if (s[i] == '\\') return false;  // exporter never emits escapes
+    out->push_back(s[i++]);
+  }
+  if (i >= s.size()) return false;
+  ++i;  // closing quote
+  return true;
+}
+
+bool parse_flat_object(const std::string& line, FlatObject* out, std::string* err) {
+  std::size_t i = 0;
+  skip_ws(line, i);
+  if (i >= line.size() || line[i] != '{') {
+    if (err) *err = "line does not start with '{'";
+    return false;
+  }
+  ++i;
+  skip_ws(line, i);
+  if (i < line.size() && line[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      std::string key;
+      skip_ws(line, i);
+      if (!parse_string(line, i, &key)) {
+        if (err) *err = "expected string key";
+        return false;
+      }
+      skip_ws(line, i);
+      if (i >= line.size() || line[i] != ':') {
+        if (err) *err = "expected ':' after key \"" + key + "\"";
+        return false;
+      }
+      ++i;
+      skip_ws(line, i);
+      JsonValue v;
+      if (i < line.size() && line[i] == '"') {
+        v.kind = JsonValue::Kind::kString;
+        if (!parse_string(line, i, &v.text)) {
+          if (err) *err = "bad string value for \"" + key + "\"";
+          return false;
+        }
+      } else if (line.compare(i, 4, "true") == 0) {
+        v.kind = JsonValue::Kind::kBool;
+        v.num = 1;
+        i += 4;
+      } else if (line.compare(i, 5, "false") == 0) {
+        v.kind = JsonValue::Kind::kBool;
+        v.num = 0;
+        i += 5;
+      } else {
+        const std::size_t start = i;
+        while (i < line.size() &&
+               (std::isdigit(static_cast<unsigned char>(line[i])) || line[i] == '-' ||
+                line[i] == '+' || line[i] == '.' || line[i] == 'e' || line[i] == 'E'))
+          ++i;
+        if (i == start) {
+          if (err) *err = "bad value for \"" + key + "\" (nested objects unsupported)";
+          return false;
+        }
+        v.kind = JsonValue::Kind::kNumber;
+        v.text = line.substr(start, i - start);
+        char* endp = nullptr;
+        v.num = std::strtod(v.text.c_str(), &endp);
+        if (endp == nullptr || *endp != '\0') {
+          if (err) *err = "unparsable number for \"" + key + "\"";
+          return false;
+        }
+      }
+      (*out)[key] = std::move(v);
+      skip_ws(line, i);
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      break;
+    }
+    if (i >= line.size() || line[i] != '}') {
+      if (err) *err = "expected '}' at end of object";
+      return false;
+    }
+    ++i;
+  }
+  skip_ws(line, i);
+  if (i != line.size()) {
+    if (err) *err = "trailing characters after object";
+    return false;
+  }
+  return true;
+}
+
+bool require(const FlatObject& obj, const char* key, JsonValue::Kind kind,
+             std::string* err, double* num = nullptr, std::string* text = nullptr) {
+  const auto it = obj.find(key);
+  if (it == obj.end()) {
+    if (err) *err = std::string("missing field \"") + key + "\"";
+    return false;
+  }
+  if (it->second.kind != kind) {
+    if (err) *err = std::string("field \"") + key + "\" has wrong type";
+    return false;
+  }
+  if (num != nullptr) *num = it->second.num;
+  if (text != nullptr) *text = it->second.text;
+  return true;
+}
+
+bool is_interval_name(const std::string& s) {
+  for (std::size_t i = 0; i < kIntervalCount; ++i)
+    if (s == interval_name(i)) return true;
+  return false;
+}
+
+}  // namespace
+
+bool validate_trace_line(const std::string& line, std::string* error) {
+  FlatObject obj;
+  if (!parse_flat_object(line, &obj, error)) return false;
+
+  std::string kind;
+  if (!require(obj, "kind", JsonValue::Kind::kString, error, nullptr, &kind)) return false;
+
+  const auto num_field = [&](const char* key, double* out) {
+    return require(obj, key, JsonValue::Kind::kNumber, error, out);
+  };
+  const auto str_field = [&](const char* key, std::string* out) {
+    return require(obj, key, JsonValue::Kind::kString, error, nullptr, out);
+  };
+
+  if (kind == "meta") {
+    double version = 0;
+    if (!num_field("version", &version)) return false;
+    if (version < 1) {
+      if (error) *error = "meta version must be >= 1";
+      return false;
+    }
+    return true;
+  }
+  if (kind == "metric") {
+    std::string type, name;
+    if (!str_field("type", &type) || !str_field("name", &name)) return false;
+    if (type == "counter" || type == "gauge") {
+      double v = 0;
+      return num_field("value", &v);
+    }
+    if (type == "histogram") {
+      double v = 0;
+      for (const char* k : {"count", "sum", "min", "max", "mean", "p50", "p99"})
+        if (!num_field(k, &v)) return false;
+      return true;
+    }
+    if (error) *error = "unknown metric type \"" + type + "\"";
+    return false;
+  }
+  if (kind == "msgtype") {
+    std::string name;
+    double v = 0;
+    return str_field("name", &name) && num_field("id", &v) && num_field("count", &v) &&
+           num_field("bytes", &v);
+  }
+  if (kind == "phase_hist") {
+    std::string phase;
+    if (!str_field("phase", &phase)) return false;
+    if (!is_interval_name(phase)) {
+      if (error) *error = "unknown phase \"" + phase + "\"";
+      return false;
+    }
+    double v = 0;
+    for (const char* k : {"count", "sum_us", "mean_s", "p50_s", "p99_s", "critical"})
+      if (!num_field(k, &v)) return false;
+    return true;
+  }
+  if (kind == "tx") {
+    std::string hash, outcome;
+    if (!str_field("hash", &hash) || !str_field("outcome", &outcome)) return false;
+    if (hash.size() != 64) {
+      if (error) *error = "tx hash must be 64 hex chars";
+      return false;
+    }
+    double submit = 0;
+    if (!num_field("submit_us", &submit)) return false;
+    if (outcome == "incomplete") return true;
+    if (outcome != "commit" && outcome != "abort") {
+      if (error) *error = "unknown tx outcome \"" + outcome + "\"";
+      return false;
+    }
+    double finish = 0, phases_sum = 0;
+    if (!num_field("finish_us", &finish)) return false;
+    for (const char* k : {"state_lock_us", "grant_relay_us", "execute_us", "commit_us"}) {
+      double v = 0;
+      if (!num_field(k, &v)) return false;
+      if (v < 0) {
+        if (error) *error = std::string("negative phase interval \"") + k + "\"";
+        return false;
+      }
+      phases_sum += v;
+    }
+    std::string critical;
+    if (!str_field("critical", &critical) || !is_interval_name(critical)) {
+      if (error) *error = "tx line missing/bad \"critical\" phase";
+      return false;
+    }
+    // The partition invariant: intervals must reconcile with end-to-end
+    // latency (exact in the exporter; allow 1% / 2µs slop for re-encoders).
+    const double total = finish - submit;
+    const double slop = std::max(2.0, 0.01 * total);
+    if (total < 0 || std::abs(phases_sum - total) > slop) {
+      if (error)
+        *error = "tx phase intervals do not sum to finish_us - submit_us (" +
+                 std::to_string(phases_sum) + " vs " + std::to_string(total) + ")";
+      return false;
+    }
+    return true;
+  }
+  if (kind == "span") {
+    std::string name;
+    double group = 0, seq = 0, begin = 0, end = 0;
+    if (!str_field("name", &name) || !num_field("group", &group) ||
+        !num_field("seq", &seq) || !num_field("begin_us", &begin) ||
+        !num_field("end_us", &end))
+      return false;
+    if (end < begin) {
+      if (error) *error = "span ends before it begins";
+      return false;
+    }
+    return true;
+  }
+  if (error) *error = "unknown line kind \"" + kind + "\"";
+  return false;
+}
+
+bool validate_trace_stream(std::istream& in, std::string* error, TraceLintSummary* summary) {
+  TraceLintSummary local;
+  std::string line;
+  bool saw_meta = false;
+  std::size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::string err;
+    if (!validate_trace_line(line, &err)) {
+      if (error) *error = "line " + std::to_string(line_no) + ": " + err;
+      return false;
+    }
+    ++local.lines;
+    // Cheap kind extraction (the line just validated, so the field exists).
+    if (line.find("\"kind\":\"tx\"") != std::string::npos) ++local.tx_lines;
+    else if (line.find("\"kind\":\"metric\"") != std::string::npos) ++local.metric_lines;
+    else if (line.find("\"kind\":\"span\"") != std::string::npos) ++local.span_lines;
+    else if (line.find("\"kind\":\"phase_hist\"") != std::string::npos)
+      ++local.phase_hist_lines;
+    else if (line.find("\"kind\":\"meta\"") != std::string::npos) saw_meta = true;
+  }
+  if (!saw_meta) {
+    if (error) *error = "no meta line found";
+    return false;
+  }
+  if (summary != nullptr) *summary = local;
+  return true;
+}
+
+}  // namespace jenga::telemetry

@@ -349,5 +349,80 @@ TEST(NetworkDeterminism, SameSeedSameSchedule) {
   }
 }
 
+TEST_F(NetworkTest, PerLinkFaultAttribution) {
+  LinkFaults faults;
+  faults.drop_rate = 1.0;
+  net_.set_fault_profile(faults);
+  net_.send(NodeId{0}, NodeId{1}, make_msg(10), TrafficClass::kIntraShard);
+  net_.send(NodeId{0}, NodeId{1}, make_msg(10), TrafficClass::kIntraShard);
+  net_.send(NodeId{2}, NodeId{3}, make_msg(10), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  const auto& fs = net_.fault_stats();
+  EXPECT_EQ(fs.dropped, 3u);
+  const std::uint64_t link01 = (std::uint64_t{0} << 32) | 1;
+  const std::uint64_t link23 = (std::uint64_t{2} << 32) | 3;
+  ASSERT_TRUE(fs.per_link.count(link01));
+  ASSERT_TRUE(fs.per_link.count(link23));
+  EXPECT_EQ(fs.per_link.at(link01).dropped, 2u);
+  EXPECT_EQ(fs.per_link.at(link23).dropped, 1u);
+
+  net_.set_fault_profile(LinkFaults{});
+  LinkFaults dup;
+  dup.duplicate_rate = 1.0;
+  net_.set_fault_profile(dup);
+  net_.send(NodeId{4}, NodeId{5}, make_msg(10), TrafficClass::kIntraShard);
+  sim_.run_until_idle();
+  const std::uint64_t link45 = (std::uint64_t{4} << 32) | 5;
+  ASSERT_TRUE(net_.fault_stats().per_link.count(link45));
+  EXPECT_EQ(net_.fault_stats().per_link.at(link45).duplicated, 1u);
+}
+
+TEST_F(NetworkTest, MessageTelemetryCountsTypesAndHops) {
+  telemetry::Telemetry tel;
+  net_.set_telemetry(&tel);
+  net_.send(NodeId{0}, NodeId{1}, make_msg(100), TrafficClass::kIntraShard);
+  net_.send(NodeId{0}, NodeId{2}, make_msg(200), TrafficClass::kCrossShard);
+  sim_.run_until_idle();
+  net_.set_telemetry(nullptr);
+
+  const auto idx = static_cast<std::size_t>(MsgType::kClientTx);
+  EXPECT_EQ(tel.net.per_type[idx].count, 2u);
+  EXPECT_EQ(tel.net.per_type[idx].bytes, 300u);
+  EXPECT_STREQ(tel.net.type_name[idx], "client_tx");
+  // Two scheduled hops, each paying at least the base latency.
+  EXPECT_EQ(tel.net.hop_delay_us.count(), 2u);
+  EXPECT_GE(tel.net.hop_delay_us.min(), 100 * kMillisecond);
+}
+
+TEST(NetworkTelemetry, AttachingTelemetryDoesNotPerturbSchedule) {
+  // Telemetry is passive: same seed with and without it attached must give a
+  // bit-identical delivery schedule under a lossy profile.
+  std::vector<std::pair<std::uint32_t, SimTime>> runs[2];
+  for (int round = 0; round < 2; ++round) {
+    Simulator sim;
+    NetConfig cfg;
+    cfg.jitter_max = 10 * kMillisecond;
+    Network net(sim, cfg, Rng(42));
+    telemetry::Telemetry tel;
+    if (round == 1) net.set_telemetry(&tel);
+    LinkFaults faults;
+    faults.drop_rate = 0.3;
+    faults.duplicate_rate = 0.2;
+    net.set_fault_profile(faults);
+    for (std::uint32_t i = 0; i < 8; ++i)
+      net.register_node(NodeId{i}, [&, i](const Message&) {
+        runs[round].push_back({i, sim.now()});
+      });
+    for (int k = 0; k < 50; ++k)
+      net.send(NodeId{static_cast<std::uint32_t>(k % 4)},
+               NodeId{static_cast<std::uint32_t>(4 + k % 4)},
+               make_message<IntPayload>(MsgType::kClientTx, NodeId{0}, 1000, k),
+               TrafficClass::kCrossShard);
+    sim.run_until_idle();
+    if (round == 1) net.set_telemetry(nullptr);
+  }
+  EXPECT_EQ(runs[0], runs[1]);
+}
+
 }  // namespace
 }  // namespace jenga::sim

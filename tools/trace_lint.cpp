@@ -1,0 +1,34 @@
+// Trace linter: validates a `--trace-out` JSONL file against the telemetry
+// schema (see telemetry/telemetry.hpp), including the per-tx invariant that
+// the four phase intervals sum to the end-to-end latency.  CI runs it on a
+// fresh bench trace so a schema drift fails the build instead of silently
+// breaking downstream analysis.
+//
+// Usage: trace_lint <trace.jsonl>   (exit 0 = valid, 1 = invalid / unreadable)
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <trace.jsonl>\n", argv[0]);
+    return 1;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace_lint: cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::string error;
+  jenga::telemetry::TraceLintSummary summary;
+  if (!jenga::telemetry::validate_trace_stream(in, &error, &summary)) {
+    std::fprintf(stderr, "trace_lint: %s: INVALID: %s\n", argv[1], error.c_str());
+    return 1;
+  }
+  std::printf("trace_lint: %s: OK (%zu lines: %zu tx, %zu metric, %zu phase_hist, %zu span)\n",
+              argv[1], summary.lines, summary.tx_lines, summary.metric_lines,
+              summary.phase_hist_lines, summary.span_lines);
+  return 0;
+}
