@@ -1,0 +1,173 @@
+// Exec-engine scaling: wall-clock throughput of src/exec/ batch execution at
+// 1/2/4/8 workers under three contention regimes (uniform, moderate Zipf,
+// hot-key Zipf).  The schedule — and therefore every output bundle — is
+// asserted identical across worker counts; only wall-clock may change.  The
+// headline check (low-skew speedup at 8 workers >= 2x serial) needs real
+// cores, so it is enforced only when hardware_concurrency() >= 4 and printed
+// informationally otherwise (CI runners enforce it; 1-core dev boxes don't).
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "exec/engine.hpp"
+#include "harness/runner.hpp"
+#include "report.hpp"
+#include "workload/trace.hpp"
+
+namespace {
+
+using namespace jenga;
+
+struct BatchSource {
+  workload::TraceConfig tc;
+  std::vector<std::shared_ptr<const vm::ContractLogic>> contracts;
+  std::vector<ledger::Transaction> txs;
+};
+
+BatchSource make_source(double skew, std::size_t batch) {
+  BatchSource src;
+  src.tc.num_contracts = 1024;  // large universe: skew 0 stays genuinely wide
+  src.tc.num_accounts = 10'000;
+  src.tc.zipf_skew = skew;
+  // Chunky bodies: each task should cost far more than a schedule claim.
+  src.tc.function_length_min = 600;
+  src.tc.function_length_max = 1200;
+  src.tc.max_steps = 12;
+  workload::TraceGenerator gen(src.tc, Rng(0xE5CA1E));
+  src.contracts = gen.contracts();
+  src.txs.reserve(batch);
+  for (std::size_t i = 0; i < batch; ++i)
+    src.txs.push_back(gen.contract_tx(1'000'000, 0));
+  return src;
+}
+
+/// Fresh tasks each run: run_batch consumes its input bundles.
+std::vector<exec::Task> make_tasks(const BatchSource& src) {
+  std::vector<exec::Task> tasks;
+  tasks.reserve(src.txs.size());
+  for (const auto& tx : src.txs) {
+    exec::Task t;
+    t.id = tx.hash;
+    t.sender = tx.sender;
+    for (const ContractId c : tx.contracts) {
+      t.logic.push_back(src.contracts[c.value].get());
+      t.input.contracts[c];  // empty state: the bodies seed their own keys
+    }
+    t.steps_view = tx.steps;
+    t.input.balances[tx.sender] = 1'000'000;
+    for (const AccountId a : tx.accounts) t.input.balances[a] = 1'000'000;
+    t.access = exec::declared_access(tx);
+    tasks.push_back(std::move(t));
+  }
+  return tasks;
+}
+
+/// Order-sensitive digest over every result bundle (determinism witness).
+std::uint64_t digest(const std::vector<exec::TaskResult>& results) {
+  std::uint64_t d = 0xcbf29ce484222325ULL;
+  auto mix = [&d](std::uint64_t v) { d = (d ^ v) * 0x100000001b3ULL; };
+  for (const auto& r : results) {
+    mix(static_cast<std::uint64_t>(r.vm.status));
+    mix(r.vm.gas_used);
+    for (const auto& [id, st] : r.output.contracts) {
+      mix(id.value);
+      for (const auto& [k, v] : st) {
+        mix(k);
+        mix(v);
+      }
+    }
+  }
+  return d;
+}
+
+struct Sample {
+  double tasks_per_sec = 0;
+  std::uint64_t digest = 0;
+  exec::BatchStats stats;
+};
+
+Sample run_once(const BatchSource& src, std::uint32_t workers, int reps) {
+  exec::EngineOptions eo;
+  eo.workers = workers;
+  eo.chain_conflicts = true;  // conflicting tasks serialize through levels
+  exec::Engine engine(eo);
+  Sample s;
+  double best = 0;
+  for (int r = 0; r < reps; ++r) {
+    auto tasks = make_tasks(src);
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = engine.run_batch(std::move(tasks));
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs = std::chrono::duration<double>(t1 - t0).count();
+    best = std::max(best, static_cast<double>(results.size()) / secs);
+    s.digest = digest(results);
+    s.stats = engine.last_batch();
+  }
+  s.tasks_per_sec = best;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  using jenga::bench::ShapeReporter;
+  ShapeReporter rep;
+  jenga::bench::header("Exec engine scaling — batch throughput vs worker count",
+                       "DESIGN.md §7 acceptance: low-skew speedup >= 2x at 8 workers");
+
+  const unsigned cores = std::thread::hardware_concurrency();
+  const std::size_t batch = jenga::harness::bench_txs_from_env(192);
+  const int reps = 3;
+  const std::uint32_t worker_counts[] = {1, 2, 4, 8};
+  const double skews[] = {0.0, 0.9, 1.5};
+
+  std::printf("cores=%u  batch=%zu  reps=%d (best-of)\n\n", cores, batch, reps);
+  std::printf("%-10s %-8s %-12s %-8s %-10s %s\n", "skew", "workers", "tasks/s",
+              "levels", "max_width", "speedup_vs_1w");
+
+  std::map<std::pair<double, std::uint32_t>, Sample> grid;
+  for (const double skew : skews) {
+    const BatchSource src = make_source(skew, batch);
+    for (const std::uint32_t w : worker_counts) {
+      const Sample s = run_once(src, w, reps);
+      grid[{skew, w}] = s;
+      std::printf("%-10.1f %-8u %-12.0f %-8u %-10u %.2fx\n", skew, w, s.tasks_per_sec,
+                  s.stats.levels, s.stats.max_width,
+                  s.tasks_per_sec / grid[{skew, 1}].tasks_per_sec);
+      std::fflush(stdout);
+    }
+  }
+  std::printf("\n");
+
+  // Machine-readable summary (one JSON object per configuration).
+  for (const auto& [key, s] : grid)
+    std::printf("JSON {\"bench\":\"exec_scaling\",\"skew\":%.1f,\"workers\":%u,"
+                "\"tasks_per_sec\":%.0f,\"levels\":%u,\"max_width\":%u,\"speedup\":%.3f}\n",
+                key.first, key.second, s.tasks_per_sec, s.stats.levels, s.stats.max_width,
+                s.tasks_per_sec / grid.at({key.first, 1}).tasks_per_sec);
+  std::printf("\n");
+
+  // Determinism: identical result digests at every worker count.
+  bool deterministic = true;
+  for (const double skew : skews)
+    for (const std::uint32_t w : worker_counts)
+      deterministic &= grid[{skew, w}].digest == grid[{skew, 1}].digest;
+  rep.check(deterministic, "exec: result digests bit-identical across 1/2/4/8 workers");
+
+  // Contention shows up in the schedule: hot keys -> deeper, narrower levels.
+  rep.check(grid[{1.5, 1}].stats.levels > grid[{0.0, 1}].stats.levels,
+            "exec: hot-key skew deepens the conflict schedule");
+  rep.check(grid[{0.0, 1}].stats.max_width > grid[{1.5, 1}].stats.max_width,
+            "exec: uniform batches schedule wider than hot-key batches");
+
+  const double speedup8 = grid[{0.0, 8}].tasks_per_sec / grid[{0.0, 1}].tasks_per_sec;
+  std::printf("low-skew speedup at 8 workers: %.2fx (cores=%u)\n", speedup8, cores);
+  if (cores >= 4) {
+    rep.check(speedup8 >= 2.0, "exec: low-skew 8-worker speedup >= 2x serial");
+  } else {
+    std::printf("  (informational only: fewer than 4 hardware threads)\n");
+  }
+  return rep.finish("bench_exec_scaling");
+}

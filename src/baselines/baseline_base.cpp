@@ -59,6 +59,10 @@ struct BaselineSystem::App final : consensus::BftApp {
 BaselineSystem::BaselineSystem(sim::Simulator& sim, sim::Network& net, BaselineConfig config,
                                Genesis genesis)
     : sim_(sim), net_(net), config_(config), genesis_(std::move(genesis)) {
+  exec::EngineOptions eo;
+  eo.workers = config_.exec_workers;
+  exec_engine_ = std::make_unique<exec::Engine>(eo);
+
   for (std::uint32_t s = 0; s < config_.num_shards; ++s)
     shards_.push_back(std::make_unique<Shard>(ShardId{s}));
 
@@ -142,6 +146,7 @@ NodeId BaselineSystem::contact(ShardId s) const {
 
 void BaselineSystem::set_telemetry(telemetry::Telemetry* t) {
   telemetry_ = t;
+  exec_engine_->set_metrics(t == nullptr ? nullptr : &t->registry);
   for (auto& r : replicas_)
     if (r) r->set_telemetry(t);
 }
@@ -263,6 +268,36 @@ void BaselineSystem::decide(Shard& shard, NodeId node, std::uint64_t height,
   shard.next_process_height = height + 1;
 
   BlockCtx ctx;
+
+  // Exec-kind items are gathered into conflict-free segments and executed as
+  // one engine batch.  The serial prologue (prepare) and the effect side
+  // (finish) both run in canonical block order on this thread; a segment is
+  // flushed before any non-exec item and before any item whose declared
+  // footprint (or tx identity) overlaps one already in flight, so the block's
+  // observable effects are exactly those of item-by-item processing.
+  struct SegEntry {
+    const WorkItem* item;
+    PreparedExec prep;
+    exec::AccessSet access;
+  };
+  std::vector<SegEntry> segment;
+  auto flush_segment = [&]() {
+    if (segment.empty()) return;
+    std::vector<exec::Task> tasks;
+    std::vector<std::size_t> slot;
+    for (std::size_t i = 0; i < segment.size(); ++i) {
+      if (segment[i].prep.action != PreparedExec::Action::kRun) continue;
+      tasks.push_back(std::move(segment[i].prep.task));
+      slot.push_back(i);
+    }
+    std::vector<exec::TaskResult> results = exec_engine_->run_batch(std::move(tasks));
+    std::vector<exec::TaskResult*> res_for(segment.size(), nullptr);
+    for (std::size_t k = 0; k < results.size(); ++k) res_for[slot[k]] = &results[k];
+    for (std::size_t i = 0; i < segment.size(); ++i)
+      finish_exec(shard, node, *segment[i].item, segment[i].prep, res_for[i], ctx);
+    segment.clear();
+  };
+
   for (const WorkItem& item : payload->items) {
     if (telemetry_ != nullptr && item.tx) {
       // Classify the decided item onto the shared phase partition so the
@@ -283,12 +318,29 @@ void BaselineSystem::decide(Shard& shard, NodeId node, std::uint64_t height,
       }
       telemetry_->tracer.phase_event(item.tx->hash, ph, shard.id.value, sim_.now());
     }
+    if (item.tx && is_exec_item(item)) {
+      exec::AccessSet access = exec::declared_access(*item.tx);
+      access.writes.push_back(exec::tx_key(item.tx->hash));
+      access.normalize();
+      const bool clashes =
+          std::any_of(segment.begin(), segment.end(),
+                      [&](const SegEntry& e) { return exec::conflicts(access, e.access); });
+      if (clashes) flush_segment();
+      SegEntry entry;
+      entry.item = &item;
+      entry.prep = prepare_exec(shard, item);
+      entry.access = std::move(access);
+      segment.push_back(std::move(entry));
+      continue;
+    }
+    flush_segment();
     if (item.kind == WorkItem::Kind::kTransfer) {
       process_transfer(shard, node, item, ctx);
     } else {
       process_item(shard, node, item, ctx);
     }
   }
+  flush_segment();
   for (std::size_t i = 0; i < payload->items.size(); ++i) shard.queue.pop_front();
 
   if (!ctx.committed.empty()) {
@@ -456,6 +508,18 @@ std::size_t BaselineSystem::held_locks() const {
   std::size_t n = 0;
   for (const auto& s : shards_) n += s->locks.held_locks();
   return n;
+}
+
+Hash256 BaselineSystem::ledger_digest() const {
+  crypto::Sha256 h;
+  h.update("jenga/ledger-digest");
+  for (const auto& s : shards_) {
+    h.update_u64(s->id.value);
+    h.update_u64(s->chain.height());
+    h.update(s->chain.tip_hash());
+    h.update(s->store.digest());
+  }
+  return h.finish();
 }
 
 }  // namespace jenga::baselines

@@ -25,6 +25,7 @@
 #include "common/stats.hpp"
 #include "consensus/bft.hpp"
 #include "core/jenga_system.hpp"  // Genesis, TxPtr, protocol payload types
+#include "exec/engine.hpp"
 #include "ledger/block.hpp"
 #include "ledger/locks.hpp"
 #include "ledger/state_store.hpp"
@@ -49,6 +50,9 @@ struct BaselineConfig {
   std::uint32_t max_lock_retries = 24;
   /// Pyramid only: how many consecutive shards one merged committee spans.
   std::uint32_t merge_span = 2;
+  /// Worker threads for batch transaction execution (src/exec/).  Results are
+  /// bit-identical for every value; 1 = serial, no threads spawned.
+  std::uint32_t exec_workers = 1;
 };
 
 /// A unit of work a shard's consensus agrees on.  The `kind` is interpreted
@@ -77,6 +81,23 @@ struct WorkItem {
   [[nodiscard]] Hash256 dedup_key() const;
 };
 
+/// Split of an exec-kind work item around the batch engine (src/exec/):
+/// prepare_exec() runs the serial prologue (locks, state slicing, task
+/// assembly), the engine executes the VM part, finish_exec() consumes the
+/// result in canonical block order.
+struct PreparedExec {
+  enum class Action : std::uint8_t {
+    kLockBusy = 0,  // lock conflict: finish retries or aborts
+    kRun,           // task handed to the engine
+  };
+  Action action = Action::kLockBusy;
+  exec::Task task;
+  /// Balances present in the slice before execution; finish drops unchanged
+  /// entries so stale write-backs cannot clobber concurrent fee deductions.
+  std::map<AccountId, std::uint64_t> balance_snapshot;
+  std::uint32_t next = 0;  // step cursor after this group (step-group flows)
+};
+
 class BaselineSystem {
  public:
   BaselineSystem(sim::Simulator& sim, sim::Network& net, BaselineConfig config,
@@ -102,6 +123,9 @@ class BaselineSystem {
   [[nodiscard]] const ledger::StateStore& shard_store(ShardId s) const;
   [[nodiscard]] std::uint64_t total_account_balance() const;
   [[nodiscard]] std::size_t held_locks() const;
+  /// Canonical digest over every shard's chain tip and state store — the
+  /// ledger root the determinism tests compare across exec worker counts.
+  [[nodiscard]] Hash256 ledger_digest() const;
 
  protected:
   struct Shard {
@@ -130,6 +154,16 @@ class BaselineSystem {
   /// Executes one decided work item on its shard.
   virtual void process_item(Shard& shard, NodeId decider, const WorkItem& item,
                             BlockCtx& ctx) = 0;
+
+  /// Batch-execution hooks.  Items for which is_exec_item() returns true are
+  /// routed through prepare_exec() → exec::Engine → finish_exec() instead of
+  /// process_item(); decide() keeps canonical block order on both sides and
+  /// flushes the running batch whenever footprints conflict, so the flow is
+  /// serially equivalent and bit-identical for every worker count.
+  [[nodiscard]] virtual bool is_exec_item(const WorkItem&) const { return false; }
+  virtual PreparedExec prepare_exec(Shard&, const WorkItem&) { return {}; }
+  virtual void finish_exec(Shard&, NodeId, const WorkItem&, PreparedExec&, exec::TaskResult*,
+                           BlockCtx&) {}
 
   /// All shards a tx's completion involves (contracts + declared accounts).
   [[nodiscard]] std::vector<ShardId> involved_shards(const ledger::Transaction& tx) const;
@@ -166,6 +200,8 @@ class BaselineSystem {
   BaselineConfig config_;
   std::vector<std::unique_ptr<Shard>> shards_;
   Genesis genesis_;
+  /// Batch execution engine shared by every shard's decide path.
+  std::unique_ptr<exec::Engine> exec_engine_;
 
   struct TrackEntry {
     SimTime submitted = 0;

@@ -17,12 +17,17 @@ std::pair<ShardId, WorkItem> CxFuncSystem::classify_tx(const TxPtr& tx) {
   return {first, std::move(item)};
 }
 
-CxFuncSystem::GroupResult CxFuncSystem::exec_step_group(Shard& shard, const Transaction& tx,
-                                                        std::uint32_t from) {
+PreparedExec CxFuncSystem::prepare_exec(Shard& shard, const WorkItem& item) {
+  PreparedExec p;
+  const Transaction& tx = *item.tx;
+  const std::uint32_t from = item.aux;
+
   // Lock every declared contract homed here (idempotent re-lock by owner).
   for (auto c : tx.contracts) {
-    if (home_of_contract(c) == shard.id && !shard.locks.lock_contract(c, tx.hash))
-      return {GroupResult::Status::kLocked, from};
+    if (home_of_contract(c) == shard.id && !shard.locks.lock_contract(c, tx.hash)) {
+      p.action = PreparedExec::Action::kLockBusy;
+      return p;
+    }
   }
 
   // View over this shard's slice: store values overlaid with updates
@@ -45,55 +50,55 @@ CxFuncSystem::GroupResult CxFuncSystem::exec_step_group(Shard& shard, const Tran
          home_of_contract(tx.contracts[tx.steps[end].contract_slot]) == shard.id)
     ++end;
 
-  std::vector<const vm::ContractLogic*> logic;
-  for (auto c : tx.contracts) logic.push_back(shard.logic.get(c));
-
-  ledger::PortableStateView view(std::move(slice));
-  vm::ExecLimits limits;
-  limits.gas_limit = tx.gas_limit;
-  vm::Interpreter interp(logic, view, limits);
+  p.action = PreparedExec::Action::kRun;
+  p.next = end;
+  p.task.id = tx.hash;
+  p.task.sender = tx.sender;
+  p.task.logic.reserve(tx.contracts.size());
+  for (auto c : tx.contracts) p.task.logic.push_back(shard.logic.get(c));
+  p.task.steps_view = std::span(tx.steps.data() + from, end - from);
+  p.task.limits.gas_limit = tx.gas_limit;
   // Snapshot balances so untouched ones are NOT written back at commit:
   // accounts are not locked here, and restoring a stale balance would undo a
   // concurrent transaction's fee/debit.
-  const auto balance_snapshot = view.state().balances;
-  const auto r = interp.run(tx.sender, std::span(tx.steps.data() + from, end - from));
-  if (!r.ok()) return {GroupResult::Status::kFailed, from};
-  auto updated = view.take();
-  for (const auto& [a, bal] : balance_snapshot) {
+  p.balance_snapshot = slice.balances;
+  p.task.input = std::move(slice);
+  p.task.access = exec::declared_access(tx);
+  return p;
+}
+
+void CxFuncSystem::finish_exec(Shard& shard, NodeId decider, const WorkItem& item,
+                               PreparedExec& prep, exec::TaskResult* result, BlockCtx&) {
+  if (prep.action == PreparedExec::Action::kLockBusy) {
+    retry_or_abort(shard, decider, item);
+    return;
+  }
+  const Transaction& tx = *item.tx;
+  if (result == nullptr || !result->vm.ok()) {
+    broadcast_commit(shard, decider, item.tx, /*ok=*/false);
+    return;
+  }
+  PortableState updated = std::move(result->output);
+  for (const auto& [a, bal] : prep.balance_snapshot) {
     const auto it = updated.balances.find(a);
     if (it != updated.balances.end() && it->second == bal) updated.balances.erase(it);
   }
   shard.buffered[tx.hash] = std::move(updated);
-  return {GroupResult::Status::kOk, end};
+  if (prep.next >= tx.steps.size()) {
+    broadcast_commit(shard, decider, item.tx, /*ok=*/true);
+    return;
+  }
+  WorkItem hand_off;
+  hand_off.kind = WorkItem::Kind::kStepExec;
+  hand_off.tx = item.tx;
+  hand_off.aux = prep.next;
+  send_cross(decider, shard.id,
+             home_of_contract(tx.contracts[tx.steps[prep.next].contract_slot]),
+             std::move(hand_off));
 }
 
-void CxFuncSystem::process_item(Shard& shard, NodeId decider, const WorkItem& item,
-                                BlockCtx& ctx) {
+void CxFuncSystem::process_item(Shard& shard, NodeId, const WorkItem& item, BlockCtx& ctx) {
   switch (item.kind) {
-    case WorkItem::Kind::kStepExec: {
-      const Transaction& tx = *item.tx;
-      const auto r = exec_step_group(shard, tx, item.aux);
-      if (r.status == GroupResult::Status::kLocked) {
-        retry_or_abort(shard, decider, item);
-        break;
-      }
-      if (r.status == GroupResult::Status::kFailed) {
-        broadcast_commit(shard, decider, item.tx, /*ok=*/false);
-        break;
-      }
-      if (r.next >= tx.steps.size()) {
-        broadcast_commit(shard, decider, item.tx, /*ok=*/true);
-        break;
-      }
-      WorkItem hand_off;
-      hand_off.kind = WorkItem::Kind::kStepExec;
-      hand_off.tx = item.tx;
-      hand_off.aux = r.next;
-      send_cross(decider, shard.id,
-                 home_of_contract(tx.contracts[tx.steps[r.next].contract_slot]),
-                 std::move(hand_off));
-      break;
-    }
     case WorkItem::Kind::kCommit:
       apply_commit(shard, item, ctx);
       break;

@@ -25,15 +25,14 @@ class CxFuncSystem final : public BaselineSystem {
   void process_item(Shard& shard, NodeId decider, const WorkItem& item,
                     BlockCtx& ctx) override;
 
- private:
-  struct GroupResult {
-    enum class Status { kOk, kLocked, kFailed } status = Status::kOk;
-    std::uint32_t next = 0;
-  };
-  /// Executes the consecutive run of steps starting at `from` that are homed
-  /// on `shard`.
-  GroupResult exec_step_group(Shard& shard, const ledger::Transaction& tx,
-                              std::uint32_t from);
+  /// kStepExec — the consecutive run of steps starting at item.aux that are
+  /// homed on this shard — goes through the batch engine.
+  [[nodiscard]] bool is_exec_item(const WorkItem& item) const override {
+    return item.kind == WorkItem::Kind::kStepExec;
+  }
+  PreparedExec prepare_exec(Shard& shard, const WorkItem& item) override;
+  void finish_exec(Shard& shard, NodeId decider, const WorkItem& item, PreparedExec& prep,
+                   exec::TaskResult* result, BlockCtx& ctx) override;
 };
 
 }  // namespace jenga::baselines

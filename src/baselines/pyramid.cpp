@@ -68,149 +68,136 @@ void PyramidSystem::continue_out_of_span(Shard& shard, NodeId decider, const Wor
              std::move(hand_off));
 }
 
-void PyramidSystem::process_item(Shard& shard, NodeId decider, const WorkItem& item,
-                                 BlockCtx& ctx) {
+PreparedExec PyramidSystem::prepare_exec(Shard& shard, const WorkItem& item) {
+  PreparedExec p;
   const Transaction& tx = *item.tx;
+
+  if (item.kind == WorkItem::Kind::kExec) {
+    // Merged-committee round: lock + slice every in-span resource at once.
+    const std::uint32_t b = item.aux;
+    for (auto c : tx.contracts) {
+      const ShardId home = home_of_contract(c);
+      if (!in_span(b, home)) continue;
+      if (!shards_[home.value]->locks.lock_contract(c, tx.hash)) {
+        p.action = PreparedExec::Action::kLockBusy;
+        return p;
+      }
+    }
+    PortableState bundle;
+    for (auto c : tx.contracts) {
+      const ShardId home = home_of_contract(c);
+      if (in_span(b, home)) {
+        const auto* st = shards_[home.value]->store.contract_state(c);
+        bundle.contracts[c] = st ? *st : ledger::ContractState{};
+        p.task.logic.push_back(shards_[home.value]->logic.get(c));
+      } else {
+        p.task.logic.push_back(nullptr);  // out-of-span: executed later elsewhere
+      }
+    }
+    for (auto a : tx.accounts) {
+      const ShardId home = home_of_account(a);
+      if (in_span(b, home))
+        bundle.balances[a] = shards_[home.value]->store.balance(a).value_or(0);
+    }
+    // The in-span subsequence, order preserved (non-contiguous: task-owned).
+    for (const auto& s : tx.steps)
+      if (in_span(b, home_of_contract(tx.contracts[s.contract_slot])))
+        p.task.own_steps.push_back(s);
+    p.balance_snapshot = bundle.balances;
+    p.task.input = std::move(bundle);
+  } else {  // kStepExec
+    const std::uint32_t b = aux_bshard(item.aux);
+    const std::uint32_t from = aux_step(item.aux);
+    // Lock the declared contracts homed here.
+    for (auto c : tx.contracts) {
+      if (home_of_contract(c) == shard.id && !shard.locks.lock_contract(c, tx.hash)) {
+        p.action = PreparedExec::Action::kLockBusy;
+        return p;
+      }
+    }
+    // The maximal run of out-of-span steps homed here (skipping in-span
+    // steps, which the merged committee already ran).
+    std::uint32_t next = from;
+    while (next < tx.steps.size()) {
+      const ShardId home = home_of_contract(tx.contracts[tx.steps[next].contract_slot]);
+      if (in_span(b, home)) {
+        ++next;
+        continue;
+      }
+      if (home != shard.id) break;
+      p.task.own_steps.push_back(tx.steps[next]);
+      ++next;
+    }
+    p.next = next;
+    PortableState slice;
+    for (auto c : tx.contracts) {
+      if (home_of_contract(c) == shard.id) {
+        const auto* st = shard.store.contract_state(c);
+        slice.contracts[c] = st ? *st : ledger::ContractState{};
+        p.task.logic.push_back(shard.logic.get(c));
+      } else {
+        p.task.logic.push_back(nullptr);
+      }
+    }
+    for (auto a : tx.accounts)
+      if (home_of_account(a) == shard.id)
+        slice.balances[a] = shard.store.balance(a).value_or(0);
+    if (const auto buffered = shard.buffered.find(tx.hash); buffered != shard.buffered.end())
+      slice.merge(buffered->second);
+    p.balance_snapshot = slice.balances;
+    p.task.input = std::move(slice);
+  }
+
+  p.action = PreparedExec::Action::kRun;
+  p.task.id = tx.hash;
+  p.task.sender = tx.sender;
+  p.task.limits.gas_limit = tx.gas_limit;
+  p.task.access = exec::declared_access(tx);
+  return p;
+}
+
+void PyramidSystem::finish_exec(Shard& shard, NodeId decider, const WorkItem& item,
+                                PreparedExec& prep, exec::TaskResult* result, BlockCtx&) {
+  if (prep.action == PreparedExec::Action::kLockBusy) {
+    retry_or_abort(shard, decider, item);
+    return;
+  }
+  const Transaction& tx = *item.tx;
+  const bool ok = result != nullptr && result->vm.ok();
+  if (!ok) {
+    broadcast_commit(shard, decider, item.tx, /*ok=*/false);
+    return;
+  }
+
+  if (item.kind == WorkItem::Kind::kExec) {
+    const std::uint32_t b = item.aux;
+    // Buffer updates on each owning member shard for the commit round.
+    // Unchanged balances are dropped: accounts are not locked, and a stale
+    // write-back would clobber concurrent fee deductions.
+    PortableState updated = std::move(result->output);
+    for (auto& [c, st] : updated.contracts)
+      shards_[home_of_contract(c).value]->buffered[tx.hash].contracts[c] = std::move(st);
+    for (auto& [a, bal] : updated.balances) {
+      const auto snap = prep.balance_snapshot.find(a);
+      if (snap != prep.balance_snapshot.end() && snap->second == bal) continue;
+      shards_[home_of_account(a).value]->buffered[tx.hash].balances[a] = bal;
+    }
+    WorkItem continuation = item;
+    continuation.aux = pack_aux(b, 0);
+    continue_out_of_span(shard, decider, continuation, 0);
+  } else {  // kStepExec
+    PortableState updated = std::move(result->output);
+    for (const auto& [a, bal] : prep.balance_snapshot) {
+      const auto it = updated.balances.find(a);
+      if (it != updated.balances.end() && it->second == bal) updated.balances.erase(it);
+    }
+    shard.buffered[tx.hash] = std::move(updated);
+    continue_out_of_span(shard, decider, item, prep.next);
+  }
+}
+
+void PyramidSystem::process_item(Shard& shard, NodeId, const WorkItem& item, BlockCtx& ctx) {
   switch (item.kind) {
-    case WorkItem::Kind::kExec: {
-      // Merged-committee round: lock + execute every in-span step at once.
-      const std::uint32_t b = item.aux;
-      bool lock_failed = false;
-      for (auto c : tx.contracts) {
-        const ShardId home = home_of_contract(c);
-        if (!in_span(b, home)) continue;
-        if (!shards_[home.value]->locks.lock_contract(c, tx.hash)) {
-          lock_failed = true;
-          break;
-        }
-      }
-      if (lock_failed) {
-        retry_or_abort(shard, decider, item);
-        break;
-      }
-      bool ok = true;
-      {
-        PortableState bundle;
-        std::vector<const vm::ContractLogic*> logic;
-        for (auto c : tx.contracts) {
-          const ShardId home = home_of_contract(c);
-          if (in_span(b, home)) {
-            const auto* st = shards_[home.value]->store.contract_state(c);
-            bundle.contracts[c] = st ? *st : ledger::ContractState{};
-            logic.push_back(shards_[home.value]->logic.get(c));
-          } else {
-            logic.push_back(nullptr);  // out-of-span: executed later elsewhere
-          }
-        }
-        for (auto a : tx.accounts) {
-          const ShardId home = home_of_account(a);
-          if (in_span(b, home))
-            bundle.balances[a] = shards_[home.value]->store.balance(a).value_or(0);
-        }
-        // The in-span subsequence, order preserved.
-        std::vector<vm::CallStep> steps;
-        for (const auto& s : tx.steps)
-          if (in_span(b, home_of_contract(tx.contracts[s.contract_slot])))
-            steps.push_back(s);
-        ledger::PortableStateView view(std::move(bundle));
-        const auto balance_snapshot = view.state().balances;
-        vm::ExecLimits limits;
-        limits.gas_limit = tx.gas_limit;
-        vm::Interpreter interp(logic, view, limits);
-        ok = interp.run(tx.sender, steps).ok();
-        if (ok) {
-          // Buffer updates on each owning member shard for the commit round.
-          // Unchanged balances are dropped: accounts are not locked, and a
-          // stale write-back would clobber concurrent fee deductions.
-          PortableState updated = view.take();
-          for (auto& [c, st] : updated.contracts)
-            shards_[home_of_contract(c).value]->buffered[tx.hash].contracts[c] = std::move(st);
-          for (auto& [a, bal] : updated.balances) {
-            const auto snap = balance_snapshot.find(a);
-            if (snap != balance_snapshot.end() && snap->second == bal) continue;
-            shards_[home_of_account(a).value]->buffered[tx.hash].balances[a] = bal;
-          }
-        }
-      }
-      if (!ok) {
-        broadcast_commit(shard, decider, item.tx, /*ok=*/false);
-        break;
-      }
-      WorkItem continuation = item;
-      continuation.aux = pack_aux(b, 0);
-      continue_out_of_span(shard, decider, continuation, 0);
-      break;
-    }
-    case WorkItem::Kind::kStepExec: {
-      const std::uint32_t b = aux_bshard(item.aux);
-      const std::uint32_t from = aux_step(item.aux);
-      // Lock the declared contracts homed here.
-      bool lock_failed = false;
-      for (auto c : tx.contracts) {
-        if (home_of_contract(c) == shard.id && !shard.locks.lock_contract(c, tx.hash)) {
-          lock_failed = true;
-          break;
-        }
-      }
-      if (lock_failed) {
-        retry_or_abort(shard, decider, item);
-        break;
-      }
-      bool ok = true;
-      std::uint32_t next = from;
-      {
-        // Execute the maximal run of out-of-span steps homed here (skipping
-        // in-span steps, which the merged committee already ran).
-        std::vector<vm::CallStep> steps;
-        while (next < tx.steps.size()) {
-          const ShardId home = home_of_contract(tx.contracts[tx.steps[next].contract_slot]);
-          if (in_span(b, home)) {
-            ++next;
-            continue;
-          }
-          if (home != shard.id) break;
-          steps.push_back(tx.steps[next]);
-          ++next;
-        }
-        PortableState slice;
-        std::vector<const vm::ContractLogic*> logic;
-        for (auto c : tx.contracts) {
-          if (home_of_contract(c) == shard.id) {
-            const auto* st = shard.store.contract_state(c);
-            slice.contracts[c] = st ? *st : ledger::ContractState{};
-            logic.push_back(shard.logic.get(c));
-          } else {
-            logic.push_back(nullptr);
-          }
-        }
-        for (auto a : tx.accounts)
-          if (home_of_account(a) == shard.id)
-            slice.balances[a] = shard.store.balance(a).value_or(0);
-        if (const auto buffered = shard.buffered.find(tx.hash);
-            buffered != shard.buffered.end())
-          slice.merge(buffered->second);
-        ledger::PortableStateView view(std::move(slice));
-        const auto balance_snapshot = view.state().balances;
-        vm::ExecLimits limits;
-        limits.gas_limit = tx.gas_limit;
-        vm::Interpreter interp(logic, view, limits);
-        ok = interp.run(tx.sender, steps).ok();
-        if (ok) {
-          auto updated = view.take();
-          for (const auto& [a, bal] : balance_snapshot) {
-            const auto it = updated.balances.find(a);
-            if (it != updated.balances.end() && it->second == bal) updated.balances.erase(it);
-          }
-          shard.buffered[tx.hash] = std::move(updated);
-        }
-      }
-      if (!ok) {
-        broadcast_commit(shard, decider, item.tx, /*ok=*/false);
-        break;
-      }
-      continue_out_of_span(shard, decider, item, next);
-      break;
-    }
     case WorkItem::Kind::kCommit:
       apply_commit(shard, item, ctx);
       break;

@@ -40,6 +40,15 @@ class PyramidSystem final : public BaselineSystem {
   void process_item(Shard& shard, NodeId decider, const WorkItem& item,
                     BlockCtx& ctx) override;
 
+  /// Both VM-carrying kinds go through the batch engine: kExec (the merged
+  /// committee's in-span round) and kStepExec (out-of-span step groups).
+  [[nodiscard]] bool is_exec_item(const WorkItem& item) const override {
+    return item.kind == WorkItem::Kind::kExec || item.kind == WorkItem::Kind::kStepExec;
+  }
+  PreparedExec prepare_exec(Shard& shard, const WorkItem& item) override;
+  void finish_exec(Shard& shard, NodeId decider, const WorkItem& item, PreparedExec& prep,
+                   exec::TaskResult* result, BlockCtx& ctx) override;
+
  private:
   /// Index of the first step at or after `from` whose home lies outside
   /// b-shard `b`'s span; tx.steps.size() if none.

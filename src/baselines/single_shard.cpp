@@ -39,73 +39,6 @@ void SingleShardSystem::process_item(Shard& shard, NodeId decider, const WorkIte
       send_cross(decider, shard.id, ShardId{0}, std::move(exec));
       break;
     }
-    case WorkItem::Kind::kExec: {
-      // shard.id == 0: all contract logic and state are local.
-      bool lock_failed = false;
-      for (auto c : tx.contracts) {
-        if (!shard.locks.lock_contract(c, tx.hash)) {
-          lock_failed = true;
-          break;
-        }
-      }
-      // A sender local to the contract shard skipped MoveOut: lock it here
-      // so concurrent transactions cannot interleave balance writes.
-      if (!lock_failed && home_of_account(tx.sender) == shard.id &&
-          !shard.locks.lock_account(tx.sender, tx.hash)) {
-        lock_failed = true;
-      }
-      if (lock_failed) {
-        retry_or_abort(shard, decider, item);
-        break;
-      }
-      bool ok = true;
-      PortableState bundle = item.state;  // shipped-in balances
-      for (auto a : tx.accounts) {
-        if (home_of_account(a) == shard.id)
-          bundle.balances[a] = shard.store.balance(a).value_or(0);
-      }
-      if (ok) {
-        for (auto c : tx.contracts) {
-          const auto* st = shard.store.contract_state(c);
-          bundle.contracts[c] = st ? *st : ledger::ContractState{};
-        }
-        std::vector<const vm::ContractLogic*> logic;
-        for (auto c : tx.contracts) logic.push_back(shard.logic.get(c));
-        ledger::PortableStateView view(std::move(bundle));
-        vm::ExecLimits limits;
-        limits.gas_limit = tx.gas_limit;
-        vm::Interpreter interp(logic, view, limits);
-        ok = interp.run(tx.sender, tx.steps).ok();
-        bundle = view.take();
-      }
-      if (ok) {
-        // Buffer the contract-side updates locally for the commit round
-        // (locally-homed balances included: the sender is locked above).
-        PortableState local;
-        local.contracts = bundle.contracts;
-        for (const auto& [a, bal] : bundle.balances)
-          if (home_of_account(a) == shard.id) local.balances[a] = bal;
-        shard.buffered[tx.hash] = std::move(local);
-      }
-      // Commit fan-out, shipping each foreign account shard its balance back.
-      for (ShardId target : involved_shards(tx)) {
-        WorkItem commit;
-        commit.kind = WorkItem::Kind::kCommit;
-        commit.tx = item.tx;
-        commit.ok = ok;
-        if (ok) {
-          for (const auto& [a, bal] : bundle.balances)
-            if (home_of_account(a) == target && !(target == shard.id))
-              commit.state.balances[a] = bal;
-        }
-        if (target == shard.id) {
-          enqueue(shard, std::move(commit));
-        } else {
-          send_cross(decider, shard.id, target, std::move(commit));
-        }
-      }
-      break;
-    }
     case WorkItem::Kind::kCommit:
       // Account shards must also release the MoveOut lock on the sender.
       if (home_of_account(tx.sender) == shard.id)
@@ -114,6 +47,86 @@ void SingleShardSystem::process_item(Shard& shard, NodeId decider, const WorkIte
       break;
     default:
       break;
+  }
+}
+
+PreparedExec SingleShardSystem::prepare_exec(Shard& shard, const WorkItem& item) {
+  PreparedExec p;
+  const Transaction& tx = *item.tx;
+  // shard.id == 0: all contract logic and state are local.
+  bool lock_failed = false;
+  for (auto c : tx.contracts) {
+    if (!shard.locks.lock_contract(c, tx.hash)) {
+      lock_failed = true;
+      break;
+    }
+  }
+  // A sender local to the contract shard skipped MoveOut: lock it here
+  // so concurrent transactions cannot interleave balance writes.
+  if (!lock_failed && home_of_account(tx.sender) == shard.id &&
+      !shard.locks.lock_account(tx.sender, tx.hash)) {
+    lock_failed = true;
+  }
+  if (lock_failed) {
+    p.action = PreparedExec::Action::kLockBusy;
+    return p;
+  }
+  PortableState bundle = item.state;  // shipped-in balances
+  for (auto a : tx.accounts) {
+    if (home_of_account(a) == shard.id)
+      bundle.balances[a] = shard.store.balance(a).value_or(0);
+  }
+  for (auto c : tx.contracts) {
+    const auto* st = shard.store.contract_state(c);
+    bundle.contracts[c] = st ? *st : ledger::ContractState{};
+  }
+  p.action = PreparedExec::Action::kRun;
+  p.task.id = tx.hash;
+  p.task.sender = tx.sender;
+  p.task.logic.reserve(tx.contracts.size());
+  for (auto c : tx.contracts) p.task.logic.push_back(shard.logic.get(c));
+  p.task.steps_view = tx.steps;
+  p.task.limits.gas_limit = tx.gas_limit;
+  p.task.input = std::move(bundle);
+  p.task.access = exec::declared_access(tx);
+  return p;
+}
+
+void SingleShardSystem::finish_exec(Shard& shard, NodeId decider, const WorkItem& item,
+                                    PreparedExec& prep, exec::TaskResult* result, BlockCtx&) {
+  if (prep.action == PreparedExec::Action::kLockBusy) {
+    retry_or_abort(shard, decider, item);
+    return;
+  }
+  const Transaction& tx = *item.tx;
+  const bool ok = result != nullptr && result->vm.ok();
+  PortableState bundle;
+  if (ok) bundle = std::move(result->output);
+  if (ok) {
+    // Buffer the contract-side updates locally for the commit round
+    // (locally-homed balances included: the sender is locked above).
+    PortableState local;
+    local.contracts = bundle.contracts;
+    for (const auto& [a, bal] : bundle.balances)
+      if (home_of_account(a) == shard.id) local.balances[a] = bal;
+    shard.buffered[tx.hash] = std::move(local);
+  }
+  // Commit fan-out, shipping each foreign account shard its balance back.
+  for (ShardId target : involved_shards(tx)) {
+    WorkItem commit;
+    commit.kind = WorkItem::Kind::kCommit;
+    commit.tx = item.tx;
+    commit.ok = ok;
+    if (ok) {
+      for (const auto& [a, bal] : bundle.balances)
+        if (home_of_account(a) == target && !(target == shard.id))
+          commit.state.balances[a] = bal;
+    }
+    if (target == shard.id) {
+      enqueue(shard, std::move(commit));
+    } else {
+      send_cross(decider, shard.id, target, std::move(commit));
+    }
   }
 }
 

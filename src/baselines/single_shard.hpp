@@ -26,6 +26,15 @@ class SingleShardSystem final : public BaselineSystem {
   std::pair<ShardId, WorkItem> classify_tx(const TxPtr& tx) override;
   void process_item(Shard& shard, NodeId decider, const WorkItem& item,
                     BlockCtx& ctx) override;
+
+  /// kExec — the whole-tx run on shard 0 — goes through the batch engine.
+  /// kMoveOut stays inline: it only locks and ships a balance, no VM work.
+  [[nodiscard]] bool is_exec_item(const WorkItem& item) const override {
+    return item.kind == WorkItem::Kind::kExec;
+  }
+  PreparedExec prepare_exec(Shard& shard, const WorkItem& item) override;
+  void finish_exec(Shard& shard, NodeId decider, const WorkItem& item, PreparedExec& prep,
+                   exec::TaskResult* result, BlockCtx& ctx) override;
 };
 
 }  // namespace jenga::baselines

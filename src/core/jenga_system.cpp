@@ -5,6 +5,7 @@
 
 #include "consensus/messages.hpp"
 #include "crypto/sha256.hpp"
+#include "exec/engine.hpp"
 #include "ledger/placement.hpp"
 #include "vm/interpreter.hpp"
 
@@ -257,6 +258,10 @@ struct JengaSystem::ChannelApp final : consensus::BftApp {
 JengaSystem::JengaSystem(sim::Simulator& sim, sim::Network& net, JengaConfig config,
                          Genesis genesis)
     : sim_(sim), net_(net), config_(config) {
+  exec::EngineOptions eo;
+  eo.workers = config_.exec_workers;
+  exec_engine_ = std::make_unique<exec::Engine>(eo);
+
   const Hash256 epoch_randomness = crypto::sha256("jenga/epoch-0");
   lattice_ = std::make_unique<Lattice>(
       make_epoch_lattice(config_.num_shards, config_.nodes_per_shard, config_.seed,
@@ -357,6 +362,7 @@ void JengaSystem::on_node_recovered(NodeId node) {
 
 void JengaSystem::set_telemetry(telemetry::Telemetry* t) {
   telemetry_ = t;
+  exec_engine_->set_metrics(t == nullptr ? nullptr : &t->registry);
   for (auto& r : shard_replicas_) r->set_telemetry(t);
   for (auto& r : channel_replicas_)
     if (r) r->set_telemetry(t);
@@ -656,35 +662,74 @@ void JengaSystem::handle_two_pc(NodeId node, const sim::Message& msg) {
 // Execution (the VM side of Phase 2)
 // ---------------------------------------------------------------------------
 
-ExecResult JengaSystem::execute_tx(const Transaction& tx, PortableState gathered,
-                                   const ledger::LogicStore& logic_source) const {
-  ExecResult result;
-  result.tx_hash = tx.hash;
+std::vector<std::pair<TxPtr, ExecResult>> JengaSystem::run_gathered_batch(
+    GatherUnit& gather, std::size_t limit) {
+  const std::size_t count = std::min(limit, gather.ready.size());
+  std::vector<std::pair<TxPtr, ExecResult>> out(count);
 
-  // Fee prologue: charge the declared sender inside the bundle.
-  auto fee_it = gathered.balances.find(tx.sender);
-  if (fee_it == gathered.balances.end() || fee_it->second < tx.fee) {
-    result.ok = false;
-    return result;
+  // Per-batch logic resolution: each distinct contract id is looked up once,
+  // instead of once per transaction that touches it.
+  std::unordered_map<ContractId, const vm::ContractLogic*> logic_memo;
+  std::vector<exec::Task> tasks;
+  std::vector<std::size_t> task_slot;  // task index -> out index
+
+  for (std::size_t i = 0; i < count; ++i) {
+    const Hash256& h = gather.ready[i];
+    ExecResult& result = out[i].second;
+    result.tx_hash = h;
+    const auto it = gather.pending.find(h);
+    if (it == gather.pending.end()) {
+      result.ok = false;
+      continue;
+    }
+    auto& pending = it->second;
+    out[i].first = pending.tx;
+    if (pending.abort || !pending.tx) {
+      result.ok = false;
+      continue;
+    }
+    const Transaction& tx = *pending.tx;
+
+    // Fee prologue: charge the declared sender inside the bundle.  The
+    // pending entry keeps its gathered copy (re-proposals re-execute).
+    PortableState input = pending.gathered;
+    auto fee_it = input.balances.find(tx.sender);
+    if (fee_it == input.balances.end() || fee_it->second < tx.fee) {
+      result.ok = false;
+      continue;
+    }
+    fee_it->second -= tx.fee;
+
+    exec::Task task;
+    task.id = tx.hash;
+    task.sender = tx.sender;
+    task.logic.reserve(tx.contracts.size());
+    for (auto c : tx.contracts) {
+      auto [lit, inserted] = logic_memo.try_emplace(c, nullptr);
+      if (inserted) lit->second = all_logic_.get(c);
+      task.logic.push_back(lit->second);
+    }
+    task.steps_view = tx.steps;
+    task.limits.gas_limit = tx.gas_limit;
+    task.input = std::move(input);
+    task.access = exec::declared_access(tx);
+    tasks.push_back(std::move(task));
+    task_slot.push_back(i);
   }
-  fee_it->second -= tx.fee;
 
-  std::vector<const vm::ContractLogic*> logic;
-  logic.reserve(tx.contracts.size());
-  for (auto c : tx.contracts) logic.push_back(logic_source.get(c));
-
-  ledger::PortableStateView view(std::move(gathered));
-  vm::ExecLimits limits;
-  limits.gas_limit = tx.gas_limit;
-  vm::Interpreter interp(logic, view, limits);
-  const vm::ExecResult vm_result = interp.run(tx.sender, tx.steps);
-  if (!vm_result.ok()) {
-    result.ok = false;
-    return result;
+  // Phase-1 locks make the gathered bundles disjoint, so every schedule the
+  // engine finds commits to the same per-tx outputs; effects are applied in
+  // canonical ready order below regardless of worker interleaving.
+  std::vector<exec::TaskResult> results = exec_engine_->run_batch(std::move(tasks));
+  for (std::size_t k = 0; k < results.size(); ++k) {
+    ExecResult& result = out[task_slot[k]].second;
+    if (!results[k].vm.ok()) {
+      result.ok = false;
+      continue;
+    }
+    result.per_shard_updates = split_per_shard(std::move(results[k].output));
   }
-
-  result.per_shard_updates = split_per_shard(view.take());
-  return result;
+  return out;
 }
 
 std::vector<std::pair<ShardId, PortableState>> JengaSystem::split_per_shard(
@@ -772,20 +817,14 @@ std::optional<consensus::ConsensusValue> JengaSystem::shard_propose(ShardEngine&
     size += 128 + eng.visits[i].gathered.wire_size();
   }
   if (config_.pipeline == Pipeline::kNoLattice) {
-    // This shard is also an execution site: execute gathered-and-ready txs.
-    for (std::size_t i = 0; i < eng.gather.ready.size() && budget > 0; ++i, --budget) {
-      const Hash256& h = eng.gather.ready[i];
-      auto& pending = eng.gather.pending.at(h);
-      ExecResult result;
-      if (pending.abort || !pending.tx) {
-        result.tx_hash = h;
-        result.ok = false;
-      } else {
-        result = execute_tx(*pending.tx, pending.gathered, all_logic_);
-      }
-      hashes.push_back(h);
+    // This shard is also an execution site: execute gathered-and-ready txs as
+    // one conflict-scheduled batch (src/exec/), committing in ready order.
+    auto batch = run_gathered_batch(eng.gather, budget);
+    budget -= batch.size();
+    for (auto& [tx, result] : batch) {
+      hashes.push_back(result.tx_hash);
       size += 64 + result.wire_size();
-      payload->exec_entries.emplace_back(pending.tx, std::move(result));
+      payload->exec_entries.emplace_back(std::move(tx), std::move(result));
     }
   }
 
@@ -1089,6 +1128,10 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
     // Runs the run of consecutive steps homed on this shard, then either
     // hands the bundle to the next home shard or emits final results — all
     // relayed through the tx's channel subgroups (no cross-shard messages).
+    // Logic lookups are memoized and the interpreter stack reused across the
+    // whole decision's visits.
+    std::unordered_map<ContractId, const vm::ContractLogic*> visit_logic_memo;
+    vm::ExecScratch visit_scratch;
     auto process_visit = [&](const ExecVisit& visit) {
       const Transaction& tx = *visit.tx;
       const ChannelId via = ledger::channel_of_tx(tx.hash, config_.num_shards);
@@ -1107,7 +1150,12 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
       std::uint32_t step = visit.next_step;
       if (ok) {
         std::vector<const vm::ContractLogic*> logic;
-        for (auto c : tx.contracts) logic.push_back(eng.local_logic.get(c));
+        logic.reserve(tx.contracts.size());
+        for (auto c : tx.contracts) {
+          auto [lit, inserted] = visit_logic_memo.try_emplace(c, nullptr);
+          if (inserted) lit->second = eng.local_logic.get(c);
+          logic.push_back(lit->second);
+        }
         std::uint32_t end = step;
         while (end < tx.steps.size() &&
                ledger::shard_of_contract(tx.contracts[tx.steps[end].contract_slot],
@@ -1116,7 +1164,7 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
         ledger::PortableStateView view(std::move(gathered));
         vm::ExecLimits limits;
         limits.gas_limit = tx.gas_limit;
-        vm::Interpreter interp(logic, view, limits);
+        vm::Interpreter interp(logic, view, limits, &visit_scratch);
         const auto r = interp.run(tx.sender, std::span(tx.steps.data() + step, end - step));
         ok = r.ok();
         gathered = view.take();
@@ -1242,19 +1290,13 @@ std::optional<consensus::ConsensusValue> JengaSystem::channel_propose(ChannelEng
   payload->channel = eng.id;
   std::vector<Hash256> hashes;
   std::uint32_t size = 128;
-  for (std::size_t i = 0; i < eng.gather.ready.size() && i < config_.max_block_items; ++i) {
-    const Hash256& h = eng.gather.ready[i];
-    auto& pending = eng.gather.pending.at(h);
-    ExecResult result;
-    if (pending.abort || !pending.tx) {
-      result.tx_hash = h;
-      result.ok = false;
-    } else {
-      result = execute_tx(*pending.tx, pending.gathered, all_logic_);
-    }
-    hashes.push_back(h);
+  // Execute the gathered-and-ready txs as one conflict-scheduled batch
+  // (src/exec/); entries keep canonical ready order.
+  auto batch = run_gathered_batch(eng.gather, config_.max_block_items);
+  for (auto& [tx, result] : batch) {
+    hashes.push_back(result.tx_hash);
     size += 64 + result.wire_size();
-    payload->entries.emplace_back(pending.tx, std::move(result));
+    payload->entries.emplace_back(std::move(tx), std::move(result));
   }
   const std::uint64_t tag = kChannelGroupTag | eng.id.value;
   auto value = wrap_value("jenga/channel-block", tag, height, std::move(hashes), size, payload);
@@ -1381,6 +1423,18 @@ std::size_t JengaSystem::held_locks() const {
   std::size_t n = 0;
   for (const auto& s : shards_) n += s->locks.held_locks();
   return n;
+}
+
+Hash256 JengaSystem::ledger_digest() const {
+  crypto::Sha256 h;
+  h.update("jenga/ledger-digest");
+  for (const auto& s : shards_) {
+    h.update_u64(s->id.value);
+    h.update_u64(s->chain.height());
+    h.update(s->chain.tip_hash());
+    h.update(s->store.digest());
+  }
+  return h.finish();
 }
 
 // ---------------------------------------------------------------------------

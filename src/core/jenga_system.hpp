@@ -46,7 +46,14 @@
 #include "ledger/state_store.hpp"
 #include "simnet/network.hpp"
 
+namespace jenga::exec {
+class Engine;
+}
+
 namespace jenga::core {
+
+/// Shared state-gathering unit (defined in jenga_system.cpp).
+struct GatherUnit;
 
 enum class Pipeline : std::uint8_t { kFull = 0, kNoLattice, kNoGlobalLogic };
 
@@ -62,6 +69,9 @@ struct JengaConfig {
   /// real implementations).
   std::uint32_t max_lock_retries = 24;
   Pipeline pipeline = Pipeline::kFull;
+  /// Worker threads for batch transaction execution (src/exec/).  Results are
+  /// bit-identical for every value; 1 = serial, no threads spawned.
+  std::uint32_t exec_workers = 1;
 };
 
 struct Genesis {
@@ -102,6 +112,10 @@ class JengaSystem {
   /// Safety violations observed: two replicas of one group deciding different
   /// digests at the same height.  Must stay 0 under every fault schedule.
   [[nodiscard]] std::uint64_t divergent_decides() const { return divergent_decides_; }
+
+  /// Canonical digest over every shard's chain tip and state store — the
+  /// ledger root the determinism tests compare across exec worker counts.
+  [[nodiscard]] Hash256 ledger_digest() const;
 
   /// Marks a node Byzantine-silent (consensus-level fault injection).
   void set_node_silent(NodeId node);
@@ -162,10 +176,13 @@ class JengaSystem {
   void channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t height,
                       const consensus::ConsensusValue& value);
 
-  /// Executes a full transaction against a gathered bundle (Phase 2).
-  [[nodiscard]] ExecResult execute_tx(const ledger::Transaction& tx,
-                                      ledger::PortableState gathered,
-                                      const ledger::LogicStore& logic_source) const;
+  /// Executes the gathered-and-ready transactions of one gather unit (up to
+  /// `limit`) as a single parallel batch (Phase 2, src/exec/), returning the
+  /// (tx, result) entries in canonical ready order.  Phase-1 locks guarantee
+  /// the bundles are disjoint, so the batch is bit-identical to serial replay
+  /// for every worker count.
+  [[nodiscard]] std::vector<std::pair<TxPtr, ExecResult>> run_gathered_batch(
+      GatherUnit& gather, std::size_t limit);
   [[nodiscard]] std::vector<std::pair<ShardId, ledger::PortableState>> split_per_shard(
       ledger::PortableState updated) const;
 
@@ -185,6 +202,9 @@ class JengaSystem {
 
   // All contract logic (network-wide in kFull/kNoLattice).
   ledger::LogicStore all_logic_;
+
+  // Batch execution engine shared by every execution site (Phase 2).
+  std::unique_ptr<exec::Engine> exec_engine_;
 
   // Per-tx completion tracking.
   struct TrackEntry {

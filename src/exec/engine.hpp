@@ -1,0 +1,124 @@
+// Deterministic parallel transaction execution engine (DESIGN.md §7).
+//
+// A batch of tasks — each a full VM invocation against a private
+// PortableState bundle — is scheduled onto canonical conflict levels
+// (exec/conflict.hpp) and dispatched level by level onto a fixed worker pool.
+// Effects come back in input order; the schedule, the results, and every
+// metric the engine records depend only on the batch contents, so a run with
+// 8 workers is bit-identical to a serial one.  The calling thread
+// participates in each level, so `workers == 1` spawns no threads at all and
+// is exactly the historical serial path.
+//
+// Threading contract: run_batch() blocks until the whole batch finished; all
+// shared state is exchanged under one mutex (claims are cheap next to a VM
+// run), each task/result slot is touched by exactly one worker per batch, and
+// telemetry is recorded on the calling thread after the join — the
+// MetricsRegistry itself is never shared.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "exec/conflict.hpp"
+#include "ledger/portable_state.hpp"
+#include "vm/interpreter.hpp"
+
+namespace jenga::telemetry {
+class MetricsRegistry;
+}
+
+namespace jenga::exec {
+
+/// One unit of execution: a call chain over a private state bundle.
+struct Task {
+  Hash256 id;                                   // tx hash (labels, diagnostics)
+  AccountId sender;
+  std::vector<const vm::ContractLogic*> logic;  // per declared slot
+  /// Steps either borrowed from caller-owned memory (the transaction) or
+  /// owned by the task (non-contiguous subsequences); `own_steps` wins when
+  /// non-empty.
+  std::span<const vm::CallStep> steps_view;
+  std::vector<vm::CallStep> own_steps;
+  vm::ExecLimits limits;
+  ledger::PortableState input;
+  AccessSet access;
+
+  [[nodiscard]] std::span<const vm::CallStep> steps() const {
+    return own_steps.empty() ? steps_view : std::span<const vm::CallStep>(own_steps);
+  }
+};
+
+struct TaskResult {
+  vm::ExecResult vm;
+  ledger::PortableState output;  // meaningful only when vm.ok()
+};
+
+/// Schedule shape of the last batch (worker-count independent).
+struct BatchStats {
+  std::uint32_t tasks = 0;
+  std::uint32_t levels = 0;
+  std::uint32_t max_width = 0;
+  std::uint64_t dep_edges = 0;
+};
+
+struct EngineOptions {
+  std::uint32_t workers = 1;
+  /// When set, a task's input bundle absorbs the outputs of its direct
+  /// conflict predecessors (overlapping entries only, canonical order) before
+  /// it runs, making the batch serially equivalent over shared state.  Off by
+  /// default: Jenga and the baselines feed disjoint per-task snapshots, whose
+  /// semantics must stay exactly the historical serial ones.
+  bool chain_conflicts = false;
+};
+
+class Engine {
+ public:
+  explicit Engine(EngineOptions opts = {});
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Executes the batch and returns results in input order.  Deterministic in
+  /// the batch alone — identical for every worker count.
+  [[nodiscard]] std::vector<TaskResult> run_batch(std::vector<Task> tasks);
+
+  /// Attaches a metrics registry (nullptr detaches).  Recording happens on
+  /// the run_batch() caller's thread after the batch joined; every recorded
+  /// value derives from the schedule, never from timing or worker count.
+  void set_metrics(telemetry::MetricsRegistry* m) { metrics_ = m; }
+
+  [[nodiscard]] std::uint32_t workers() const { return workers_; }
+  [[nodiscard]] const BatchStats& last_batch() const { return last_; }
+
+ private:
+  void worker_loop();
+  void run_claimed(std::uint32_t t, vm::ExecScratch& scratch);
+
+  std::uint32_t workers_;
+  bool chain_conflicts_;
+  telemetry::MetricsRegistry* metrics_ = nullptr;
+  BatchStats last_{};
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: a level opened / shutdown
+  std::condition_variable done_cv_;  // run_batch: current level drained
+  bool shutdown_ = false;
+
+  // Current level (guarded by mu_; task/result slots are claimed exclusively).
+  std::vector<Task>* tasks_ = nullptr;
+  std::vector<TaskResult>* results_ = nullptr;
+  const Schedule* schedule_ = nullptr;
+  const std::vector<std::uint32_t>* level_ = nullptr;
+  std::size_t next_ = 0;
+  std::size_t level_size_ = 0;
+  std::size_t remaining_ = 0;
+
+  std::vector<std::thread> pool_;
+};
+
+}  // namespace jenga::exec

@@ -90,6 +90,7 @@ RunResult run_experiment(const RunConfig& config) {
       jc.nodes_per_shard = k;
       jc.seed = config.seed;
       jc.max_block_items = config.max_block_items;
+      jc.exec_workers = config.exec_workers;
       jc.pipeline = config.kind == SystemKind::kJenga ? core::Pipeline::kFull
                     : config.kind == SystemKind::kJengaNoLattice
                         ? core::Pipeline::kNoLattice
@@ -104,6 +105,7 @@ RunResult run_experiment(const RunConfig& config) {
       bc.seed = config.seed;
       bc.max_block_items = config.max_block_items;
       bc.cross_mode = config.cross_mode;
+      bc.exec_workers = config.exec_workers;
       bc.merge_span =
           config.merge_span != 0 ? config.merge_span : std::max(2u, config.num_shards / 4);
       if (config.kind == SystemKind::kCxFunc) {
@@ -202,6 +204,7 @@ RunResult run_experiment(const RunConfig& config) {
   result.sim_end = sim.now();
   result.nodes_per_shard = k;
   result.total_nodes = k * config.num_shards;
+  result.ledger_digest = jenga ? jenga->ledger_digest() : baseline->ledger_digest();
 
   // Fold the run-level counters into the registry so one metrics snapshot
   // carries the whole picture (traffic, faults, outcome counts).

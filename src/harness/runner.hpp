@@ -49,6 +49,9 @@ struct RunConfig {
   baselines::CrossShardMode cross_mode = baselines::CrossShardMode::kClientRelay;
   std::uint32_t merge_span = 0;  // Pyramid; 0 = max(2, S/2)
   std::uint32_t max_block_items = 4096;
+  /// Worker threads for batch transaction execution (src/exec/), every system
+  /// kind.  Results are bit-identical for every value; 1 = serial.
+  std::uint32_t exec_workers = 1;
   sim::NetConfig net;
   /// Non-empty: write the full JSONL telemetry trace here after the run.
   std::string trace_out;
@@ -66,6 +69,9 @@ struct RunResult {
   SimTime sim_end = 0;
   std::uint32_t nodes_per_shard = 0;
   std::uint32_t total_nodes = 0;
+  /// Canonical digest over every shard's chain tip and state store at run
+  /// end — what the determinism tests compare across exec worker counts.
+  Hash256 ledger_digest{};
   /// Every run is instrumented (telemetry is cheap enough to stay on): the
   /// full metric registry / tracer / message telemetry, and the per-phase
   /// latency breakdown derived from the tracer.

@@ -1,5 +1,9 @@
 #include "ledger/state_store.hpp"
 
+#include <algorithm>
+
+#include "crypto/sha256.hpp"
+
 namespace jenga::ledger {
 
 void StateStore::create_account(AccountId id, std::uint64_t balance) {
@@ -45,6 +49,35 @@ bool StateStore::set_contract_state(ContractId id, ContractState state) {
   if (it == contract_states_.end()) return false;
   it->second = std::move(state);
   return true;
+}
+
+Hash256 StateStore::digest() const {
+  crypto::Sha256 h;
+  h.update("jenga/state-root");
+  std::vector<AccountId> accounts;
+  accounts.reserve(balances_.size());
+  for (const auto& [id, bal] : balances_) accounts.push_back(id);
+  std::sort(accounts.begin(), accounts.end());
+  h.update_u64(accounts.size());
+  for (AccountId id : accounts) {
+    h.update_u64(id.value);
+    h.update_u64(balances_.at(id));
+  }
+  std::vector<ContractId> contracts;
+  contracts.reserve(contract_states_.size());
+  for (const auto& [id, st] : contract_states_) contracts.push_back(id);
+  std::sort(contracts.begin(), contracts.end());
+  h.update_u64(contracts.size());
+  for (ContractId id : contracts) {
+    h.update_u64(id.value);
+    const ContractState& st = contract_states_.at(id);
+    h.update_u64(st.size());
+    for (const auto& [k, v] : st) {
+      h.update_u64(k);
+      h.update_u64(v);
+    }
+  }
+  return h.finish();
 }
 
 std::uint64_t StateStore::state_storage_bytes() const {

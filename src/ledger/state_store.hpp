@@ -47,6 +47,11 @@ class StateStore {
   // --- storage accounting ---
   [[nodiscard]] std::uint64_t state_storage_bytes() const;
 
+  /// Canonical digest over the full contents (balances and contract states,
+  /// key-sorted): the state root the determinism tests compare across runs
+  /// and across execution worker counts.
+  [[nodiscard]] Hash256 digest() const;
+
  private:
   std::unordered_map<AccountId, std::uint64_t> balances_;
   std::unordered_map<ContractId, ContractState> contract_states_;

@@ -69,8 +69,11 @@ const char* exec_status_name(ExecStatus s) {
 }
 
 Interpreter::Interpreter(std::span<const ContractLogic* const> contracts, StateView& state,
-                         ExecLimits limits)
-    : contracts_(contracts), state_(state), limits_(limits) {}
+                         ExecLimits limits, ExecScratch* scratch)
+    : contracts_(contracts),
+      state_(state),
+      limits_(limits),
+      stack_(scratch != nullptr ? scratch->stack : own_scratch_.stack) {}
 
 ExecResult Interpreter::run(AccountId sender, std::span<const CallStep> steps) {
   sender_ = sender;

@@ -55,13 +55,24 @@ struct CallStep {
   std::vector<std::uint64_t> args;
 };
 
+/// Reusable interpreter scratch storage (the operand stack).  Thread-confined:
+/// an execution worker owns one and passes it to every Interpreter it builds,
+/// so hot batch loops reuse one allocation instead of growing a fresh stack
+/// per transaction.  run() clears it before use, so contents never leak
+/// between transactions.
+struct ExecScratch {
+  std::vector<std::uint64_t> stack;
+};
+
 class Interpreter {
  public:
   /// `contracts[i]` is the logic for the transaction's declared slot i.  A
   /// null pointer in a slot means the logic is unavailable (cannot happen in
-  /// Jenga where all logic is everywhere; can in baselines).
+  /// Jenga where all logic is everywhere; can in baselines).  `scratch`, when
+  /// non-null, supplies the operand-stack storage (must outlive the
+  /// interpreter and be used by one thread at a time).
   Interpreter(std::span<const ContractLogic* const> contracts, StateView& state,
-              ExecLimits limits = {});
+              ExecLimits limits = {}, ExecScratch* scratch = nullptr);
 
   /// Executes the steps in order; any failure aborts the whole chain.
   /// The caller is responsible for state rollback (views are transactional).
@@ -76,7 +87,8 @@ class Interpreter {
   ExecLimits limits_;
 
   AccountId sender_{};
-  std::vector<std::uint64_t> stack_;
+  ExecScratch own_scratch_;            // backing store when none was injected
+  std::vector<std::uint64_t>& stack_;  // either own_scratch_.stack or external
   std::uint64_t gas_used_ = 0;
   std::uint64_t instructions_ = 0;
   std::uint64_t calls_ = 0;

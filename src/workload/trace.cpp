@@ -16,6 +16,23 @@ TraceGenerator::TraceGenerator(TraceConfig config, Rng rng)
   contracts_.reserve(config_.num_contracts);
   for (std::uint64_t i = 0; i < config_.num_contracts; ++i)
     contracts_.push_back(generate_contract(ContractId{i}));
+  if (config_.zipf_skew > 0.0) {
+    zipf_cdf_.reserve(config_.num_contracts);
+    double sum = 0.0;
+    for (std::uint64_t r = 0; r < config_.num_contracts; ++r) {
+      sum += 1.0 / std::pow(static_cast<double>(r + 1), config_.zipf_skew);
+      zipf_cdf_.push_back(sum);
+    }
+  }
+}
+
+ContractId TraceGenerator::sample_contract() {
+  if (zipf_cdf_.empty()) return ContractId{rng_.uniform(contracts_.size())};
+  // Inverse-CDF draw over the precomputed harmonic weights: rank r (0 = the
+  // hottest contract) with probability ∝ 1/(r+1)^s.
+  const double u = rng_.uniform01() * zipf_cdf_.back();
+  const auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return ContractId{static_cast<std::uint64_t>(it - zipf_cdf_.begin())};
 }
 
 double TraceGenerator::ramp(double start, double end, std::uint64_t height) const {
@@ -105,7 +122,7 @@ Transaction TraceGenerator::contract_tx(std::uint64_t block_height, SimTime now)
   // Sample m distinct contract ids.
   std::vector<ContractId> chosen;
   while (chosen.size() < m) {
-    const ContractId c{rng_.uniform(contracts_.size())};
+    const ContractId c = sample_contract();
     if (std::find(chosen.begin(), chosen.end(), c) == chosen.end()) chosen.push_back(c);
   }
   tx.contracts = chosen;
