@@ -36,6 +36,15 @@ void Replica::start() {
   enter_height(next_height_);
 }
 
+void Replica::stop() {
+  stopped_ = true;
+  started_ = false;
+  // Invalidate every armed view timer; the guards in on_message / broadcast /
+  // send_to neutralize the other captured-`this` lambdas (propose retries,
+  // exec-delay broadcasts, delayed votes).
+  ++timer_generation_;
+}
+
 NodeId Replica::leader_for(std::uint32_t view) const {
   const std::size_t n = config_->members.size();
   return config_->members[(next_height_ + view) % n];
@@ -60,6 +69,7 @@ bool Replica::verify_cert(const QuorumCert& cert) const {
 }
 
 void Replica::broadcast(const sim::Message& msg, bool gossip) {
+  if (stopped_) return;
   if (gossip && config_->use_gossip_for_proposal) {
     net_.gossip(self_, config_->members, msg, config_->traffic);
   } else {
@@ -68,6 +78,7 @@ void Replica::broadcast(const sim::Message& msg, bool gossip) {
 }
 
 void Replica::send_to(NodeId to, const sim::Message& msg) {
+  if (stopped_) return;
   if (to == self_) {
     // Local hand-off: no network traversal.
     net_.simulator().schedule_after(0, [this, msg] { on_message(msg); });
@@ -156,7 +167,7 @@ void Replica::on_view_timeout(std::uint64_t height, std::uint32_t view) {
 }
 
 void Replica::try_propose() {
-  if (!started_ || !is_leader() || proposal_.has_value()) return;
+  if (!started_ || stopped_ || !is_leader() || proposal_.has_value()) return;
   if (byz_ == ByzantineMode::kSilent || byz_ == ByzantineMode::kMuteProposer) return;
 
   auto value = app_.propose(next_height_);
@@ -303,6 +314,7 @@ std::uint64_t message_height(const sim::Message& msg) {
 }  // namespace
 
 void Replica::on_message(const sim::Message& msg) {
+  if (stopped_) return;
   if (byz_ == ByzantineMode::kSilent) return;
   // Drop messages belonging to a different consensus group on this node.
   const auto* tagged = dynamic_cast<const GroupPayload*>(msg.payload.get());
@@ -686,7 +698,7 @@ void Replica::handle_new_view(const sim::Message& msg) {
 }
 
 void Replica::request_sync() {
-  if (!started_) return;
+  if (!started_ || stopped_) return;
   const SimTime now = net_.simulator().now();
   if (last_sync_request_ >= 0 && now - last_sync_request_ < kSyncCooldown) return;
   last_sync_request_ = now;

@@ -114,6 +114,15 @@ class Replica {
   /// Wires up and schedules the first proposal poll.  Call once.
   void start();
 
+  /// Permanently deactivates this replica: it stops consuming messages,
+  /// proposing, voting, and serving sync, and every already-scheduled timer
+  /// or delayed broadcast becomes a no-op.  Used at epoch reconfiguration:
+  /// the old lattice's replicas are stopped and parked (scheduled lambdas
+  /// capture `this`, so a stopped replica must stay allocated until the
+  /// simulation ends) while fresh replicas take over the group.  Irreversible.
+  void stop();
+  [[nodiscard]] bool stopped() const { return stopped_; }
+
   /// Feeds a network message of a kBft* type addressed to this replica.
   void on_message(const sim::Message& msg);
 
@@ -228,6 +237,7 @@ class Replica {
   SimTime view_change_begin_ = -1;  // first timeout of the stalled height
 
   bool started_ = false;
+  bool stopped_ = false;
 
   static constexpr std::size_t kFutureBufferCap = 1024;
   static constexpr std::uint64_t kDecidedLogWindow = 256;

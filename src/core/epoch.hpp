@@ -22,6 +22,7 @@
 #include "core/lattice.hpp"
 #include "crypto/vdf.hpp"
 #include "crypto/vrf.hpp"
+#include "simnet/message.hpp"
 
 namespace jenga::core {
 
@@ -30,6 +31,15 @@ struct RandomnessContribution {
   NodeId node;
   Hash256 beta;
   crypto::VrfProof proof;
+};
+
+/// Wire envelope for a contribution gossiped over the simulated network
+/// (MsgType::kEpochVrf).  ~200 bytes on the wire: proof point + beta + header.
+struct EpochContributionPayload : sim::Payload {
+  RandomnessContribution contribution;
+  std::uint64_t epoch = 0;  // the epoch this contribution targets
+
+  [[nodiscard]] static constexpr std::uint32_t wire_size() { return 200; }
 };
 
 class EpochManager {
@@ -55,7 +65,21 @@ class EpochManager {
   /// false on unknown node, wrong epoch proof, or duplicate.
   bool accept(const RandomnessContribution& contribution, EpochId epoch);
 
-  [[nodiscard]] std::size_t contributions() const { return accepted_.size(); }
+  /// Number of contributions accepted so far for the next epoch (not the
+  /// committee size: absent members leave their slot empty).
+  [[nodiscard]] std::size_t contributions() const {
+    std::size_t n = 0;
+    for (const auto& beta : accepted_)
+      if (beta) ++n;
+    return n;
+  }
+
+  /// True if `node`'s contribution for the next epoch is already recorded.
+  /// Lets a gossip receiver drop the (many) duplicate copies of a
+  /// contribution without paying a VRF verification or counting a rejection.
+  [[nodiscard]] bool has_contribution(NodeId node) const {
+    return node.value < accepted_.size() && accepted_[node.value].has_value();
+  }
 
   /// Finalizes the next epoch once at least `min_contributions` arrived:
   /// XOR-combines the betas, runs the VDF, verifies it, and advances the

@@ -61,10 +61,13 @@ struct ShardBlockPayload : sim::Payload {
   std::vector<ExecVisit> visits;     // kNoGlobalLogic step groups
   // kNoLattice: this shard doubles as an execution site; results it computed.
   std::vector<std::pair<TxPtr, ExecResult>> exec_entries;
+  // kNoGlobalLogic: gather entries that expired with the tx never seen; the
+  // decision fans aborts to the recorded granting shards (sorted ids).
+  std::vector<std::pair<Hash256, std::vector<std::uint32_t>>> dead_gathers;
 
   [[nodiscard]] std::size_t item_count() const {
     return determine.size() + commits.size() + transfers.size() + visits.size() +
-           exec_entries.size();
+           exec_entries.size() + dead_gathers.size();
   }
 };
 
@@ -81,6 +84,9 @@ struct ContinuationPayload : sim::Payload {
   std::uint32_t next_step = 0;
   ShardId target;
   std::uint8_t hops = 0;  // >0: relay through the channel subgroup
+  /// Stale continuations straddling an epoch cutover must not re-enter the
+  /// new lattice (the boundary already force-aborted and requeued their tx).
+  std::uint64_t epoch = 0;
 
   [[nodiscard]] std::uint32_t wire_size() const { return 128 + gathered.wire_size(); }
 };
@@ -116,10 +122,24 @@ struct GatherUnit {
   /// entry eventually expires and emits a *second* abort/result for a tx the
   /// shards already settled.
   std::unordered_set<Hash256> done;
+  /// Entries that expired with the tx itself never seen (grants only — a
+  /// crashed or mid-reshuffle contact swallowed the client copy).  The shards
+  /// that granted hold Phase-1 locks; a grant for one of these arriving after
+  /// the expiry must be answered with an abort so those locks release.
+  std::unordered_set<Hash256> expired_dead;
+  std::unordered_set<std::uint64_t> late_abort_sent;  // (tx, source) answer dedup
+  std::uint64_t late_abort_seq = 0;  // synthetic batch heights for the answers
 
   void finish(const Hash256& h) {
     pending.erase(h);
     done.insert(h);
+  }
+
+  /// finish() for an entry whose tx never arrived: remember it so late grants
+  /// still get an abort answer instead of being swallowed by `done`.
+  void finish_dead(const Hash256& h) {
+    expired_dead.insert(h);
+    finish(h);
   }
 
   void on_tx(const TxPtr& tx, std::size_t expected, SimTime now) {
@@ -160,10 +180,13 @@ struct GatherUnit {
     }
   }
 
-  /// Moves timed-out entries (tx known, grants incomplete) to ready as aborts.
+  /// Moves timed-out entries to ready as aborts.  Entries whose tx never
+  /// arrived (grants only) expire too: the granting shards hold Phase-1 locks
+  /// that only an abort result fanned back to them can release, so letting a
+  /// permanently half-gathered entry sit forever would leak those locks.
   void expire(SimTime now, SimTime timeout) {
     for (auto& [h, p] : pending) {
-      if (p.queued || !p.tx) continue;
+      if (p.queued || p.first_seen == 0) continue;
       if (now - p.first_seen >= timeout) {
         p.abort = true;
         p.queued = true;
@@ -186,6 +209,7 @@ struct JengaSystem::ShardEngine {
   std::deque<CommitItem> commits;
   std::deque<TransferItem> transfers;
   std::deque<ExecVisit> visits;
+  std::deque<std::pair<Hash256, std::vector<std::uint32_t>>> dead_gathers;
   GatherUnit gather;  // kNoLattice / kNoGlobalLogic
 
   std::unordered_set<Hash256> seen_client;  // dedup client submissions
@@ -288,27 +312,72 @@ JengaSystem::JengaSystem(sim::Simulator& sim, sim::Network& net, JengaConfig con
     shards_[s.value]->local_logic.add(genesis.contracts[c]);
   }
 
-  const bool run_channels = config_.pipeline == Pipeline::kFull;
+  initial_balance_ = genesis.num_accounts * genesis.initial_balance;
+
   const std::uint32_t n = lattice_->total_nodes();
   shard_replicas_.resize(n);
   channel_replicas_.resize(n);
   shard_apps_.resize(n);
   channel_apps_.resize(n);
+  all_nodes_.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) all_nodes_.push_back(NodeId{i});
 
-  // One BFT config per group, shared among its replicas.
+  if (config_.epoch_interval > 0) {
+    // Every node is a beacon committee member; its VRF key is derived from
+    // the system seed so runs are reproducible.
+    std::vector<crypto::Point> committee;
+    beacon_keys_.reserve(n);
+    committee.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      beacon_keys_.push_back(
+          crypto::keypair_from_seed(config_.seed * 0x9E3779B97F4A7C15ULL + 0xBEAC0ULL + i));
+      committee.push_back(beacon_keys_.back().public_key);
+    }
+    epoch_mgr_ = std::make_unique<EpochManager>(std::move(committee),
+                                                config_.epoch_vdf_iterations,
+                                                config_.epoch_vdf_checkpoints);
+  }
+
+  build_replicas();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const NodeId node{i};
+    net_.register_node(node, [this, node](const sim::Message& m) { on_node_message(node, m); });
+  }
+}
+
+std::uint64_t JengaSystem::shard_tag(ShardId s) const {
+  return (epoch_ << 32) | kShardGroupTag | s.value;
+}
+
+std::uint64_t JengaSystem::channel_tag(ChannelId c) const {
+  return (epoch_ << 32) | kChannelGroupTag | c.value;
+}
+
+std::size_t JengaSystem::min_contributions() const {
+  if (config_.epoch_min_contributions != 0) return config_.epoch_min_contributions;
+  return 2 * static_cast<std::size_t>(lattice_->total_nodes()) / 3 + 1;
+}
+
+void JengaSystem::build_replicas() {
+  const bool run_channels = config_.pipeline == Pipeline::kFull;
+  const std::uint32_t n = lattice_->total_nodes();
+
+  // One BFT config per group, shared among its replicas.  Tags and vote-key
+  // seeds are epoch-salted: heights restart at 0 after a reshuffle, so the
+  // (tag, height) space — and the vote keys — must not collide across epochs.
   std::vector<std::shared_ptr<consensus::BftConfig>> shard_cfg(config_.num_shards);
   std::vector<std::shared_ptr<consensus::BftConfig>> channel_cfg(config_.num_shards);
   for (std::uint32_t g = 0; g < config_.num_shards; ++g) {
     auto sc = std::make_shared<consensus::BftConfig>();
     sc->members = lattice_->shard_members(ShardId{g});
-    sc->group_tag = kShardGroupTag | g;
-    sc->crypto_seed = config_.seed ^ (0x51ED0000ULL + g);
+    sc->group_tag = shard_tag(ShardId{g});
+    sc->crypto_seed = (config_.seed ^ (0x51ED0000ULL + g)) + epoch_ * 0xD1B54A32D192ED03ULL;
     sc->view_timeout = config_.view_timeout;
     shard_cfg[g] = std::move(sc);
     auto cc = std::make_shared<consensus::BftConfig>();
     cc->members = lattice_->channel_members(ChannelId{g});
-    cc->group_tag = kChannelGroupTag | g;
-    cc->crypto_seed = config_.seed ^ (0xC4A20000ULL + g);
+    cc->group_tag = channel_tag(ChannelId{g});
+    cc->crypto_seed = (config_.seed ^ (0xC4A20000ULL + g)) + epoch_ * 0xD1B54A32D192ED03ULL;
     cc->view_timeout = config_.view_timeout;
     channel_cfg[g] = std::move(cc);
   }
@@ -334,7 +403,16 @@ JengaSystem::JengaSystem(sim::Simulator& sim, sim::Network& net, JengaConfig con
       channel_apps_[i] = std::move(capp);
     }
 
-    net_.register_node(node, [this, node](const sim::Message& m) { on_node_message(node, m); });
+    // The adversary corrupts nodes, not seats: Byzantine roles survive the
+    // reshuffle and are reapplied to the freshly built replicas.
+    if (const auto it = byz_modes_.find(i); it != byz_modes_.end()) {
+      shard_replicas_[i]->set_byzantine(it->second);
+      if (channel_replicas_[i]) channel_replicas_[i]->set_byzantine(it->second);
+    }
+    if (telemetry_ != nullptr) {
+      shard_replicas_[i]->set_telemetry(telemetry_);
+      if (channel_replicas_[i]) channel_replicas_[i]->set_telemetry(telemetry_);
+    }
   }
 }
 
@@ -344,6 +422,7 @@ void JengaSystem::start() {
   for (auto& r : shard_replicas_) r->start();
   for (auto& r : channel_replicas_)
     if (r) r->start();
+  schedule_epoch_cycle();
 }
 
 void JengaSystem::set_node_silent(NodeId node) {
@@ -351,6 +430,7 @@ void JengaSystem::set_node_silent(NodeId node) {
 }
 
 void JengaSystem::set_node_byzantine(NodeId node, consensus::ByzantineMode mode) {
+  byz_modes_[node.value] = mode;  // survives reshuffles (see build_replicas)
   shard_replicas_[node.value]->set_byzantine(mode);
   if (channel_replicas_[node.value]) channel_replicas_[node.value]->set_byzantine(mode);
 }
@@ -494,9 +574,13 @@ void JengaSystem::on_node_message(NodeId node, const sim::Message& msg) {
     case sim::MsgType::kTwoPcCommit:
       handle_two_pc(node, msg);
       return;
+    case sim::MsgType::kEpochVrf:
+      handle_epoch_contribution(msg);
+      return;
     case sim::MsgType::kSubTxResult: {
       // kNoGlobalLogic continuation relay.
       const auto& p = sim::payload_as<ContinuationPayload>(msg);
+      if (p.epoch != epoch_) return;  // straddled a reshuffle; tx was requeued
       const Assignment asg = lattice_->assignment(node);
       if (asg.shard == p.target) {
         ShardEngine& eng = *shards_[p.target.value];
@@ -530,50 +614,105 @@ void JengaSystem::handle_client_tx(NodeId node, const sim::Message& msg) {
   const TxPtr& tx = p.tx;
   const Assignment asg = lattice_->assignment(node);
   ShardEngine& eng = *shards_[asg.shard.value];
+  bool ingested = false;  // did this node have any role for the tx?
 
   if (tx->kind == TxKind::kTransfer) {
-    if (ledger::shard_of_account(tx->sender, config_.num_shards) == asg.shard &&
-        !eng.seen_client.contains(tx->hash)) {
-      eng.seen_client.insert(tx->hash);
-      eng.transfers.push_back(TransferItem{tx, 0});
+    if (ledger::shard_of_account(tx->sender, config_.num_shards) == asg.shard) {
+      ingested = true;
+      if (!eng.seen_client.contains(tx->hash)) {
+        eng.seen_client.insert(tx->hash);
+        eng.transfers.push_back(TransferItem{tx, 0});
+      }
     }
-    return;
+  } else {
+    const auto involved = involved_shards(*tx);
+    const bool shard_involved =
+        std::find(involved.begin(), involved.end(), asg.shard) != involved.end();
+    if (shard_involved) {
+      ingested = true;
+      if (!eng.seen_client.contains(tx->hash)) {
+        eng.seen_client.insert(tx->hash);
+        eng.determine.push_back(DetermineItem{tx, 0});
+      }
+    }
+
+    switch (config_.pipeline) {
+      case Pipeline::kFull: {
+        const ChannelId target = ledger::channel_of_tx(tx->hash, config_.num_shards);
+        if (asg.channel == target) {
+          ingested = true;
+          channels_[target.value]->gather.on_tx(tx, involved.size(), sim_.now());
+        }
+        break;
+      }
+      case Pipeline::kNoLattice: {
+        const ShardId exec{
+            static_cast<std::uint32_t>(tx->hash.prefix_u64() % config_.num_shards)};
+        if (asg.shard == exec) {
+          ingested = true;
+          eng.gather.on_tx(tx, involved.size(), sim_.now());
+        }
+        break;
+      }
+      case Pipeline::kNoGlobalLogic: {
+        const ShardId first = ledger::shard_of_contract(
+            tx->contracts[tx->steps.front().contract_slot], config_.num_shards);
+        if (asg.shard == first) {
+          ingested = true;
+          eng.gather.on_tx(tx, involved.size(), sim_.now());
+        }
+        break;
+      }
+    }
   }
 
-  const auto involved = involved_shards(*tx);
-  const bool shard_involved =
-      std::find(involved.begin(), involved.end(), asg.shard) != involved.end();
-  if (shard_involved && !eng.seen_client.contains(tx->hash)) {
-    eng.seen_client.insert(tx->hash);
-    eng.determine.push_back(DetermineItem{tx, 0});
-  }
-
-  switch (config_.pipeline) {
-    case Pipeline::kFull: {
-      const ChannelId target = ledger::channel_of_tx(tx->hash, config_.num_shards);
-      if (asg.channel == target)
-        channels_[target.value]->gather.on_tx(tx, involved.size(), sim_.now());
-      break;
+  // A client copy in flight across an epoch cutover can land on a node whose
+  // new assignment gives it no role for this tx (the submit-time contact
+  // moved).  Re-route it once to the current contacts so the submission is
+  // not lost; every downstream ingest point dedups, so a crossed requeue is
+  // harmless.  Unreachable while reconfiguration is off (assignments never
+  // change), so legacy runs are untouched.
+  if (!ingested && tracker_.contains(tx->hash) && rerouted_.insert(tx->hash).second) {
+    if (tx->kind == TxKind::kTransfer) {
+      net_.client_send(shard_contact(ledger::shard_of_account(tx->sender, config_.num_shards)),
+                       msg);
+      return;
     }
-    case Pipeline::kNoLattice: {
-      const ShardId exec{static_cast<std::uint32_t>(tx->hash.prefix_u64() % config_.num_shards)};
-      if (asg.shard == exec) eng.gather.on_tx(tx, involved.size(), sim_.now());
-      break;
-    }
-    case Pipeline::kNoGlobalLogic: {
+    for (ShardId s : involved_shards(*tx)) net_.client_send(shard_contact(s), msg);
+    if (config_.pipeline == Pipeline::kFull) {
+      net_.client_send(channel_contact(ledger::channel_of_tx(tx->hash, config_.num_shards)),
+                       msg);
+    } else if (config_.pipeline == Pipeline::kNoLattice) {
+      const ShardId exec{
+          static_cast<std::uint32_t>(tx->hash.prefix_u64() % config_.num_shards)};
+      net_.client_send(shard_contact(exec), msg);
+    } else {
       const ShardId first = ledger::shard_of_contract(
           tx->contracts[tx->steps.front().contract_slot], config_.num_shards);
-      if (asg.shard == first) eng.gather.on_tx(tx, involved.size(), sim_.now());
-      break;
+      net_.client_send(shard_contact(first), msg);
     }
   }
 }
 
 void JengaSystem::handle_grant_batch(NodeId node, const sim::Message& msg) {
   const auto& p = sim::payload_as<GrantBatchPayload>(msg);
+  if (p.epoch != epoch_) return;  // straddled a reshuffle; its txs were requeued
   const Assignment asg = lattice_->assignment(node);
   const std::uint64_t key =
       (static_cast<std::uint64_t>(p.source.value) << 40) ^ p.shard_height;
+
+  // Grants for an entry that already expired tx-less get an abort answer (so
+  // the granting shard's Phase-1 locks release) instead of resurrecting it.
+  auto ingest_grants = [&](GatherUnit& gather, std::uint32_t responder_group) {
+    const SimTime now = sim_.now();
+    for (const auto& g : p.grants) {
+      if (gather.expired_dead.contains(g.tx_hash)) {
+        answer_dead_grant(gather, responder_group, node, g);
+        continue;
+      }
+      gather.on_grant(g, now);
+    }
+  };
 
   switch (config_.pipeline) {
     case Pipeline::kFull: {
@@ -581,7 +720,7 @@ void JengaSystem::handle_grant_batch(NodeId node, const sim::Message& msg) {
       ChannelEngine& ch = *channels_[asg.channel.value];
       if (ch.grant_dedup.contains(key)) return;
       ch.grant_dedup.insert(key);
-      for (const auto& g : p.grants) ch.gather.on_grant(g, sim_.now());
+      ingest_grants(ch.gather, ch.id.value);
       break;
     }
     case Pipeline::kNoLattice: {
@@ -589,7 +728,7 @@ void JengaSystem::handle_grant_batch(NodeId node, const sim::Message& msg) {
       ShardEngine& eng = *shards_[asg.shard.value];
       if (eng.grant_dedup.contains(key)) return;
       eng.grant_dedup.insert(key);
-      for (const auto& g : p.grants) eng.gather.on_grant(g, sim_.now());
+      ingest_grants(eng.gather, eng.id.value);
       break;
     }
     case Pipeline::kNoGlobalLogic: {
@@ -607,14 +746,41 @@ void JengaSystem::handle_grant_batch(NodeId node, const sim::Message& msg) {
       }
       if (eng.grant_dedup.contains(key)) return;
       eng.grant_dedup.insert(key);
-      for (const auto& g : p.grants) eng.gather.on_grant(g, sim_.now());
+      ingest_grants(eng.gather, eng.id.value);
       break;
     }
   }
 }
 
+void JengaSystem::answer_dead_grant(GatherUnit& gather, std::uint32_t responder_group,
+                                    NodeId node, const StateGrant& grant) {
+  std::uint64_t key_state =
+      grant.tx_hash.prefix_u64() ^ (0x9E3779B9ULL * (grant.source.value + 1));
+  const std::uint64_t key = splitmix64(key_state);
+  if (!gather.late_abort_sent.insert(key).second) return;  // answered already
+  auto rp = std::make_shared<ResultBatchPayload>();
+  rp->source = ChannelId{responder_group};
+  // Synthetic batch height outside the real consensus-height space, so the
+  // shard-side result dedup never collides with a real (source, height) pair.
+  rp->channel_height = (1ULL << 40) + gather.late_abort_seq++;
+  rp->epoch = epoch_;
+  rp->target = grant.source;
+  ExecResult r;
+  r.tx_hash = grant.tx_hash;
+  r.ok = false;
+  rp->results.push_back(std::move(r));
+  sim::Message m;
+  m.type = sim::MsgType::kExecResult;
+  m.from = node;
+  m.size_bytes = rp->wire_size();
+  m.payload = std::move(rp);
+  relay_gossip(node, lattice_->shard_members(grant.source), m);
+  if (lattice_->assignment(node).shard == grant.source) on_node_message(node, m);
+}
+
 void JengaSystem::handle_result_batch(NodeId node, const sim::Message& msg) {
   const auto& p = sim::payload_as<ResultBatchPayload>(msg);
+  if (p.epoch != epoch_) return;  // straddled a reshuffle; its txs were requeued
   const Assignment asg = lattice_->assignment(node);
   if (asg.shard != p.target) return;  // channel witnesses just observe
   ShardEngine& eng = *shards_[asg.shard.value];
@@ -648,6 +814,17 @@ void JengaSystem::handle_result_batch(NodeId node, const sim::Message& msg) {
 void JengaSystem::handle_two_pc(NodeId node, const sim::Message& msg) {
   const auto& p = sim::payload_as<TwoPcPayload>(msg);
   const Assignment asg = lattice_->assignment(node);
+  // 2PC legs are deliberately not epoch-tagged (a prepared transfer already
+  // debited the sender), but a reshuffle can move the contact the leg was
+  // addressed to; forward it to a current member of the shard that must
+  // process this stage.  Normal operation never takes this hop.
+  const ShardId want = p.commit
+                           ? ledger::shard_of_account(p.tx->sender, config_.num_shards)
+                           : ledger::shard_of_account(p.tx->to, config_.num_shards);
+  if (asg.shard != want) {
+    net_.send(node, shard_contact(want), msg, sim::TrafficClass::kCrossShard);
+    return;
+  }
   ShardEngine& eng = *shards_[asg.shard.value];
   const std::uint8_t stage = p.commit ? 2 : 1;
   // Dedup: a (tx, stage) pair enters a shard's queue once.
@@ -784,6 +961,16 @@ std::optional<consensus::ConsensusValue> JengaSystem::shard_propose(ShardEngine&
       eng.gather.ready.pop_front();
       auto it = eng.gather.pending.find(h);
       if (it == eng.gather.pending.end()) continue;
+      if (!it->second.tx) {
+        // Expired with the tx never seen: fan an abort to the shards that
+        // granted (recorded sorted for determinism) via the decision.
+        std::vector<std::uint32_t> sources(it->second.reported.begin(),
+                                           it->second.reported.end());
+        std::sort(sources.begin(), sources.end());
+        eng.dead_gathers.emplace_back(h, std::move(sources));
+        eng.gather.finish_dead(h);
+        continue;
+      }
       eng.visits.push_back(
           ExecVisit{it->second.tx, std::move(it->second.gathered), 0, it->second.abort});
       eng.gather.finish(h);
@@ -796,10 +983,15 @@ std::optional<consensus::ConsensusValue> JengaSystem::shard_propose(ShardEngine&
   std::vector<Hash256> hashes;
   std::uint32_t size = 128;
 
-  for (std::size_t i = 0; i < eng.determine.size() && budget > 0; ++i, --budget) {
-    payload->determine.push_back(eng.determine[i]);
-    hashes.push_back(eng.determine[i].tx->hash);
-    size += eng.determine[i].tx->wire_size();
+  // During an epoch drain window shards stop admitting new Phase-1 work:
+  // queued determinations wait (the boundary requeues their txs), while
+  // everything already granted runs down through the other queues.
+  if (!draining_) {
+    for (std::size_t i = 0; i < eng.determine.size() && budget > 0; ++i, --budget) {
+      payload->determine.push_back(eng.determine[i]);
+      hashes.push_back(eng.determine[i].tx->hash);
+      size += eng.determine[i].tx->wire_size();
+    }
   }
   for (std::size_t i = 0; i < eng.commits.size() && budget > 0; ++i, --budget) {
     payload->commits.push_back(eng.commits[i]);
@@ -816,6 +1008,11 @@ std::optional<consensus::ConsensusValue> JengaSystem::shard_propose(ShardEngine&
     hashes.push_back(eng.visits[i].tx->hash);
     size += 128 + eng.visits[i].gathered.wire_size();
   }
+  for (std::size_t i = 0; i < eng.dead_gathers.size() && budget > 0; ++i, --budget) {
+    payload->dead_gathers.push_back(eng.dead_gathers[i]);
+    hashes.push_back(eng.dead_gathers[i].first);
+    size += 96;
+  }
   if (config_.pipeline == Pipeline::kNoLattice) {
     // This shard is also an execution site: execute gathered-and-ready txs as
     // one conflict-scheduled batch (src/exec/), committing in ready order.
@@ -829,12 +1026,13 @@ std::optional<consensus::ConsensusValue> JengaSystem::shard_propose(ShardEngine&
   }
 
   if (payload->item_count() == 0) return std::nullopt;
-  const std::uint64_t tag = kShardGroupTag | eng.id.value;
+  const std::uint64_t tag = shard_tag(eng.id);
   auto value = wrap_value("jenga/shard-block", tag, height, std::move(hashes), size, payload);
   value.exec_delay =
       kLightItemCpu * static_cast<SimTime>(payload->determine.size() +
                                            payload->commits.size() +
-                                           payload->transfers.size()) +
+                                           payload->transfers.size() +
+                                           payload->dead_gathers.size()) +
       kExecItemCpu *
           static_cast<SimTime>(payload->visits.size() + payload->exec_entries.size());
   return value;
@@ -846,7 +1044,7 @@ std::optional<consensus::ConsensusValue> JengaSystem::shard_propose(ShardEngine&
 
 void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t height,
                                const consensus::ConsensusValue& value) {
-  note_decide(kShardGroupTag | eng.id.value, height, value.digest);
+  note_decide(shard_tag(eng.id), height, value.digest);
   const auto* payload = dynamic_cast<const ShardBlockPayload*>(value.data.get());
   if (payload == nullptr) return;
 
@@ -934,6 +1132,7 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
       auto& batch = batches[dest];
       batch.source = eng.id;
       batch.shard_height = height;
+      batch.epoch = epoch_;
       batch.grants.push_back(std::move(grant));
     }
 
@@ -1057,6 +1256,7 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
       }
       switch (item.stage) {
         case 0: {  // debit at the sender's shard
+          if (draining_) break;  // parked: the epoch boundary requeues it
           const auto bal = eng.store.balance(tx.sender);
           if (!bal || *bal < tx.amount) {
             tx_shard_finished(tx.hash, false);
@@ -1070,6 +1270,9 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
             body_bytes += tx.wire_size();
             tx_shard_finished(tx.hash, true);
           } else {
+            // The debit is applied; until the 2PC round finalizes the tx must
+            // not be force-aborted (the cutover waits for this set to empty).
+            twopc_inflight_.insert(tx.hash);
             auto pp = std::make_shared<TwoPcPayload>();
             pp->tx = item.tx;
             pp->commit = false;
@@ -1101,6 +1304,7 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
           break;
         }
         case 2: {  // finalize at the sender's shard after the ack
+          twopc_inflight_.erase(tx.hash);
           committed.push_back(tx.hash);
           body_bytes += tx.wire_size();
           tx_shard_finished(tx.hash, true);
@@ -1114,15 +1318,33 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
     // Execution results produced by this decision, batched per target shard
     // so each (decision, target) pair is exactly one message.
     std::map<std::uint32_t, ResultBatchPayload> result_batches;
-    auto add_result = [&](const Transaction& tx, const ExecResult& result) {
-      for (ShardId target : involved_shards(tx)) {
-        auto& batch = result_batches[target.value];
-        batch.source = ChannelId{eng.id.value};
-        batch.channel_height = height;
-        batch.target = target;
-        batch.results.push_back(result);
-      }
+    auto add_result_to = [&](ShardId target, const ExecResult& result) {
+      auto& batch = result_batches[target.value];
+      batch.source = ChannelId{eng.id.value};
+      batch.channel_height = height;
+      batch.epoch = epoch_;
+      batch.target = target;
+      batch.results.push_back(result);
     };
+    auto add_result = [&](const Transaction& tx, const ExecResult& result) {
+      for (ShardId target : involved_shards(tx)) add_result_to(target, result);
+    };
+
+    // --- Dead gather entries (kNoGlobalLogic) ----------------------------
+    // Expired with the tx never seen here.  Abort to every involved shard
+    // (the granting ones release their Phase-1 locks, the rest settle their
+    // tracker share); the submit-time registry still knows the tx.  Fall back
+    // to the recorded granting shards if it has already fully settled.
+    for (const auto& [h, sources] : payload->dead_gathers) {
+      ExecResult r;
+      r.tx_hash = h;
+      r.ok = false;
+      if (const auto tit = tx_for_result_.find(h); tit != tx_for_result_.end()) {
+        add_result(*tit->second, r);
+      } else {
+        for (const std::uint32_t s : sources) add_result_to(ShardId{s}, r);
+      }
+    }
 
     // --- Multi-round execution visits (kNoGlobalLogic) ------------------
     // Runs the run of consecutive steps homed on this shard, then either
@@ -1209,13 +1431,36 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
 
     // --- Execution entries (kNoLattice) ---------------------------------
     for (const auto& [tx, result] : payload->exec_entries) {
-      // Retire the gathered entry.
+      // Retire the gathered entry.  For entries whose tx never arrived, fan
+      // the abort to every shard that granted (their Phase-1 locks must
+      // release); record the hash so late grants still get an answer.
       if (!eng.gather.ready.empty()) eng.gather.ready.pop_front();
-      eng.gather.finish(result.tx_hash);
+      std::vector<std::uint32_t> sources;
+      if (!tx) {
+        if (const auto pit = eng.gather.pending.find(result.tx_hash);
+            pit != eng.gather.pending.end()) {
+          sources.assign(pit->second.reported.begin(), pit->second.reported.end());
+          std::sort(sources.begin(), sources.end());
+        }
+        eng.gather.finish_dead(result.tx_hash);
+      } else {
+        eng.gather.finish(result.tx_hash);
+      }
       if (telemetry_ != nullptr)
         telemetry_->tracer.phase_event(result.tx_hash, telemetry::Phase::kExecute,
                                        eng.id.value, now);
-      if (!tx) continue;
+      if (!tx) {
+        ExecResult abort_r;
+        abort_r.tx_hash = result.tx_hash;
+        abort_r.ok = false;
+        if (const auto tit = tx_for_result_.find(result.tx_hash);
+            tit != tx_for_result_.end()) {
+          add_result(*tit->second, abort_r);  // every involved shard settles
+        } else {
+          for (const std::uint32_t s : sources) add_result_to(ShardId{s}, abort_r);
+        }
+        continue;
+      }
       add_result(*tx, result);
     }
 
@@ -1256,6 +1501,7 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
     for (std::size_t i = 0; i < payload->commits.size(); ++i) eng.commits.pop_front();
     for (std::size_t i = 0; i < payload->transfers.size(); ++i) eng.transfers.pop_front();
     for (std::size_t i = 0; i < payload->visits.size(); ++i) eng.visits.pop_front();
+    for (std::size_t i = 0; i < payload->dead_gathers.size(); ++i) eng.dead_gathers.pop_front();
 
     eng.outcomes[height] = std::move(outcome);
     eng.outcomes.erase(height >= 64 ? height - 64 : UINT64_MAX);
@@ -1298,7 +1544,7 @@ std::optional<consensus::ConsensusValue> JengaSystem::channel_propose(ChannelEng
     size += 64 + result.wire_size();
     payload->entries.emplace_back(std::move(tx), std::move(result));
   }
-  const std::uint64_t tag = kChannelGroupTag | eng.id.value;
+  const std::uint64_t tag = channel_tag(eng.id);
   auto value = wrap_value("jenga/channel-block", tag, height, std::move(hashes), size, payload);
   value.exec_delay = kExecItemCpu * static_cast<SimTime>(payload->entries.size());
   return value;
@@ -1306,7 +1552,7 @@ std::optional<consensus::ConsensusValue> JengaSystem::channel_propose(ChannelEng
 
 void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t height,
                                  const consensus::ConsensusValue& value) {
-  note_decide(kChannelGroupTag | eng.id.value, height, value.digest);
+  note_decide(channel_tag(eng.id), height, value.digest);
   const auto* payload = dynamic_cast<const ChannelBlockPayload*>(value.data.get());
   if (payload == nullptr) return;
 
@@ -1317,20 +1563,45 @@ void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t 
 
     // Group results per target shard.
     std::map<std::uint32_t, ResultBatchPayload> batches;
+    auto add_to = [&](ShardId target, const ExecResult& result) {
+      auto& batch = batches[target.value];
+      batch.source = eng.id;
+      batch.channel_height = height;
+      batch.epoch = epoch_;
+      batch.target = target;
+      batch.results.push_back(result);
+    };
     for (const auto& [tx, result] : payload->entries) {
       if (!eng.gather.ready.empty()) eng.gather.ready.pop_front();
+      if (!tx) {
+        // Expired with the tx never seen (a crashed contact swallowed the
+        // client copy): fan the abort back to every shard that granted so
+        // their Phase-1 locks release, and remember the hash so grants that
+        // arrive even later still get an answer.
+        std::vector<std::uint32_t> sources;
+        if (const auto pit = eng.gather.pending.find(result.tx_hash);
+            pit != eng.gather.pending.end()) {
+          sources.assign(pit->second.reported.begin(), pit->second.reported.end());
+          std::sort(sources.begin(), sources.end());
+        }
+        eng.gather.finish_dead(result.tx_hash);
+        ExecResult abort_r;
+        abort_r.tx_hash = result.tx_hash;
+        abort_r.ok = false;
+        if (const auto tit = tx_for_result_.find(result.tx_hash);
+            tit != tx_for_result_.end()) {
+          // Every involved shard settles, not just the ones that granted.
+          for (ShardId target : involved_shards(*tit->second)) add_to(target, abort_r);
+        } else {
+          for (const std::uint32_t s : sources) add_to(ShardId{s}, abort_r);
+        }
+        continue;
+      }
       eng.gather.finish(result.tx_hash);
       if (telemetry_ != nullptr)
         telemetry_->tracer.phase_event(result.tx_hash, telemetry::Phase::kExecute,
                                        eng.id.value, now);
-      if (!tx) continue;
-      for (ShardId target : involved_shards(*tx)) {
-        auto& batch = batches[target.value];
-        batch.source = eng.id;
-        batch.channel_height = height;
-        batch.target = target;
-        batch.results.push_back(result);
-      }
+      for (ShardId target : involved_shards(*tx)) add_to(target, result);
     }
     for (auto& [target, batch] : batches) {
       auto rp = std::make_shared<ResultBatchPayload>(std::move(batch));
@@ -1356,6 +1627,245 @@ void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t 
     copy.from = node;
     relay_gossip(node, lattice_->shard_members(shard), copy);
     on_node_message(node, copy);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Epoch reconfiguration (paper §V-D): beacon -> drain -> cutover
+// ---------------------------------------------------------------------------
+
+void JengaSystem::schedule_epoch_cycle() {
+  if (config_.epoch_interval <= 0 || epoch_mgr_ == nullptr) return;
+  const std::uint64_t target = epoch_ + 1;
+  const SimTime cutover_at = sim_.now() + config_.epoch_interval;
+  const SimTime beacon_at = std::max(sim_.now(), cutover_at - config_.epoch_beacon_lead);
+  const SimTime drain_at = std::max(sim_.now(), cutover_at - config_.epoch_drain_window);
+  sim_.schedule_at(beacon_at, [this, target] { start_beacon_round(target); });
+  sim_.schedule_at(drain_at, [this, target] { begin_drain(target); });
+  sim_.schedule_at(cutover_at, [this, target] { try_cutover(target); });
+}
+
+void JengaSystem::start_beacon_round(std::uint64_t target_epoch) {
+  if (epoch_mgr_ == nullptr || epoch_ + 1 != target_epoch) return;
+  for (std::uint32_t i = 0; i < lattice_->total_nodes(); ++i) {
+    const NodeId node{i};
+    if (net_.node_down(node)) continue;  // crashed members cannot contribute
+    const auto bit = byz_modes_.find(i);
+    const auto mode =
+        bit == byz_modes_.end() ? consensus::ByzantineMode::kHonest : bit->second;
+    if (mode == consensus::ByzantineMode::kSilent) continue;
+    auto payload = std::make_shared<EpochContributionPayload>();
+    payload->contribution =
+        epoch_mgr_->contribute(node, beacon_keys_[i], EpochId{target_epoch});
+    // Non-silent Byzantine members submit a corrupted beta — live adversarial
+    // input for the beacon's verification path (rejected, never combined).
+    if (mode != consensus::ByzantineMode::kHonest)
+      payload->contribution.beta.bytes[0] ^= 0xFF;
+    payload->epoch = target_epoch;
+    sim::Message m;
+    m.type = sim::MsgType::kEpochVrf;
+    m.from = node;
+    m.size_bytes = EpochContributionPayload::wire_size();
+    m.payload = std::move(payload);
+    relay_gossip(node, all_nodes_, m);
+    handle_epoch_contribution(m);  // the contributor ingests its own copy
+  }
+}
+
+void JengaSystem::handle_epoch_contribution(const sim::Message& msg) {
+  if (epoch_mgr_ == nullptr) return;
+  const auto& p = sim::payload_as<EpochContributionPayload>(msg);
+  if (p.epoch != epoch_ + 1) return;  // stale or premature round
+  // Gossip delivers each contribution to every node; drop the duplicate
+  // copies without paying a VRF verification or miscounting a rejection.
+  if (epoch_mgr_->has_contribution(p.contribution.node)) return;
+  if (epoch_mgr_->accept(p.contribution, EpochId{p.epoch})) {
+    ++epoch_stats_.contributions_accepted;
+    if (telemetry_ != nullptr)
+      telemetry_->registry.counter("epoch.contributions_accepted").inc();
+  } else {
+    ++epoch_stats_.contributions_rejected;
+    if (telemetry_ != nullptr)
+      telemetry_->registry.counter("epoch.contributions_rejected").inc();
+  }
+}
+
+void JengaSystem::begin_drain(std::uint64_t target_epoch) {
+  if (epoch_ + 1 != target_epoch || draining_) return;
+  draining_ = true;
+  drain_started_at_ = sim_.now();
+  if (telemetry_ != nullptr) telemetry_->registry.counter("epoch.drains").inc();
+}
+
+void JengaSystem::try_cutover(std::uint64_t target_epoch) {
+  if (epoch_mgr_ == nullptr || epoch_ + 1 != target_epoch) return;
+  bool ready =
+      epoch_mgr_->contributions() >= min_contributions() && twopc_inflight_.empty();
+  if (ready) {
+    // No tx may straddle the boundary with a partially-applied outcome: some
+    // shards have applied its commit/abort while others still wait, and a
+    // force-abort would conflict with the applied shares.  (`finished` only
+    // intersects the tracker for exactly these partially-settled txs.)
+    for (const auto& [h, e] : tracker_) {
+      bool partial = false;
+      for (const auto& s : shards_)
+        if (s->finished.contains(h)) {
+          partial = true;
+          break;
+        }
+      if (partial) {
+        ready = false;
+        break;
+      }
+    }
+  }
+  if (!ready) {
+    ++epoch_stats_.postponements;
+    if (telemetry_ != nullptr) telemetry_->registry.counter("epoch.postponements").inc();
+    sim_.schedule_after(500 * kMillisecond,
+                        [this, target_epoch] { try_cutover(target_epoch); });
+    return;
+  }
+  perform_cutover(target_epoch);
+}
+
+void JengaSystem::perform_cutover(std::uint64_t target_epoch) {
+  const SimTime now = sim_.now();
+
+  // 1. Deterministic force-abort: release every in-flight tx's Phase-1 locks,
+  //    in canonical hash order.  The txs themselves are re-ingested below —
+  //    nothing submitted is ever lost at a boundary.
+  std::vector<Hash256> requeue;
+  requeue.reserve(tracker_.size());
+  for (const auto& [h, e] : tracker_) requeue.push_back(h);
+  std::sort(requeue.begin(), requeue.end());
+  for (const auto& h : requeue)
+    for (auto& s : shards_) s->locks.release_all(h);
+
+  // 2. Boundary audits (surfaced through security::check_invariants).
+  epoch_stats_.boundary_lock_leaks += held_locks();
+  if (total_account_balance() != initial_balance_ - stats_.fees_charged)
+    ++epoch_stats_.boundary_balance_mismatches;
+
+  // 3. Finalize the beacon: XOR-combine the quorum's betas, run + verify the
+  //    VDF, advance the epoch.
+  const auto randomness = epoch_mgr_->advance_epoch(min_contributions());
+  if (!randomness) {  // defensive: the quorum was pre-checked in try_cutover
+    ++epoch_stats_.postponements;
+    sim_.schedule_after(500 * kMillisecond,
+                        [this, target_epoch] { try_cutover(target_epoch); });
+    return;
+  }
+  epoch_ = epoch_mgr_->current_epoch().value;
+  draining_ = false;
+  rerouted_.clear();
+
+  // 4. Boundary churn: departures/joiners toggle while no lattice is live.
+  if (boundary_hook_) boundary_hook_(epoch_);
+
+  // 5. Rebuild the lattice from the fresh randomness.  Shards and channels
+  //    are logical entities — stores, chains, and lock tables stay put; only
+  //    the node-to-group assignment moves.
+  lattice_ = std::make_unique<Lattice>(make_epoch_lattice(
+      config_.num_shards, config_.nodes_per_shard, config_.seed, *randomness));
+
+  // 6. Stop and park the old replicas (their scheduled timers capture `this`,
+  //    so they must outlive the reshuffle), then re-home every node.
+  for (auto& r : shard_replicas_) {
+    r->stop();
+    retired_replicas_.push_back(std::move(r));
+  }
+  for (auto& r : channel_replicas_)
+    if (r) {
+      r->stop();
+      retired_replicas_.push_back(std::move(r));
+    }
+  for (auto& a : shard_apps_) retired_shard_apps_.push_back(std::move(a));
+  for (auto& a : channel_apps_)
+    if (a) retired_channel_apps_.push_back(std::move(a));
+  build_replicas();
+  for (auto& r : shard_replicas_) r->start();
+  for (auto& r : channel_replicas_)
+    if (r) r->start();
+
+  // 7. Reset per-epoch engine state.  Persistent: store, chain, locks (empty
+  //    after the sweep), seen_client, finished, deferred fees.  Epoch-scoped:
+  //    mempools, gathers, dedup keyed by restarting heights, outcome caches.
+  telemetry::PhaseTracer* tracer = telemetry_ == nullptr ? nullptr : &telemetry_->tracer;
+  for (auto& s : shards_) {
+    s->determine.clear();
+    s->commits.clear();
+    s->transfers.clear();
+    s->visits.clear();
+    s->dead_gathers.clear();
+    s->gather = GatherUnit{};
+    s->gather.tracer = tracer;
+    s->gather.tracer_key = s->id.value;
+    s->grant_dedup.clear();
+    s->result_dedup.clear();
+    s->continuation_dedup.clear();
+    s->outcomes.clear();
+    s->next_process_height = 0;
+  }
+  for (auto& c : channels_) {
+    c->gather = GatherUnit{};
+    c->gather.tracer = tracer;
+    c->gather.tracer_key = c->id.value;
+    c->grant_dedup.clear();
+    c->outcomes.clear();
+    c->next_process_height = 0;
+  }
+
+  // 8. Carry the mempool/tracker across: re-ingest every force-aborted tx
+  //    with its original submit timestamp and submission count intact.
+  for (const auto& h : requeue) {
+    const auto it = tx_for_result_.find(h);
+    if (it != tx_for_result_.end()) reingest(it->second);
+  }
+  epoch_stats_.txs_requeued += requeue.size();
+  ++epoch_stats_.transitions;
+  if (telemetry_ != nullptr) {
+    auto& reg = telemetry_->registry;
+    reg.counter("epoch.transitions").inc();
+    reg.counter("epoch.txs_requeued").inc(requeue.size());
+    reg.histogram("epoch.drain_duration_us").record(now - drain_started_at_);
+  }
+  schedule_epoch_cycle();
+}
+
+void JengaSystem::reingest(const TxPtr& tx) {
+  const auto involved = involved_shards(*tx);
+  if (const auto it = tracker_.find(tx->hash); it != tracker_.end()) {
+    it->second.shards_left = static_cast<std::uint32_t>(involved.size());
+    it->second.aborted = false;  // the force-abort is procedural, not an outcome
+  }
+  if (tx->kind == TxKind::kTransfer) {
+    const ShardId src = ledger::shard_of_account(tx->sender, config_.num_shards);
+    shards_[src.value]->transfers.push_back(TransferItem{tx, 0});
+    return;
+  }
+  const SimTime now = sim_.now();
+  // `seen_client` still holds the hash (by design — late client copies must
+  // stay deduped), so feed the mempools directly.
+  for (ShardId s : involved) shards_[s.value]->determine.push_back(DetermineItem{tx, 0});
+  switch (config_.pipeline) {
+    case Pipeline::kFull: {
+      const ChannelId target = ledger::channel_of_tx(tx->hash, config_.num_shards);
+      channels_[target.value]->gather.on_tx(tx, involved.size(), now);
+      break;
+    }
+    case Pipeline::kNoLattice: {
+      const ShardId exec{
+          static_cast<std::uint32_t>(tx->hash.prefix_u64() % config_.num_shards)};
+      shards_[exec.value]->gather.on_tx(tx, involved.size(), now);
+      break;
+    }
+    case Pipeline::kNoGlobalLogic: {
+      const ShardId first = ledger::shard_of_contract(
+          tx->contracts[tx->steps.front().contract_slot], config_.num_shards);
+      shards_[first.value]->gather.on_tx(tx, involved.size(), now);
+      break;
+    }
   }
 }
 

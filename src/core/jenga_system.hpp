@@ -30,6 +30,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -39,6 +40,7 @@
 
 #include "common/stats.hpp"
 #include "consensus/bft.hpp"
+#include "core/epoch.hpp"
 #include "core/lattice.hpp"
 #include "core/protocol_messages.hpp"
 #include "ledger/block.hpp"
@@ -72,6 +74,37 @@ struct JengaConfig {
   /// Worker threads for batch transaction execution (src/exec/).  Results are
   /// bit-identical for every value; 1 = serial, no threads spawned.
   std::uint32_t exec_workers = 1;
+
+  // --- Live epoch reconfiguration (paper §V-D) -----------------------------
+  /// > 0: reshuffle the lattice every `epoch_interval` of simulated time.
+  /// 0 (default) disables reconfiguration entirely — the lattice is built
+  /// once and every run is bit-identical to the pre-epoch behaviour.
+  SimTime epoch_interval = 0;
+  /// Bounded drain window before each cutover: shards stop admitting new
+  /// Phase-1 work while in-flight transactions finish.
+  SimTime epoch_drain_window = 10 * kSecond;
+  /// How long before the cutover the beacon round starts (VRF contributions
+  /// gossiped as real messages; the quorum must land within this lead).
+  SimTime epoch_beacon_lead = 20 * kSecond;
+  /// Contributions required to finalize the beacon; 0 = 2N/3 + 1.
+  std::size_t epoch_min_contributions = 0;
+  /// VDF difficulty for the beacon finalize (small values keep tests fast;
+  /// the paper's deployment would use hours' worth of sequential squarings).
+  std::uint64_t epoch_vdf_iterations = 256;
+  std::size_t epoch_vdf_checkpoints = 8;
+};
+
+/// Counters for the reconfiguration subsystem (mirrored into telemetry as
+/// `epoch.*`; audited by security::check_invariants).
+struct EpochStats {
+  std::uint64_t transitions = 0;           // completed cutovers
+  std::uint64_t txs_requeued = 0;          // force-aborted at a boundary and re-ingested
+  std::uint64_t contributions_accepted = 0;
+  std::uint64_t contributions_rejected = 0;  // bad proof / wrong epoch / unknown node
+  std::uint64_t postponements = 0;         // cutover retries (quorum or drain not ready)
+  /// Boundary audit failures — both must stay 0 under every fault schedule.
+  std::uint64_t boundary_lock_leaks = 0;       // locks alive after the force-abort sweep
+  std::uint64_t boundary_balance_mismatches = 0;  // conservation broken at a boundary
 };
 
 struct Genesis {
@@ -113,6 +146,21 @@ class JengaSystem {
   /// digests at the same height.  Must stay 0 under every fault schedule.
   [[nodiscard]] std::uint64_t divergent_decides() const { return divergent_decides_; }
 
+  /// Current epoch index (0 until the first live reshuffle completes).
+  [[nodiscard]] std::uint64_t current_epoch() const { return epoch_; }
+  [[nodiscard]] const EpochStats& epoch_stats() const { return epoch_stats_; }
+  /// True while a reshuffle's drain window is open (shards hold new Phase-1
+  /// work; in-flight transactions are finishing).
+  [[nodiscard]] bool draining() const { return draining_; }
+
+  /// Registers a hook invoked inside each epoch cutover, after the old
+  /// lattice stopped and before the new one starts: the moment boundary churn
+  /// (crashing departing nodes / reviving joiners) belongs to.  The hook gets
+  /// the new epoch index and may toggle node up/down state on the network.
+  void set_epoch_boundary_hook(std::function<void(std::uint64_t)> hook) {
+    boundary_hook_ = std::move(hook);
+  }
+
   /// Canonical digest over every shard's chain tip and state store — the
   /// ledger root the determinism tests compare across exec worker counts.
   [[nodiscard]] Hash256 ledger_digest() const;
@@ -152,6 +200,41 @@ class JengaSystem {
   [[nodiscard]] std::vector<ShardId> involved_shards(const ledger::Transaction& tx) const;
   [[nodiscard]] NodeId shard_contact(ShardId s) const;
   [[nodiscard]] NodeId channel_contact(ChannelId c) const;
+  /// Epoch-salted consensus group tags: heights restart at 0 after each
+  /// reshuffle, so the (tag, height) space must be disjoint across epochs.
+  [[nodiscard]] std::uint64_t shard_tag(ShardId s) const;
+  [[nodiscard]] std::uint64_t channel_tag(ChannelId c) const;
+
+  // --- Epoch reconfiguration ------------------------------------------------
+  /// (Re)creates every node's shard/channel replica + app from the current
+  /// lattice and epoch (shared per-group configs, epoch-salted tags/seeds),
+  /// reapplying Byzantine roles and telemetry.  Does not start them.
+  void build_replicas();
+  /// Schedules the next beacon round, drain start, and cutover attempt,
+  /// `epoch_interval` from now.
+  void schedule_epoch_cycle();
+  /// Every live, non-silent node evaluates its VRF over the beacon input and
+  /// gossips the contribution to the whole network.
+  void start_beacon_round(std::uint64_t target_epoch);
+  void handle_epoch_contribution(const sim::Message& msg);
+  /// Opens the drain window: parks queued Phase-1 work (new state
+  /// determinations, new 2PC rounds) so only in-flight work runs down.
+  void begin_drain(std::uint64_t target_epoch);
+  /// Cutover preconditions: beacon quorum reached, no transaction with a
+  /// partially-applied outcome, no 2PC round mid-flight.  Retries on a short
+  /// timer until they hold, then performs the cutover.
+  void try_cutover(std::uint64_t target_epoch);
+  void perform_cutover(std::uint64_t target_epoch);
+  /// Beacon quorum size: config override, or 2N/3 + 1.
+  [[nodiscard]] std::size_t min_contributions() const;
+  /// Answers a grant that arrived after its transaction's gather entry already
+  /// expired (the grants-then-no-tx case): sends a single abort result back to
+  /// the granting shard so its Phase-1 locks release.
+  void answer_dead_grant(GatherUnit& gather, std::uint32_t responder_group, NodeId node,
+                         const StateGrant& grant);
+  /// Re-ingests a force-aborted transaction into the (new-epoch) mempools and
+  /// gathers, preserving its tracker entry and submit timestamp.
+  void reingest(const TxPtr& tx);
   void on_node_message(NodeId node, const sim::Message& msg);
   void handle_client_tx(NodeId node, const sim::Message& msg);
   void handle_grant_batch(NodeId node, const sim::Message& msg);
@@ -224,6 +307,33 @@ class JengaSystem {
   std::uint64_t divergent_decides_ = 0;
 
   std::uint64_t contact_rr_ = 0;  // round-robin over members for client entry
+
+  // --- Epoch reconfiguration state -----------------------------------------
+  std::uint64_t epoch_ = 0;
+  std::unique_ptr<EpochManager> epoch_mgr_;
+  std::vector<crypto::KeyPair> beacon_keys_;  // per-node VRF keys
+  std::vector<NodeId> all_nodes_;             // beacon gossip group
+  EpochStats epoch_stats_;
+  bool draining_ = false;
+  SimTime drain_started_at_ = 0;
+  /// Sum of genesis balances; the boundary conservation audit's baseline.
+  std::uint64_t initial_balance_ = 0;
+  /// Cross-shard transfers whose debit applied but whose 2PC round has not
+  /// finalized; the cutover waits for this to empty (a force-abort here would
+  /// either lose or double the debit).
+  std::unordered_set<Hash256> twopc_inflight_;
+  /// Client-tx hashes already re-routed once after landing on a node whose
+  /// new-epoch assignment no longer matches the submit-time contact.
+  std::unordered_set<Hash256> rerouted_;
+  /// Byzantine roles survive reshuffles (the adversary corrupts nodes, not
+  /// seats); reapplied to freshly built replicas.
+  std::unordered_map<std::uint32_t, consensus::ByzantineMode> byz_modes_;
+  /// Stopped pre-reshuffle replicas/apps.  Scheduled lambdas capture replica
+  /// pointers, so these stay allocated until the system is destroyed.
+  std::vector<std::unique_ptr<consensus::Replica>> retired_replicas_;
+  std::vector<std::unique_ptr<ShardApp>> retired_shard_apps_;
+  std::vector<std::unique_ptr<ChannelApp>> retired_channel_apps_;
+  std::function<void(std::uint64_t)> boundary_hook_;
 
   telemetry::Telemetry* telemetry_ = nullptr;
 };

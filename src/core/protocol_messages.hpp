@@ -49,6 +49,10 @@ struct ExecResult {
 struct GrantBatchPayload : sim::Payload {
   ShardId source;
   std::uint64_t shard_height = 0;  // dedup key together with `source`
+  /// Epoch the granting shard decided in.  A batch still in flight when the
+  /// lattice reshuffles is stale — its transactions were force-aborted and
+  /// requeued at the boundary — and must not seed a new-epoch gather.
+  std::uint64_t epoch = 0;
   std::vector<StateGrant> grants;
   /// kNoGlobalLogic: the batch ultimately lands on this shard; channel nodes
   /// in subgroup(relay_target, channel) rebroadcast when hops > 0.
@@ -67,6 +71,10 @@ struct GrantBatchPayload : sim::Payload {
 struct ResultBatchPayload : sim::Payload {
   ChannelId source;                 // source group id (channel, or shard id reused)
   std::uint64_t channel_height = 0;
+  /// Epoch the executing group decided in (same staleness rule as grants:
+  /// results that straddle a reshuffle would commit an execution of a tx the
+  /// boundary already aborted and requeued).
+  std::uint64_t epoch = 0;
   ShardId target;
   std::vector<ExecResult> results;
   std::uint8_t hops = 0;  // >0: relayed via a channel, subgroup rebroadcasts
@@ -84,6 +92,9 @@ struct TxPayload : sim::Payload {
 };
 
 /// Transfer-transaction 2PC messages (the "traditional scheme" of §V-D).
+/// Deliberately NOT epoch-tagged: a prepared transfer has already debited the
+/// sender, so its commit leg must land even if it crosses a reshuffle (the
+/// epoch cutover waits for in-flight 2PC rounds to finish for this reason).
 struct TwoPcPayload : sim::Payload {
   TxPtr tx;
   bool commit = false;  // false: prepare leg, true: commit/ack leg

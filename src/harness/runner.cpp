@@ -91,6 +91,12 @@ RunResult run_experiment(const RunConfig& config) {
       jc.seed = config.seed;
       jc.max_block_items = config.max_block_items;
       jc.exec_workers = config.exec_workers;
+      jc.epoch_interval = config.epoch_interval;
+      jc.epoch_drain_window = config.epoch_drain_window;
+      jc.epoch_beacon_lead = config.epoch_beacon_lead;
+      jc.epoch_min_contributions = config.epoch_min_contributions;
+      jc.epoch_vdf_iterations = config.epoch_vdf_iterations;
+      jc.epoch_vdf_checkpoints = config.epoch_vdf_checkpoints;
       jc.pipeline = config.kind == SystemKind::kJenga ? core::Pipeline::kFull
                     : config.kind == SystemKind::kJengaNoLattice
                         ? core::Pipeline::kNoLattice
@@ -205,6 +211,10 @@ RunResult run_experiment(const RunConfig& config) {
   result.nodes_per_shard = k;
   result.total_nodes = k * config.num_shards;
   result.ledger_digest = jenga ? jenga->ledger_digest() : baseline->ledger_digest();
+  if (jenga) {
+    result.epoch_transitions = jenga->epoch_stats().transitions;
+    result.epoch_txs_requeued = jenga->epoch_stats().txs_requeued;
+  }
 
   // Fold the run-level counters into the registry so one metrics snapshot
   // carries the whole picture (traffic, faults, outcome counts).
@@ -221,6 +231,10 @@ RunResult run_experiment(const RunConfig& config) {
   reg.counter("net.faults.down_blocked").set(result.faults.down_blocked);
   reg.counter("tx.submitted").set(result.stats.submitted);
   reg.counter("sim.events").set(result.sim_events);
+  if (result.epoch_transitions > 0) {
+    reg.counter("epoch.transitions").set(result.epoch_transitions);
+    reg.counter("epoch.txs_requeued").set(result.epoch_txs_requeued);
+  }
 
   result.breakdown = telemetry->tracer.breakdown();
   result.telemetry = telemetry;

@@ -55,6 +55,15 @@ struct RunConfig {
   sim::NetConfig net;
   /// Non-empty: write the full JSONL telemetry trace here after the run.
   std::string trace_out;
+
+  // --- Live epoch reconfiguration (Jenga kinds only; baselines ignore) ----
+  /// > 0: reshuffle the lattice every `epoch_interval` of simulated time.
+  SimTime epoch_interval = 0;
+  SimTime epoch_drain_window = 10 * kSecond;
+  SimTime epoch_beacon_lead = 20 * kSecond;
+  std::size_t epoch_min_contributions = 0;  // 0 = 2N/3 + 1
+  std::uint64_t epoch_vdf_iterations = 256;
+  std::size_t epoch_vdf_checkpoints = 8;
 };
 
 struct RunResult {
@@ -72,6 +81,10 @@ struct RunResult {
   /// Canonical digest over every shard's chain tip and state store at run
   /// end — what the determinism tests compare across exec worker counts.
   Hash256 ledger_digest{};
+  /// Reconfigurations completed during the run and transactions carried
+  /// across a boundary (both 0 unless epoch_interval > 0 on a Jenga kind).
+  std::uint64_t epoch_transitions = 0;
+  std::uint64_t epoch_txs_requeued = 0;
   /// Every run is instrumented (telemetry is cheap enough to stay on): the
   /// full metric registry / tracer / message telemetry, and the per-phase
   /// latency breakdown derived from the tracer.

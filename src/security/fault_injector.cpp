@@ -41,6 +41,23 @@ void FaultInjector::arm(FaultPlan plan) {
     ++events_armed_;
   }
 
+  if (!plan_.epoch_churn.empty()) {
+    // One hook dispatches every scheduled churn entry; it fires inside the
+    // cutover, after the old lattice's replicas stopped and before the new
+    // ones start, so departures/arrivals are atomic with the reshuffle.
+    sys_.set_epoch_boundary_hook([this](std::uint64_t epoch) {
+      for (const auto& churn : plan_.epoch_churn) {
+        if (churn.epoch != epoch) continue;
+        for (NodeId n : churn.crash) net_.set_node_down(n, true);
+        // Revived nodes need no explicit catch-up here: the hook fires before
+        // the new lattice's replicas are built, and every new replica starts
+        // the epoch's consensus from height zero anyway.
+        for (NodeId n : churn.revive) net_.set_node_down(n, false);
+      }
+    });
+    events_armed_ += plan_.epoch_churn.size();
+  }
+
   for (const auto& hit : plan_.assassinations) {
     sim_.schedule_at(hit.at, [this, shard = hit.shard, at = hit.at,
                               recover_at = hit.recover_at] {
@@ -67,7 +84,13 @@ std::string InvariantReport::describe() const {
       << (balance_conserved() ? " (ok)" : " (VIOLATION)") << "\n";
   out << "divergent_decides=" << divergent_decides
       << (divergent_decides == 0 ? " (ok)" : " (VIOLATION)") << "\n";
-  out << "limbo_txs=" << limbo_txs << (limbo_txs == 0 ? " (ok)" : " (VIOLATION)");
+  out << "limbo_txs=" << limbo_txs << (limbo_txs == 0 ? " (ok)" : " (VIOLATION)") << "\n";
+  out << "boundary_lock_leaks=" << boundary_lock_leaks
+      << (boundary_lock_leaks == 0 ? " (ok)" : " (VIOLATION)") << "\n";
+  out << "boundary_balance_mismatches=" << boundary_balance_mismatches
+      << (boundary_balance_mismatches == 0 ? " (ok)" : " (VIOLATION)") << "\n";
+  out << "epoch_transitions=" << epoch_transitions << " txs_requeued=" << txs_requeued
+      << " (info)";
   return out.str();
 }
 
@@ -79,6 +102,11 @@ InvariantReport check_invariants(const core::JengaSystem& sys,
   report.actual_balance = sys.total_account_balance();
   report.divergent_decides = sys.divergent_decides();
   report.limbo_txs = sys.in_flight();
+  const auto& epoch = sys.epoch_stats();
+  report.boundary_lock_leaks = epoch.boundary_lock_leaks;
+  report.boundary_balance_mismatches = epoch.boundary_balance_mismatches;
+  report.epoch_transitions = epoch.transitions;
+  report.txs_requeued = epoch.txs_requeued;
   return report;
 }
 

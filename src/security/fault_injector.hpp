@@ -3,9 +3,10 @@
 // A FaultPlan is a declarative schedule of adversarial events over simulation
 // time: link-fault profile ramps (drop/duplicate/delay), bidirectional
 // partition windows, crash/recover churn, static Byzantine role assignments,
-// and leader assassination (crash whichever node leads a shard at a chosen
-// moment).  FaultInjector::arm() translates the plan into simulator events
-// once; the same plan + the same seed replays bit-identically.
+// leader assassination (crash whichever node leads a shard at a chosen
+// moment), and epoch-boundary churn (nodes departing/rejoining exactly at a
+// reconfiguration cutover).  FaultInjector::arm() translates the plan into
+// simulator events once; the same plan + the same seed replays bit-identically.
 //
 // After the run drains, check_invariants() audits the safety properties that
 // must hold under ANY fault schedule the protocol claims to tolerate:
@@ -66,16 +67,27 @@ struct LeaderAssassination {
   SimTime recover_at = 0;
 };
 
+/// Node churn executed atomically inside epoch `epoch`'s cutover, between the
+/// old lattice stopping and the new one starting: `crash` nodes depart,
+/// `revive` nodes rejoin (and immediately state-sync into whatever group the
+/// new lattice assigns them to).
+struct EpochBoundaryChurn {
+  std::uint64_t epoch = 0;
+  std::vector<NodeId> crash;
+  std::vector<NodeId> revive;
+};
+
 struct FaultPlan {
   std::vector<FaultRamp> ramps;
   std::vector<PartitionWindow> partitions;
   std::vector<CrashWindow> crashes;
   std::vector<ByzantineAssignment> byzantine;
   std::vector<LeaderAssassination> assassinations;
+  std::vector<EpochBoundaryChurn> epoch_churn;
 
   [[nodiscard]] std::size_t event_count() const {
     return ramps.size() + partitions.size() + crashes.size() + byzantine.size() +
-           assassinations.size();
+           assassinations.size() + epoch_churn.size();
   }
 };
 
@@ -108,11 +120,19 @@ struct InvariantReport {
   std::uint64_t actual_balance = 0;
   std::uint64_t divergent_decides = 0;
   std::size_t limbo_txs = 0;
+  /// Epoch-boundary audits (performed by the system at every cutover, after
+  /// the force-abort sweep and before the new lattice starts).
+  std::uint64_t boundary_lock_leaks = 0;
+  std::uint64_t boundary_balance_mismatches = 0;
+  /// Informational: how many reconfigurations the run survived, and how many
+  /// in-flight transactions were carried across a boundary.
+  std::uint64_t epoch_transitions = 0;
+  std::uint64_t txs_requeued = 0;
 
   [[nodiscard]] bool balance_conserved() const { return expected_balance == actual_balance; }
   [[nodiscard]] bool ok() const {
     return leaked_locks == 0 && balance_conserved() && divergent_decides == 0 &&
-           limbo_txs == 0;
+           limbo_txs == 0 && boundary_lock_leaks == 0 && boundary_balance_mismatches == 0;
   }
   /// Human-readable one-per-line summary (for test failure output and the
   /// resilience benchmark report).

@@ -40,6 +40,9 @@ enum class MsgType : std::uint16_t {
   kMergedCommit = 42,    // Pyramid: cross-shard commit round after merged execution
   kTwoPcPrepare = 43,    // transfer txs: classic 2PC prepare
   kTwoPcCommit = 44,     // transfer txs: classic 2PC commit
+
+  // Epoch reconfiguration (paper §V-D)
+  kEpochVrf = 50,        // a member's VRF contribution to the next epoch's beacon
 };
 
 /// Human-readable name for a message type (telemetry export); nullptr for
@@ -65,6 +68,7 @@ enum class MsgType : std::uint16_t {
     case MsgType::kMergedCommit: return "merged_commit";
     case MsgType::kTwoPcPrepare: return "twopc_prepare";
     case MsgType::kTwoPcCommit: return "twopc_commit";
+    case MsgType::kEpochVrf: return "epoch_vrf";
   }
   return nullptr;
 }

@@ -108,6 +108,39 @@ TEST_F(EpochTest, ReshuffleChangesAssignments) {
   }
 }
 
+TEST_F(EpochTest, ProofOverWrongEpochInputRejected) {
+  // A proof honestly generated over epoch 2's beacon input, then relabeled as
+  // an epoch-1 contribution: the envelope's epoch number matches what the
+  // manager expects, but the VRF was evaluated over the wrong input.
+  const EpochId next{1};
+  const auto c = mgr_->contribute(NodeId{0}, keys_[0], EpochId{2});
+  EXPECT_FALSE(mgr_->accept(c, next));
+  EXPECT_EQ(mgr_->contributions(), 0u);
+}
+
+TEST_F(EpochTest, AdversarialArrivalOrderDoesNotBiasBeacon) {
+  // The combine must be order-independent: an adversary controlling delivery
+  // order (and replaying duplicates in between) cannot steer the randomness.
+  const EpochId next{1};
+  std::vector<RandomnessContribution> cs;
+  for (std::uint64_t i = 0; i < 5; ++i)
+    cs.push_back(mgr_->contribute(NodeId{static_cast<std::uint32_t>(i)}, keys_[i], next));
+
+  EpochManager forward(pubs_, 256, 8);
+  for (const auto& c : cs) ASSERT_TRUE(forward.accept(c, next));
+  EpochManager reversed(pubs_, 256, 8);
+  for (auto it = cs.rbegin(); it != cs.rend(); ++it) {
+    ASSERT_TRUE(reversed.accept(*it, next));
+    EXPECT_FALSE(reversed.accept(*it, next));  // interleaved replay changes nothing
+  }
+
+  const auto r1 = forward.advance_epoch(5);
+  const auto r2 = reversed.advance_epoch(5);
+  ASSERT_TRUE(r1.has_value());
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(*r1, *r2);
+}
+
 TEST_F(EpochTest, SingleHonestContributorRandomizes) {
   // Two adversarial members copy each other's beta; XOR of their pair
   // cancels, but one honest contribution still produces fresh randomness.
