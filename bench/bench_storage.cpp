@@ -1,0 +1,306 @@
+// Storage sweep: the durable authenticated state layer at 10^4..10^6
+// accounts.  For each scale the bench measures trie build throughput,
+// incremental vs from-scratch root maintenance, WAL + snapshot volume,
+// crash-recovery time (durable view -> verified reopen), and Merkle proof
+// size/verification rate — over the deterministic in-memory disk and, for
+// the I/O-bound rows, a real directory with real fsyncs (PosixStorageEnv).
+//
+// Correctness shapes double as the acceptance bar for the durability issue:
+// recovery lands on the exact pre-crash digest, the durable and in-memory
+// backends stay bit-identical, and every sampled proof verifies.
+// JENGA_STORAGE_QUICK=1 shrinks the sweep for CI smoke runs.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "ledger/state_store.hpp"
+#include "ledger/storage_backend.hpp"
+#include "ledger/storage_env.hpp"
+#include "ledger/trie.hpp"
+#include "report.hpp"
+
+namespace {
+
+using namespace jenga;
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+}
+
+bool quick_mode() {
+  const char* env = std::getenv("JENGA_STORAGE_QUICK");
+  return env != nullptr && std::strcmp(env, "1") == 0;
+}
+
+struct Row {
+  std::uint64_t accounts = 0;
+  double build_ms = 0;        // create accounts + periodic commits, durable env
+  double build_per_s = 0;     // accounts/s through trie + WAL
+  double root_incr_ms = 0;    // root() after a small update batch (cached)
+  double root_full_ms = 0;    // recompute_root() from scratch
+  std::uint64_t wal_bytes = 0;
+  std::uint64_t snapshot_bytes = 0;
+  std::uint64_t snapshots = 0;
+  double recovery_ms = 0;     // durable view -> DurableBackend::load -> verified open
+  std::uint64_t replayed_records = 0;
+  bool recovered_exact = false;  // recovered digest == live digest
+  bool oracle_match = false;     // durable digest == in-memory-backend digest
+  double proof_depth_avg = 0;
+  double proof_bytes_avg = 0;
+  double verify_per_s = 0;
+  bool proofs_ok = false;
+  double posix_build_ms = -1;    // real files + real fsync (-1 = not run)
+  double posix_recovery_ms = -1;
+};
+
+constexpr std::uint32_t kSnapshotInterval = 8;
+
+/// Accounts per commit batch: ~100 commits per row, so every row crosses the
+/// snapshot interval several times and recovery mixes snapshot + WAL replay.
+std::uint64_t commit_stride(std::uint64_t accounts) {
+  return std::max<std::uint64_t>(1'000, accounts / 100);
+}
+
+void build_accounts(ledger::StateStore& store, std::uint64_t n) {
+  const std::uint64_t stride = commit_stride(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    store.create_account(AccountId{i}, 1'000 + i);
+    if ((i + 1) % stride == 0) store.commit();
+  }
+  store.commit();
+}
+
+Row run_scale(std::uint64_t accounts, bool with_posix) {
+  Row row;
+  row.accounts = accounts;
+
+  ledger::MemStorageEnv env;
+  auto opened = ledger::StateStore::open(std::make_unique<ledger::DurableBackend>(
+      &env, ledger::DurableOptions{.snapshot_interval = kSnapshotInterval}));
+  if (!opened.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", opened.error().c_str());
+    std::exit(1);
+  }
+  ledger::StateStore store = std::move(opened.value());
+
+  auto t0 = Clock::now();
+  build_accounts(store, accounts);
+  row.build_ms = ms_since(t0);
+  row.build_per_s = accounts / (row.build_ms / 1000.0);
+  row.wal_bytes = store.backend()->stats().wal_bytes;
+  row.snapshot_bytes = store.backend()->stats().snapshot_bytes;
+  row.snapshots = store.backend()->stats().snapshots_written;
+  const Hash256 live_digest = store.digest();
+
+  // Bit-identity oracle at this scale: same writes through the trivial
+  // backend must land on the same root.
+  {
+    auto mem = ledger::StateStore::open(std::make_unique<ledger::InMemoryBackend>());
+    build_accounts(mem.value(), accounts);
+    row.oracle_match = mem.value().digest() == live_digest;
+  }
+
+  // Incremental root maintenance: touch a scattered 1% (cap 1000) of the
+  // keys, then time the cached root against a from-scratch recompute.
+  {
+    const std::uint64_t updates = std::min<std::uint64_t>(1000, accounts / 100 + 1);
+    Rng rng(42);
+    for (std::uint64_t u = 0; u < updates; ++u)
+      store.set_balance(AccountId{rng.uniform(accounts)}, rng.uniform(1'000'000));
+    t0 = Clock::now();
+    const Hash256 incr = store.digest();
+    row.root_incr_ms = ms_since(t0);
+    t0 = Clock::now();
+    const Hash256 full = store.trie().recompute_root();
+    row.root_full_ms = ms_since(t0);
+    if (!(incr == full)) {
+      std::fprintf(stderr, "incremental root diverged from recompute\n");
+      std::exit(1);
+    }
+    store.commit();
+  }
+  const Hash256 final_digest = store.digest();
+
+  // Crash recovery: reopen from the durable images alone, WAL replay + root
+  // verification included.
+  {
+    auto view = env.durable_view();
+    t0 = Clock::now();
+    auto backend = std::make_unique<ledger::DurableBackend>(
+        view.get(), ledger::DurableOptions{.snapshot_interval = kSnapshotInterval});
+    auto recovered = ledger::StateStore::open(std::move(backend));
+    row.recovery_ms = ms_since(t0);
+    if (recovered.ok()) {
+      row.replayed_records = recovered.value().backend()->stats().replayed_records;
+      row.recovered_exact = recovered.value().digest() == final_digest;
+    }
+  }
+
+  // Proofs: sample 1000 keys, measure depth/size and verification rate.
+  {
+    const std::uint64_t samples = std::min<std::uint64_t>(1000, accounts);
+    Rng rng(7);
+    std::vector<std::pair<Hash256, Hash256>> targets;  // (path, value hash)
+    std::vector<ledger::TrieProof> proofs;
+    targets.reserve(samples);
+    proofs.reserve(samples);
+    double depth_sum = 0;
+    double bytes_sum = 0;
+    for (std::uint64_t s = 0; s < samples; ++s) {
+      const AccountId id{rng.uniform(accounts)};
+      const auto key = ledger::state_key_account(id);
+      ledger::TrieProof proof;
+      if (!store.prove(key, proof)) continue;
+      depth_sum += static_cast<double>(proof.depth());
+      bytes_sum += static_cast<double>(proof.wire_size());
+      targets.emplace_back(ledger::state_path(key),
+                           ledger::state_value_hash(
+                               ledger::encode_account_value(*store.balance(id))));
+      proofs.push_back(std::move(proof));
+    }
+    row.proof_depth_avg = depth_sum / static_cast<double>(proofs.size());
+    row.proof_bytes_avg = bytes_sum / static_cast<double>(proofs.size());
+    t0 = Clock::now();
+    bool all_ok = true;
+    for (std::size_t i = 0; i < proofs.size(); ++i)
+      all_ok = all_ok && ledger::MerkleTrie::verify(final_digest, targets[i].first,
+                                                    targets[i].second, proofs[i]);
+    const double verify_ms = ms_since(t0);
+    row.proofs_ok = all_ok && proofs.size() == samples;
+    row.verify_per_s = static_cast<double>(proofs.size()) / (verify_ms / 1000.0);
+  }
+
+  // Real I/O row: same build over actual files with actual fsyncs, so the
+  // numbers reflect a disk, not a vector push_back.  The directory lives
+  // under the working directory and is removed afterwards.
+  if (with_posix) {
+    const std::string dir = "bench_storage_posix.tmp";
+    std::filesystem::remove_all(dir);
+    {
+      ledger::PosixStorageEnv posix(dir);
+      auto pstore = ledger::StateStore::open(std::make_unique<ledger::DurableBackend>(
+          &posix, ledger::DurableOptions{.snapshot_interval = kSnapshotInterval}));
+      t0 = Clock::now();
+      build_accounts(pstore.value(), accounts);
+      row.posix_build_ms = ms_since(t0);
+    }
+    {
+      ledger::PosixStorageEnv posix(dir);
+      t0 = Clock::now();
+      auto recovered = ledger::StateStore::open(std::make_unique<ledger::DurableBackend>(
+          &posix, ledger::DurableOptions{.snapshot_interval = kSnapshotInterval}));
+      row.posix_recovery_ms = ms_since(t0);
+      if (!recovered.ok() || !(recovered.value().digest() == live_digest))
+        row.recovered_exact = false;  // posix recovery must agree too
+    }
+    std::filesystem::remove_all(dir);
+  }
+  return row;
+}
+
+std::string to_json(const std::vector<Row>& rows) {
+  std::ostringstream out;
+  out << "{\"bench\":\"storage\",\"snapshot_interval\":" << kSnapshotInterval << ",\"rows\":[";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    char buf[640];
+    std::snprintf(buf, sizeof(buf),
+                  "{\"accounts\":%llu,\"build_ms\":%.1f,\"build_per_s\":%.0f,"
+                  "\"root_incremental_ms\":%.3f,\"root_full_ms\":%.1f,"
+                  "\"wal_bytes\":%llu,\"snapshot_bytes\":%llu,\"snapshots\":%llu,"
+                  "\"recovery_ms\":%.1f,\"replayed_records\":%llu,"
+                  "\"recovered_exact\":%s,\"oracle_match\":%s,"
+                  "\"proof_depth_avg\":%.2f,\"proof_bytes_avg\":%.0f,"
+                  "\"verify_per_s\":%.0f,\"proofs_ok\":%s,"
+                  "\"posix_build_ms\":%.1f,\"posix_recovery_ms\":%.1f}",
+                  static_cast<unsigned long long>(r.accounts), r.build_ms, r.build_per_s,
+                  r.root_incr_ms, r.root_full_ms,
+                  static_cast<unsigned long long>(r.wal_bytes),
+                  static_cast<unsigned long long>(r.snapshot_bytes),
+                  static_cast<unsigned long long>(r.snapshots), r.recovery_ms,
+                  static_cast<unsigned long long>(r.replayed_records),
+                  r.recovered_exact ? "true" : "false", r.oracle_match ? "true" : "false",
+                  r.proof_depth_avg, r.proof_bytes_avg, r.verify_per_s,
+                  r.proofs_ok ? "true" : "false", r.posix_build_ms, r.posix_recovery_ms);
+    out << (i ? "," : "") << buf;
+  }
+  out << "]}";
+  return out.str();
+}
+
+}  // namespace
+
+int main() {
+  using namespace jenga::bench;
+
+  header("Durable authenticated state — trie, WAL, snapshots, proofs",
+         "storage robustness issue; scaling context for paper Fig. 7");
+  ShapeReporter rep;
+
+  std::vector<std::uint64_t> scales = {10'000, 100'000, 1'000'000};
+  if (quick_mode()) {
+    std::printf("(JENGA_STORAGE_QUICK=1: 10^4 and 10^5 rows only)\n");
+    scales = {10'000, 100'000};
+  }
+
+  std::vector<Row> rows;
+  std::printf("%-10s %-10s %-11s %-10s %-10s %-10s %-10s %-9s %-8s %-10s\n", "accounts",
+              "build/s", "incr(ms)", "full(ms)", "wal(MB)", "snap(MB)", "recov(ms)",
+              "depth", "proofB", "verify/s");
+  for (std::uint64_t n : scales) {
+    const Row r = run_scale(n, /*with_posix=*/n <= 100'000);
+    std::printf("%-10llu %-10.0f %-11.3f %-10.1f %-10.2f %-10.2f %-10.1f %-9.2f %-8.0f %-10.0f\n",
+                static_cast<unsigned long long>(r.accounts), r.build_per_s, r.root_incr_ms,
+                r.root_full_ms, r.wal_bytes / 1e6, r.snapshot_bytes / 1e6, r.recovery_ms,
+                r.proof_depth_avg, r.proof_bytes_avg, r.verify_per_s);
+    std::fflush(stdout);
+    rows.push_back(r);
+  }
+  std::printf("\n");
+
+  bool recovered_exact = true;
+  bool oracle_match = true;
+  bool proofs_ok = true;
+  bool incr_wins = true;
+  for (const Row& r : rows) {
+    recovered_exact = recovered_exact && r.recovered_exact;
+    oracle_match = oracle_match && r.oracle_match;
+    proofs_ok = proofs_ok && r.proofs_ok;
+    // After a 1%-of-keys update batch the cached root must beat a full
+    // recompute comfortably; 2x is a deliberately loose floor for CI noise.
+    incr_wins = incr_wins && r.root_incr_ms * 2 < r.root_full_ms;
+  }
+  const Row& small = rows.front();
+  const Row& large = rows.back();
+
+  rep.check(recovered_exact, "recovery reproduces the exact pre-crash digest at every scale");
+  rep.check(oracle_match, "durable and in-memory backends are bit-identical at every scale");
+  rep.check(proofs_ok, "every sampled Merkle proof verifies under the final root");
+#ifdef NDEBUG
+  rep.check(incr_wins, "incremental root beats full recompute by >= 2x after a 1% update batch");
+#else
+  // Debug digest() asserts the cached root against a full recompute on every
+  // call, so the incremental timing is meaningless here.
+  (void)incr_wins;
+  std::printf("  shape SKIP | incremental-vs-full timing (debug build asserts inside digest)\n");
+#endif
+  rep.check(large.proof_depth_avg < small.proof_depth_avg + 4,
+            "proof depth grows logarithmically across a 10-100x account sweep");
+  rep.check(large.recovery_ms < large.build_ms,
+            "recovery is cheaper than rebuilding from scratch");
+
+  const std::string json = to_json(rows);
+  std::printf("\nJSON: %s\n", json.c_str());
+  std::ofstream("BENCH_storage.json") << json << "\n";
+  std::printf("wrote BENCH_storage.json\n");
+  return rep.finish("bench_storage");
+}

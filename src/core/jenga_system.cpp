@@ -7,6 +7,7 @@
 #include "crypto/sha256.hpp"
 #include "exec/engine.hpp"
 #include "ledger/placement.hpp"
+#include "ledger/state_sync.hpp"
 #include "vm/interpreter.hpp"
 
 namespace jenga::core {
@@ -298,6 +299,24 @@ JengaSystem::JengaSystem(sim::Simulator& sim, sim::Network& net, JengaConfig con
     shards_.push_back(std::make_unique<ShardEngine>(ShardId{s}));
     channels_.push_back(std::make_unique<ChannelEngine>(ChannelId{s}));
   }
+  if (config_.storage_backend != StorageBackendKind::kNone) {
+    for (std::uint32_t s = 0; s < config_.num_shards; ++s) {
+      std::unique_ptr<ledger::StorageBackend> backend;
+      if (config_.storage_backend == StorageBackendKind::kDurable) {
+        storage_envs_.push_back(std::make_unique<ledger::MemStorageEnv>());
+        ledger::DurableOptions opts;
+        opts.snapshot_interval = config_.storage_snapshot_interval;
+        backend = std::make_unique<ledger::DurableBackend>(storage_envs_.back().get(),
+                                                           std::move(opts));
+      } else {
+        backend = std::make_unique<ledger::InMemoryBackend>();
+      }
+      auto opened = ledger::StateStore::open(std::move(backend));
+      // A fresh backend always recovers to an empty store; only a programming
+      // error could fail here.
+      shards_[s]->store = std::move(opened.value());
+    }
+  }
   for (std::uint64_t a = 0; a < genesis.num_accounts; ++a) {
     const ShardId s = ledger::shard_of_account(AccountId{a}, config_.num_shards);
     shards_[s.value]->store.create_account(AccountId{a}, genesis.initial_balance);
@@ -438,6 +457,91 @@ void JengaSystem::set_node_byzantine(NodeId node, consensus::ByzantineMode mode)
 void JengaSystem::on_node_recovered(NodeId node) {
   shard_replicas_[node.value]->request_sync();
   if (channel_replicas_[node.value]) channel_replicas_[node.value]->request_sync();
+  if (config_.model_state_sync) model_recovery_sync(node, /*use_durable_image=*/true);
+}
+
+void JengaSystem::storage_torn_write(ShardId s, std::uint64_t keep_bytes) {
+  if (ledger::MemStorageEnv* env = storage_env(s))
+    env->arm_torn_write("state.wal", keep_bytes);
+}
+
+void JengaSystem::storage_drop_fsyncs(ShardId s, bool drop) {
+  if (ledger::MemStorageEnv* env = storage_env(s)) env->set_drop_fsyncs(drop);
+}
+
+void JengaSystem::storage_flip_bit(ShardId s, std::uint64_t bit_offset) {
+  if (ledger::MemStorageEnv* env = storage_env(s)) env->flip_bit("state.wal", bit_offset);
+}
+
+void JengaSystem::model_recovery_sync(NodeId node, bool use_durable_image) {
+  const Assignment asg = lattice_->assignment(node);
+  ShardEngine& eng = *shards_[asg.shard.value];
+  telemetry::MetricsRegistry* reg = telemetry_ == nullptr ? nullptr : &telemetry_->registry;
+  ++sync_stats_.syncs;
+  if (reg != nullptr) reg->counter("state_sync.syncs").inc();
+
+  // 1. Reopen whatever survived on the node's disk.  The durable view is a
+  //    clone of the synced images, so recovery never disturbs the live env.
+  //    A corrupt image (bit flip, diverged root) is refused outright and the
+  //    node syncs from scratch — never from poisoned state.
+  ledger::StateStore recovered;
+  std::unique_ptr<ledger::MemStorageEnv> view;
+  ledger::MemStorageEnv* env = use_durable_image ? storage_env(asg.shard) : nullptr;
+  if (env != nullptr) {
+    view = env->durable_view();
+    ledger::DurableOptions opts;
+    opts.snapshot_interval = config_.storage_snapshot_interval;
+    auto opened = ledger::StateStore::open(
+        std::make_unique<ledger::DurableBackend>(view.get(), std::move(opts)));
+    if (opened.ok()) {
+      recovered = std::move(opened.value());
+    } else {
+      ++sync_stats_.recovery_refusals;
+      if (reg != nullptr) reg->counter("storage.recovery_refusals").inc();
+    }
+  }
+
+  const Hash256 group_root = eng.store.digest();
+  if (recovered.digest() == group_root) {
+    ++sync_stats_.already_current;
+    if (reg != nullptr) reg->counter("state_sync.already_current").inc();
+    return;
+  }
+
+  // 2. Proof-verified delta sync: peers serve a snapshot with a per-key
+  //    Merkle proof under the advertised root.  A Byzantine peer tampers
+  //    deterministically; verification rejects it and the node moves on.
+  bool synced = false;
+  for (NodeId peer : lattice_->shard_members(asg.shard)) {
+    if (peer == node || net_.node_down(peer)) continue;
+    ledger::SyncSnapshot snap = ledger::build_sync_snapshot(eng.store);
+    const auto byz = byz_modes_.find(peer.value);
+    if (byz != byz_modes_.end() && byz->second != consensus::ByzantineMode::kHonest)
+      ledger::tamper_sync_snapshot(snap, node.value + peer.value);
+    const ledger::SyncOutcome outcome = ledger::apply_sync_snapshot(snap, recovered);
+    sync_stats_.keys_verified += outcome.keys_verified;
+    sync_stats_.proof_rejections += outcome.proof_rejections;
+    sync_stats_.bytes_synced += outcome.bytes;
+    if (reg != nullptr) {
+      reg->counter("state_sync.keys_verified").inc(outcome.keys_verified);
+      reg->counter("state_sync.proof_rejections").inc(outcome.proof_rejections);
+    }
+    if (outcome.ok) {
+      synced = true;
+      break;
+    }
+  }
+
+  // 3. Every proof-serving peer lied: unverified full copy, digest-checked.
+  if (!synced) {
+    ++sync_stats_.full_syncs;
+    if (reg != nullptr) reg->counter("state_sync.full_syncs").inc();
+    sync_stats_.bytes_synced += ledger::full_copy_sync(eng.store, recovered);
+  }
+  if (!(recovered.digest() == group_root)) {
+    ++sync_stats_.root_mismatches;
+    if (reg != nullptr) reg->counter("state_sync.root_mismatches").inc();
+  }
 }
 
 void JengaSystem::set_telemetry(telemetry::Telemetry* t) {
@@ -1503,6 +1607,10 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
     for (std::size_t i = 0; i < payload->visits.size(); ++i) eng.visits.pop_front();
     for (std::size_t i = 0; i < payload->dead_gathers.size(); ++i) eng.dead_gathers.pop_front();
 
+    // Durability barrier: the decided block's state transition is complete;
+    // the backend gets one commit record + fsync for the whole batch.
+    eng.store.commit();
+
     eng.outcomes[height] = std::move(outcome);
     eng.outcomes.erase(height >= 64 ? height - 64 : UINT64_MAX);
   }
@@ -1766,6 +1874,9 @@ void JengaSystem::perform_cutover(std::uint64_t target_epoch) {
   // 5. Rebuild the lattice from the fresh randomness.  Shards and channels
   //    are logical entities — stores, chains, and lock tables stay put; only
   //    the node-to-group assignment moves.
+  std::vector<ShardId> old_shard;
+  old_shard.reserve(all_nodes_.size());
+  for (NodeId n : all_nodes_) old_shard.push_back(lattice_->assignment(n).shard);
   lattice_ = std::make_unique<Lattice>(make_epoch_lattice(
       config_.num_shards, config_.nodes_per_shard, config_.seed, *randomness));
 
@@ -1787,6 +1898,15 @@ void JengaSystem::perform_cutover(std::uint64_t target_epoch) {
   for (auto& r : shard_replicas_) r->start();
   for (auto& r : channel_replicas_)
     if (r) r->start();
+
+  // Rehomed replicas — nodes whose shard assignment moved — must acquire
+  // their new shard's application state.  Modeled as the same proof-verified
+  // sync the crash-recovery path uses (snapshot + per-key Merkle proofs; a
+  // node's durable image of its OLD shard is useless for the new one).
+  if (config_.model_state_sync)
+    for (NodeId n : all_nodes_)
+      if (!net_.node_down(n) && lattice_->assignment(n).shard != old_shard[n.value])
+        model_recovery_sync(n, /*use_durable_image=*/false);
 
   // 7. Reset per-epoch engine state.  Persistent: store, chain, locks (empty
   //    after the sweep), seen_client, finished, deferred fees.  Epoch-scoped:

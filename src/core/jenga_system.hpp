@@ -46,6 +46,7 @@
 #include "ledger/block.hpp"
 #include "ledger/locks.hpp"
 #include "ledger/state_store.hpp"
+#include "ledger/storage_env.hpp"
 #include "simnet/network.hpp"
 
 namespace jenga::exec {
@@ -58,6 +59,13 @@ namespace jenga::core {
 struct GatherUnit;
 
 enum class Pipeline : std::uint8_t { kFull = 0, kNoLattice, kNoGlobalLogic };
+
+/// What sits under each shard's StateStore (DESIGN.md §9).
+enum class StorageBackendKind : std::uint8_t {
+  kNone = 0,   // trie-authenticated only, nothing persisted (pre-PR behaviour)
+  kInMemory,   // InMemoryBackend: the bit-identity oracle
+  kDurable,    // DurableBackend over a per-shard MemStorageEnv (WAL + snapshots)
+};
 
 struct JengaConfig {
   std::uint32_t num_shards = 4;
@@ -92,6 +100,33 @@ struct JengaConfig {
   /// the paper's deployment would use hours' worth of sequential squarings).
   std::uint64_t epoch_vdf_iterations = 256;
   std::size_t epoch_vdf_checkpoints = 8;
+
+  // --- Durable authenticated state (DESIGN.md §9) --------------------------
+  StorageBackendKind storage_backend = StorageBackendKind::kNone;
+  /// Durable backend: full snapshot every N commits (0 = WAL-only).
+  std::uint32_t storage_snapshot_interval = 64;
+  /// Model proof-verified state sync when a node recovers from a crash or is
+  /// rehomed to a different shard at an epoch cutover: reopen its durable
+  /// image, then fetch divergent state from a peer as snapshot + per-key
+  /// Merkle proofs (Byzantine peers serve tampered entries, which must be
+  /// rejected), falling back to an unverified full copy if every proof-
+  /// serving peer lied.
+  bool model_state_sync = false;
+};
+
+/// Counters for recovery-time state sync (mirrored into telemetry as
+/// `state_sync.*` / `storage.*`; audited by security::check_invariants).
+struct StateSyncStats {
+  std::uint64_t syncs = 0;             // recovery/rehome syncs modeled
+  std::uint64_t already_current = 0;   // durable image matched the group root
+  std::uint64_t keys_verified = 0;     // entries accepted with a valid proof
+  std::uint64_t proof_rejections = 0;  // tampered/invalid proofs rejected
+  std::uint64_t full_syncs = 0;        // fallbacks to unverified full copy
+  std::uint64_t bytes_synced = 0;      // wire bytes of verified entries
+  std::uint64_t recovery_refusals = 0; // corrupt durable images refused
+  /// Syncs that ended with a root still != the group root.  Must stay 0: an
+  /// honest peer always exists in the tested configurations.
+  std::uint64_t root_mismatches = 0;
 };
 
 /// Counters for the reconfiguration subsystem (mirrored into telemetry as
@@ -172,8 +207,26 @@ class JengaSystem {
   void set_node_byzantine(NodeId node, consensus::ByzantineMode mode);
   /// Call after bringing a crashed node back up: both of its replicas request
   /// state sync so they catch up instead of silently resuming at a stale
-  /// height.
+  /// height.  With `model_state_sync` on, additionally models the node's
+  /// application-state recovery: reopen the durable image, proof-verified
+  /// delta sync from a peer, full-copy fallback (see StateSyncStats).
   void on_node_recovered(NodeId node);
+
+  // --- Storage fault injection (durable backend; no-ops otherwise) ---------
+  /// The next WAL append on shard `s` persists only `keep_bytes` of its
+  /// buffer — a torn write at a sector boundary.
+  void storage_torn_write(ShardId s, std::uint64_t keep_bytes);
+  /// While on, fsyncs on shard `s` complete but durabilize nothing.
+  void storage_drop_fsyncs(ShardId s, bool drop);
+  /// Flips one bit of shard `s`'s durable WAL image (latent corruption,
+  /// discovered only at recovery).
+  void storage_flip_bit(ShardId s, std::uint64_t bit_offset);
+
+  [[nodiscard]] const StateSyncStats& state_sync_stats() const { return sync_stats_; }
+  /// The shard's simulated disk (nullptr unless storage_backend == kDurable).
+  [[nodiscard]] ledger::MemStorageEnv* storage_env(ShardId s) const {
+    return s.value < storage_envs_.size() ? storage_envs_[s.value].get() : nullptr;
+  }
 
   /// Attaches a telemetry context (nullptr detaches): per-tx phase tracing in
   /// this layer, BFT sub-spans in every replica.  Call before start().
@@ -235,6 +288,11 @@ class JengaSystem {
   /// Re-ingests a force-aborted transaction into the (new-epoch) mempools and
   /// gathers, preserving its tracker entry and submit timestamp.
   void reingest(const TxPtr& tx);
+  /// Models one node's application-state recovery (crash recovery or rehome)
+  /// against its shard's canonical store; updates sync_stats_ / telemetry.
+  /// `use_durable_image` is false for rehomed nodes — their disk holds their
+  /// OLD shard's state, useless for the new one, so they sync from empty.
+  void model_recovery_sync(NodeId node, bool use_durable_image);
   void on_node_message(NodeId node, const sim::Message& msg);
   void handle_client_tx(NodeId node, const sim::Message& msg);
   void handle_grant_batch(NodeId node, const sim::Message& msg);
@@ -276,6 +334,9 @@ class JengaSystem {
 
   std::vector<std::unique_ptr<ShardEngine>> shards_;
   std::vector<std::unique_ptr<ChannelEngine>> channels_;
+  /// Per-shard simulated disks (storage_backend == kDurable only).
+  std::vector<std::unique_ptr<ledger::MemStorageEnv>> storage_envs_;
+  StateSyncStats sync_stats_;
   // Replicas are per node: [node] -> shard replica, and channel replica when
   // the full pipeline runs channels as consensus groups.
   std::vector<std::unique_ptr<consensus::Replica>> shard_replicas_;

@@ -97,6 +97,9 @@ RunResult run_experiment(const RunConfig& config) {
       jc.epoch_min_contributions = config.epoch_min_contributions;
       jc.epoch_vdf_iterations = config.epoch_vdf_iterations;
       jc.epoch_vdf_checkpoints = config.epoch_vdf_checkpoints;
+      jc.storage_backend = config.storage_backend;
+      jc.storage_snapshot_interval = config.storage_snapshot_interval;
+      jc.model_state_sync = config.model_state_sync;
       jc.pipeline = config.kind == SystemKind::kJenga ? core::Pipeline::kFull
                     : config.kind == SystemKind::kJengaNoLattice
                         ? core::Pipeline::kNoLattice
@@ -214,6 +217,21 @@ RunResult run_experiment(const RunConfig& config) {
   if (jenga) {
     result.epoch_transitions = jenga->epoch_stats().transitions;
     result.epoch_txs_requeued = jenga->epoch_stats().txs_requeued;
+    result.state_sync = jenga->state_sync_stats();
+    // Fold durability traffic into the registry (per-shard backend counters).
+    if (config.storage_backend != core::StorageBackendKind::kNone) {
+      auto& sreg = telemetry->registry;
+      for (std::uint32_t s = 0; s < config.num_shards; ++s) {
+        const ledger::StorageBackend* backend = jenga->shard_store(ShardId{s}).backend();
+        if (backend == nullptr) continue;
+        const ledger::BackendStats& bs = backend->stats();
+        sreg.counter("storage.commits").inc(bs.commits);
+        sreg.counter("storage.wal_records").inc(bs.wal_records);
+        sreg.counter("storage.wal_bytes").inc(bs.wal_bytes);
+        sreg.counter("storage.snapshots_written").inc(bs.snapshots_written);
+        sreg.counter("storage.snapshot_bytes").inc(bs.snapshot_bytes);
+      }
+    }
   }
 
   // Fold the run-level counters into the registry so one metrics snapshot

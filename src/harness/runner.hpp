@@ -64,6 +64,12 @@ struct RunConfig {
   std::size_t epoch_min_contributions = 0;  // 0 = 2N/3 + 1
   std::uint64_t epoch_vdf_iterations = 256;
   std::size_t epoch_vdf_checkpoints = 8;
+
+  // --- Durable authenticated state (Jenga kinds only; baselines ignore) ---
+  core::StorageBackendKind storage_backend = core::StorageBackendKind::kNone;
+  std::uint32_t storage_snapshot_interval = 64;
+  /// Model proof-verified state sync on crash recovery / rehoming.
+  bool model_state_sync = false;
 };
 
 struct RunResult {
@@ -85,6 +91,8 @@ struct RunResult {
   /// across a boundary (both 0 unless epoch_interval > 0 on a Jenga kind).
   std::uint64_t epoch_transitions = 0;
   std::uint64_t epoch_txs_requeued = 0;
+  /// Recovery-time state sync counters (all 0 unless model_state_sync).
+  core::StateSyncStats state_sync;
   /// Every run is instrumented (telemetry is cheap enough to stay on): the
   /// full metric registry / tracer / message telemetry, and the per-phase
   /// latency breakdown derived from the tracer.

@@ -1,5 +1,8 @@
 #include "ledger/portable_state.hpp"
 
+#include "common/codec.hpp"
+#include "ledger/wal.hpp"
+
 namespace jenga::ledger {
 
 void PortableState::merge(const PortableState& other) {
@@ -18,6 +21,66 @@ std::uint64_t PortableState::total_balance() const {
   std::uint64_t sum = 0;
   for (const auto& [id, bal] : balances) sum += bal;
   return sum;
+}
+
+std::vector<std::uint8_t> PortableState::encode() const {
+  Writer payload;
+  payload.u64(contracts.size());
+  for (const auto& [id, st] : contracts) {
+    payload.u64(id.value);
+    payload.u64(st.size());
+    for (const auto& [k, v] : st) {
+      payload.u64(k);
+      payload.u64(v);
+    }
+  }
+  payload.u64(balances.size());
+  for (const auto& [id, bal] : balances) {
+    payload.u64(id.value);
+    payload.u64(bal);
+  }
+  Writer out;
+  out.u32(kPortableStateMagic);
+  out.u32(static_cast<std::uint32_t>(payload.size()));
+  out.u32(crc32c(payload.data()));
+  out.bytes(payload.data());
+  return out.take();
+}
+
+Result<PortableState> PortableState::decode(std::span<const std::uint8_t> data) {
+  Reader header(data);
+  const std::uint32_t magic = header.u32();
+  const std::uint32_t len = header.u32();
+  const std::uint32_t crc = header.u32();
+  if (header.failed()) return Err(std::string("portable-state: truncated header"));
+  if (magic != kPortableStateMagic) return Err(std::string("portable-state: bad magic"));
+  if (len != header.remaining()) return Err(std::string("portable-state: length mismatch"));
+  const auto payload = data.subspan(data.size() - len);
+  if (crc32c(payload) != crc)
+    return Err(std::string("portable-state: checksum mismatch (corruption)"));
+
+  Reader r(payload);
+  PortableState out;
+  const std::uint64_t contract_count = r.u64();
+  for (std::uint64_t i = 0; i < contract_count && !r.failed(); ++i) {
+    const ContractId id{r.u64()};
+    const std::uint64_t entries = r.u64();
+    ContractState st;
+    for (std::uint64_t j = 0; j < entries && !r.failed(); ++j) {
+      const std::uint64_t k = r.u64();
+      const std::uint64_t v = r.u64();
+      st[k] = v;
+    }
+    out.contracts[id] = std::move(st);
+  }
+  const std::uint64_t balance_count = r.u64();
+  for (std::uint64_t i = 0; i < balance_count && !r.failed(); ++i) {
+    const AccountId id{r.u64()};
+    out.balances[id] = r.u64();
+  }
+  if (r.failed() || !r.exhausted())
+    return Err(std::string("portable-state: undecodable payload"));
+  return out;
 }
 
 std::optional<std::uint64_t> PortableStateView::sload(ContractId contract, std::uint64_t key) {

@@ -15,7 +15,10 @@
 
 #include <cstdint>
 #include <map>
+#include <span>
+#include <vector>
 
+#include "common/result.hpp"
 #include "common/types.hpp"
 #include "ledger/state_store.hpp"
 #include "vm/state_view.hpp"
@@ -35,7 +38,16 @@ struct PortableState {
   [[nodiscard]] std::uint32_t wire_size() const;
 
   [[nodiscard]] std::uint64_t total_balance() const;
+
+  /// Canonical wire encoding: magic, length-checked payload, trailing
+  /// CRC-32C.  decode() round-trips encode() exactly and rejects truncated
+  /// or bit-flipped payloads with an error — never a crash, never a
+  /// half-decoded bundle.
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  [[nodiscard]] static Result<PortableState> decode(std::span<const std::uint8_t> data);
 };
+
+inline constexpr std::uint32_t kPortableStateMagic = 0x3153504A;  // "JPS1"
 
 class PortableStateView final : public vm::StateView {
  public:

@@ -1,13 +1,110 @@
 #include "ledger/state_store.hpp"
 
-#include <algorithm>
+#include <cassert>
 
+#include "common/codec.hpp"
 #include "crypto/sha256.hpp"
 
 namespace jenga::ledger {
 
+namespace {
+
+std::vector<std::uint8_t> make_key(std::uint8_t keyspace, std::uint64_t id) {
+  Writer w;
+  w.u8(keyspace);
+  w.u64(id);
+  return w.take();
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> state_key_account(AccountId id) {
+  return make_key(kKeyspaceAccount, id.value);
+}
+
+std::vector<std::uint8_t> state_key_contract(ContractId id) {
+  return make_key(kKeyspaceContract, id.value);
+}
+
+Hash256 state_path(std::span<const std::uint8_t> key_bytes) {
+  return crypto::sha256_tagged("jenga/state-key", key_bytes);
+}
+
+Hash256 state_value_hash(std::span<const std::uint8_t> value_bytes) {
+  return crypto::sha256_tagged("jenga/state-val", value_bytes);
+}
+
+std::vector<std::uint8_t> encode_account_value(std::uint64_t balance) {
+  Writer w;
+  w.u64(balance);
+  return w.take();
+}
+
+std::vector<std::uint8_t> encode_contract_value(const ContractState& st) {
+  Writer w;
+  w.u64(st.size());
+  for (const auto& [k, v] : st) {  // std::map: key order, canonical
+    w.u64(k);
+    w.u64(v);
+  }
+  return w.take();
+}
+
+Result<StateStore> StateStore::open(std::unique_ptr<StorageBackend> backend) {
+  auto recovered = backend->load();
+  if (!recovered.ok()) return Err(std::string("state: ") + recovered.error());
+  const RecoveredState& rec = recovered.value();
+
+  StateStore store;
+  for (const auto& [key, value] : rec.entries) {
+    Reader kr(key);
+    const std::uint8_t keyspace = kr.u8();
+    const std::uint64_t id = kr.u64();
+    if (kr.failed() || !kr.exhausted())
+      return Err(std::string("state: undecodable recovered key"));
+    Reader vr(value);
+    if (keyspace == kKeyspaceAccount) {
+      const std::uint64_t bal = vr.u64();
+      if (vr.failed() || !vr.exhausted())
+        return Err(std::string("state: undecodable account value"));
+      store.balances_[AccountId{id}] = bal;
+    } else if (keyspace == kKeyspaceContract) {
+      const std::uint64_t count = vr.u64();
+      ContractState st;
+      for (std::uint64_t i = 0; i < count; ++i) {
+        const std::uint64_t k = vr.u64();
+        const std::uint64_t v = vr.u64();
+        if (vr.failed()) break;
+        st[k] = v;
+      }
+      if (vr.failed() || !vr.exhausted())
+        return Err(std::string("state: undecodable contract value"));
+      store.contract_states_[ContractId{id}] = std::move(st);
+    } else {
+      return Err(std::string("state: unknown keyspace ") + std::to_string(keyspace));
+    }
+    store.trie_.put(state_path(key), state_value_hash(value));
+  }
+
+  // The rebuilt root must be the root the last durable commit promised —
+  // otherwise the backend handed back state that was never decided (e.g. a
+  // replayed log that diverged) and the only safe answer is refusal.
+  if (rec.has_commit && !(store.trie_.root() == rec.committed_root))
+    return Err(std::string("state: recovered root does not match committed root"));
+
+  store.backend_ = std::move(backend);
+  return store;
+}
+
+void StateStore::write_through(std::span<const std::uint8_t> key_bytes,
+                               std::span<const std::uint8_t> value_bytes) {
+  trie_.put(state_path(key_bytes), state_value_hash(value_bytes));
+  if (backend_) backend_->put(key_bytes, value_bytes);
+}
+
 void StateStore::create_account(AccountId id, std::uint64_t balance) {
   balances_[id] = balance;
+  write_through(state_key_account(id), encode_account_value(balance));
 }
 
 bool StateStore::has_account(AccountId id) const { return balances_.contains(id); }
@@ -22,6 +119,7 @@ bool StateStore::set_balance(AccountId id, std::uint64_t balance) {
   const auto it = balances_.find(id);
   if (it == balances_.end()) return false;
   it->second = balance;
+  write_through(state_key_account(id), encode_account_value(balance));
   return true;
 }
 
@@ -32,6 +130,7 @@ std::uint64_t StateStore::total_balance() const {
 }
 
 void StateStore::create_contract_state(ContractId id, ContractState initial) {
+  write_through(state_key_contract(id), encode_contract_value(initial));
   contract_states_[id] = std::move(initial);
 }
 
@@ -47,37 +146,26 @@ const ContractState* StateStore::contract_state(ContractId id) const {
 bool StateStore::set_contract_state(ContractId id, ContractState state) {
   const auto it = contract_states_.find(id);
   if (it == contract_states_.end()) return false;
+  write_through(state_key_contract(id), encode_contract_value(state));
   it->second = std::move(state);
   return true;
 }
 
 Hash256 StateStore::digest() const {
-  crypto::Sha256 h;
-  h.update("jenga/state-root");
-  std::vector<AccountId> accounts;
-  accounts.reserve(balances_.size());
-  for (const auto& [id, bal] : balances_) accounts.push_back(id);
-  std::sort(accounts.begin(), accounts.end());
-  h.update_u64(accounts.size());
-  for (AccountId id : accounts) {
-    h.update_u64(id.value);
-    h.update_u64(balances_.at(id));
-  }
-  std::vector<ContractId> contracts;
-  contracts.reserve(contract_states_.size());
-  for (const auto& [id, st] : contract_states_) contracts.push_back(id);
-  std::sort(contracts.begin(), contracts.end());
-  h.update_u64(contracts.size());
-  for (ContractId id : contracts) {
-    h.update_u64(id.value);
-    const ContractState& st = contract_states_.at(id);
-    h.update_u64(st.size());
-    for (const auto& [k, v] : st) {
-      h.update_u64(k);
-      h.update_u64(v);
-    }
-  }
-  return h.finish();
+  const Hash256 root = trie_.root();
+#ifndef NDEBUG
+  assert(root == trie_.recompute_root() &&
+         "incremental trie root diverged from full recompute");
+#endif
+  return root;
+}
+
+void StateStore::commit() {
+  if (backend_) backend_->commit(digest());
+}
+
+bool StateStore::prove(std::span<const std::uint8_t> key_bytes, TrieProof& out) const {
+  return trie_.prove(state_path(key_bytes), out);
 }
 
 std::uint64_t StateStore::state_storage_bytes() const {

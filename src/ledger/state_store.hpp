@@ -1,15 +1,27 @@
 // Per-shard state storage: account balances and contract key-value states,
 // plus the logic store (which, in Jenga, every node replicates).
+//
+// The flat maps are the read path; every mutation also feeds an authenticated
+// Merkle trie (trie.hpp) keyed by hashed state keys, so digest() is the
+// trie's incrementally-maintained root instead of a whole-store rehash.  An
+// optional StorageBackend receives the raw key/value bytes write-through —
+// in-memory for the bit-identity oracle, WAL+snapshot for crash durability —
+// and StateStore::open() rebuilds a store from whatever a backend recovered,
+// refusing state whose rebuilt root does not match the committed root.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <optional>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
+#include "common/result.hpp"
 #include "common/types.hpp"
+#include "ledger/storage_backend.hpp"
+#include "ledger/trie.hpp"
 #include "vm/bytecode.hpp"
 
 namespace jenga::ledger {
@@ -26,8 +38,39 @@ inline constexpr std::uint64_t kContractStateOverheadBytes = 256;
   return kContractStateOverheadBytes + kStateEntryBytes * st.size();
 }
 
+// --- state key/value encoding ------------------------------------------------
+// StateStore owns the byte encoding shared by the trie, the storage backends
+// and proof-verified state sync.  Keys are a one-byte keyspace tag plus the
+// u64 id (little-endian); trie paths are the tagged SHA-256 of the key bytes.
+
+inline constexpr std::uint8_t kKeyspaceAccount = 0;
+inline constexpr std::uint8_t kKeyspaceContract = 1;
+
+[[nodiscard]] std::vector<std::uint8_t> state_key_account(AccountId id);
+[[nodiscard]] std::vector<std::uint8_t> state_key_contract(ContractId id);
+[[nodiscard]] Hash256 state_path(std::span<const std::uint8_t> key_bytes);
+[[nodiscard]] Hash256 state_value_hash(std::span<const std::uint8_t> value_bytes);
+[[nodiscard]] std::vector<std::uint8_t> encode_account_value(std::uint64_t balance);
+[[nodiscard]] std::vector<std::uint8_t> encode_contract_value(const ContractState& st);
+
 class StateStore {
  public:
+  /// Backend-less store: trie-authenticated, nothing persisted.
+  StateStore() = default;
+
+  StateStore(StateStore&&) noexcept = default;
+  StateStore& operator=(StateStore&&) noexcept = default;
+  StateStore(const StateStore&) = delete;
+  StateStore& operator=(const StateStore&) = delete;
+
+  /// Recovers a store from `backend->load()`: applies every recovered entry,
+  /// then checks the rebuilt trie root against the root the backend's last
+  /// commit promised.  A mismatch (or a backend-load error — torn snapshot,
+  /// corrupt WAL) returns the error instead of a store: corrupted durable
+  /// state is refused, never silently half-loaded.  A fresh backend recovers
+  /// to an empty store ready for genesis writes.
+  [[nodiscard]] static Result<StateStore> open(std::unique_ptr<StorageBackend> backend);
+
   // --- accounts ---
   void create_account(AccountId id, std::uint64_t balance);
   [[nodiscard]] bool has_account(AccountId id) const;
@@ -47,14 +90,39 @@ class StateStore {
   // --- storage accounting ---
   [[nodiscard]] std::uint64_t state_storage_bytes() const;
 
-  /// Canonical digest over the full contents (balances and contract states,
-  /// key-sorted): the state root the determinism tests compare across runs
-  /// and across execution worker counts.
+  /// Authenticated state root: the Merkle trie's cached incremental root.
+  /// Structure is insertion-order independent, so any execution worker count
+  /// and any arrival order land on the same digest.  Debug builds assert the
+  /// incremental root against a from-scratch recompute.
   [[nodiscard]] Hash256 digest() const;
 
+  /// Durability barrier: tells the backend the current root is decided (the
+  /// WAL commit record + fsync on the durable backend).  No-op without one.
+  void commit();
+
+  /// Merkle inclusion proof for one state entry under digest().  Returns
+  /// false if the key is absent.
+  [[nodiscard]] bool prove(std::span<const std::uint8_t> key_bytes, TrieProof& out) const;
+
+  /// Read views for state sync and tests.
+  [[nodiscard]] const std::unordered_map<AccountId, std::uint64_t>& balances() const {
+    return balances_;
+  }
+  [[nodiscard]] const std::unordered_map<ContractId, ContractState>& contracts() const {
+    return contract_states_;
+  }
+
+  [[nodiscard]] const StorageBackend* backend() const { return backend_.get(); }
+  [[nodiscard]] const MerkleTrie& trie() const { return trie_; }
+
  private:
+  void write_through(std::span<const std::uint8_t> key_bytes,
+                     std::span<const std::uint8_t> value_bytes);
+
   std::unordered_map<AccountId, std::uint64_t> balances_;
   std::unordered_map<ContractId, ContractState> contract_states_;
+  MerkleTrie trie_;
+  std::unique_ptr<StorageBackend> backend_;
 };
 
 /// Contract logic store.  In Jenga every node holds all logic; in CX Func a

@@ -1,0 +1,65 @@
+// Proof-verified state sync: how a recovered or rehomed replica gets a
+// shard's state from a peer it does not trust byte-for-byte.
+//
+// The serving peer builds a SyncSnapshot — the entry set plus a Merkle
+// inclusion proof per entry, all under one advertised root.  The receiver
+// verifies every proof BEFORE applying the entry, so a Byzantine server can
+// withhold service but cannot smuggle a tampered balance: any altered value,
+// key or sibling hash breaks its proof chain and the entry (and server) is
+// rejected.  After applying, the receiver's own rebuilt root must equal the
+// advertised root — the end-to-end check that also catches a server lying
+// by omission.
+//
+// The old path (PR 5) copied full state unconditionally; it survives here as
+// full_copy_sync(), the fallback when every proof-serving peer was rejected.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.hpp"
+#include "ledger/state_store.hpp"
+#include "ledger/trie.hpp"
+
+namespace jenga::ledger {
+
+struct SyncEntry {
+  std::vector<std::uint8_t> key;    // state key bytes (keyspace tag + id)
+  std::vector<std::uint8_t> value;  // encoded value bytes
+  TrieProof proof;                  // inclusion under SyncSnapshot::root
+};
+
+struct SyncSnapshot {
+  Hash256 root{};
+  std::vector<SyncEntry> entries;
+
+  /// Wire size for the bandwidth model: entries plus their proof frames.
+  [[nodiscard]] std::uint64_t wire_size() const;
+};
+
+struct SyncOutcome {
+  bool ok = false;  // every proof verified AND the final root matched
+  std::uint64_t keys_verified = 0;
+  std::uint64_t proof_rejections = 0;
+  std::uint64_t bytes = 0;  // wire bytes consumed (verified entries only)
+};
+
+/// Builds the proof-carrying snapshot a serving peer ships (entries in
+/// canonical key order).
+[[nodiscard]] SyncSnapshot build_sync_snapshot(const StateStore& src);
+
+/// Verifies and applies a snapshot onto `dst`.  Entries whose proof fails are
+/// rejected and abort the sync (outcome.ok = false); on success the receiver
+/// additionally checks its rebuilt digest against the advertised root.
+SyncOutcome apply_sync_snapshot(const SyncSnapshot& snapshot, StateStore& dst);
+
+/// Unverified full copy of `src` into `dst` — the fallback path.  Returns the
+/// wire bytes charged; the caller compares digests afterwards.
+std::uint64_t full_copy_sync(const StateStore& src, StateStore& dst);
+
+/// Deterministic Byzantine tamper for tests and fault modeling: corrupts the
+/// value bytes of entry `index % entries` while keeping its (now stale)
+/// proof.  Verification must reject the entry.
+void tamper_sync_snapshot(SyncSnapshot& snapshot, std::uint64_t index);
+
+}  // namespace jenga::ledger

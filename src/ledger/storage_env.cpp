@@ -1,0 +1,239 @@
+#include "ledger/storage_env.hpp"
+
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace jenga::ledger {
+
+// ---------------------------------------------------------------------------
+// MemStorageEnv
+// ---------------------------------------------------------------------------
+
+class MemStorageEnv::MemFile final : public StorageFile {
+ public:
+  MemFile(MemStorageEnv* env, std::string name) : env_(env), name_(std::move(name)) {}
+
+  [[nodiscard]] std::uint64_t size() const override {
+    const FileState* st = find_state();
+    return st == nullptr ? 0 : st->current.size();
+  }
+
+  [[nodiscard]] bool read(std::uint64_t offset, std::span<std::uint8_t> out) const override {
+    const FileState* st = find_state();
+    if (st == nullptr || offset + out.size() > st->current.size()) return false;
+    std::memcpy(out.data(), st->current.data() + offset, out.size());
+    return true;
+  }
+
+  void append(std::span<const std::uint8_t> data) override {
+    std::span<const std::uint8_t> effective = data;
+    if (const auto it = env_->torn_next_write_.find(name_);
+        it != env_->torn_next_write_.end()) {
+      effective = data.subspan(0, std::min<std::uint64_t>(it->second, data.size()));
+      env_->torn_next_write_.erase(it);
+      ++env_->stats_.torn_writes;
+    }
+    auto& buf = state().current;
+    buf.insert(buf.end(), effective.begin(), effective.end());
+    env_->stats_.bytes_written += effective.size();
+  }
+
+  void sync() override {
+    ++env_->stats_.syncs;
+    if (env_->drop_fsyncs_) {
+      ++env_->stats_.dropped_fsyncs;
+      return;
+    }
+    auto& st = state();
+    st.durable = st.current;
+    st.durable_exists = true;
+  }
+
+  void truncate(std::uint64_t new_size) override {
+    auto& buf = state().current;
+    if (new_size < buf.size()) buf.resize(new_size);
+  }
+
+ private:
+  FileState& state() { return env_->files_[name_]; }
+  [[nodiscard]] const FileState* find_state() const {
+    const auto it = env_->files_.find(name_);
+    return it == env_->files_.end() ? nullptr : &it->second;
+  }
+
+  MemStorageEnv* env_;
+  std::string name_;
+};
+
+MemStorageEnv::MemStorageEnv() = default;
+MemStorageEnv::~MemStorageEnv() = default;
+
+StorageFile* MemStorageEnv::open(std::string_view name) {
+  const std::string key(name);
+  files_.try_emplace(key);  // ensure backing state exists
+  auto it = handles_.find(key);
+  if (it == handles_.end())
+    it = handles_.emplace(key, std::make_unique<MemFile>(this, key)).first;
+  return it->second.get();
+}
+
+bool MemStorageEnv::exists(std::string_view name) const {
+  const auto it = files_.find(name);
+  return it != files_.end();
+}
+
+void MemStorageEnv::remove(std::string_view name) {
+  files_.erase(std::string(name));
+  handles_.erase(std::string(name));
+  torn_next_write_.erase(std::string(name));
+}
+
+void MemStorageEnv::rename(std::string_view from, std::string_view to) {
+  const auto it = files_.find(from);
+  if (it == files_.end()) return;
+  FileState moved = std::move(it->second);
+  // The swap is atomic for the running process.  Durability of the rename
+  // itself rides on the destination's next sync: until then a power cut
+  // resurrects whatever `to` durably held before (moved.durable stays as the
+  // source's last-synced content, which IS the correct crash semantics for
+  // the write-tmp-then-rename snapshot pattern, because the source was synced
+  // before the rename).
+  files_.erase(it);
+  handles_.erase(std::string(from));
+  handles_.erase(std::string(to));
+  files_[std::string(to)] = std::move(moved);
+}
+
+void MemStorageEnv::arm_torn_write(std::string_view name, std::uint64_t keep_bytes) {
+  torn_next_write_[std::string(name)] = keep_bytes;
+}
+
+void MemStorageEnv::flip_bit(std::string_view name, std::uint64_t bit_offset) {
+  const auto it = files_.find(name);
+  if (it == files_.end() || it->second.durable.empty()) return;
+  auto& buf = it->second.durable;
+  const std::uint64_t bit = bit_offset % (buf.size() * 8);
+  buf[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+  ++stats_.bit_flips;
+}
+
+void MemStorageEnv::power_cut() {
+  ++stats_.power_cuts;
+  for (auto it = files_.begin(); it != files_.end();) {
+    if (!it->second.durable_exists) {
+      handles_.erase(it->first);
+      it = files_.erase(it);
+      continue;
+    }
+    it->second.current = it->second.durable;
+    ++it;
+  }
+  torn_next_write_.clear();
+}
+
+std::unique_ptr<MemStorageEnv> MemStorageEnv::durable_view() const {
+  auto view = std::make_unique<MemStorageEnv>();
+  for (const auto& [name, st] : files_) {
+    if (!st.durable_exists) continue;
+    FileState copy;
+    copy.current = st.durable;
+    copy.durable = st.durable;
+    copy.durable_exists = true;
+    view->files_[name] = std::move(copy);
+  }
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// PosixStorageEnv
+// ---------------------------------------------------------------------------
+
+class PosixStorageEnv::PosixFile final : public StorageFile {
+ public:
+  explicit PosixFile(const std::string& path) {
+    f_ = std::fopen(path.c_str(), "a+b");
+    if (f_ != nullptr) {
+      std::fseek(f_, 0, SEEK_END);
+      size_ = static_cast<std::uint64_t>(std::ftell(f_));
+    }
+  }
+  ~PosixFile() override {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+
+  [[nodiscard]] std::uint64_t size() const override { return size_; }
+
+  [[nodiscard]] bool read(std::uint64_t offset, std::span<std::uint8_t> out) const override {
+    if (f_ == nullptr || offset + out.size() > size_) return false;
+    std::fflush(f_);
+    if (std::fseek(f_, static_cast<long>(offset), SEEK_SET) != 0) return false;
+    return std::fread(out.data(), 1, out.size(), f_) == out.size();
+  }
+
+  void append(std::span<const std::uint8_t> data) override {
+    if (f_ == nullptr) return;
+    std::fseek(f_, 0, SEEK_END);
+    size_ += std::fwrite(data.data(), 1, data.size(), f_);
+  }
+
+  void sync() override {
+    if (f_ == nullptr) return;
+    std::fflush(f_);
+    ::fsync(fileno(f_));
+  }
+
+  void truncate(std::uint64_t new_size) override {
+    if (f_ == nullptr || new_size >= size_) return;
+    std::fflush(f_);
+    if (::ftruncate(fileno(f_), static_cast<off_t>(new_size)) == 0) size_ = new_size;
+  }
+
+ private:
+  std::FILE* f_ = nullptr;
+  std::uint64_t size_ = 0;
+};
+
+PosixStorageEnv::PosixStorageEnv(std::string dir) : dir_(std::move(dir)) {
+  ::mkdir(dir_.c_str(), 0755);  // best effort; open() surfaces real failures
+}
+
+PosixStorageEnv::~PosixStorageEnv() = default;
+
+std::string PosixStorageEnv::path_of(std::string_view name) const {
+  std::string p = dir_;
+  p += '/';
+  p += name;
+  return p;
+}
+
+StorageFile* PosixStorageEnv::open(std::string_view name) {
+  const std::string key(name);
+  auto it = handles_.find(key);
+  if (it == handles_.end())
+    it = handles_.emplace(key, std::make_unique<PosixFile>(path_of(name))).first;
+  return it->second.get();
+}
+
+bool PosixStorageEnv::exists(std::string_view name) const {
+  struct stat st {};
+  return ::stat(path_of(name).c_str(), &st) == 0;
+}
+
+void PosixStorageEnv::remove(std::string_view name) {
+  handles_.erase(std::string(name));
+  ::unlink(path_of(name).c_str());
+}
+
+void PosixStorageEnv::rename(std::string_view from, std::string_view to) {
+  handles_.erase(std::string(from));
+  handles_.erase(std::string(to));
+  ::rename(path_of(from).c_str(), path_of(to).c_str());
+}
+
+}  // namespace jenga::ledger

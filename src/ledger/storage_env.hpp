@@ -1,0 +1,152 @@
+// Storage environment: the "disk" under the durable state backend.
+//
+// The WAL and snapshot machinery (wal.hpp, storage_backend.hpp) is written
+// against this abstraction so the same code runs over two media:
+//
+//   MemStorageEnv   — deterministic in-memory disk with an explicit fsync
+//                     boundary.  Every file keeps two images: `current`
+//                     (what the process wrote) and `durable` (what survived
+//                     the last fsync).  power_cut() discards everything past
+//                     the durable image — the crash model for recovery tests.
+//                     Storage faults are scripted, seedable and replayable:
+//                     torn writes (a future write is truncated mid-buffer),
+//                     dropped-fsync windows (sync() silently does nothing),
+//                     and bit flips in the durable image (latent media
+//                     corruption, discovered only at recovery).
+//
+//   PosixStorageEnv — real files under a directory, real fsync.  Used by the
+//                     storage bench so the Fig. 7 numbers at 10^6 accounts
+//                     reflect actual I/O, not a vector push_back.
+//
+// Nothing here knows about tries or records; it is bytes, offsets and sync
+// barriers only.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.hpp"
+
+namespace jenga::ledger {
+
+/// One open file: append-oriented writes plus random reads.  Offsets are
+/// absolute; append() writes at the current end.
+class StorageFile {
+ public:
+  virtual ~StorageFile() = default;
+
+  [[nodiscard]] virtual std::uint64_t size() const = 0;
+  /// Reads [offset, offset+out.size()); short reads fail.
+  [[nodiscard]] virtual bool read(std::uint64_t offset, std::span<std::uint8_t> out) const = 0;
+  /// Appends at end-of-file.  A torn-write fault may persist only a prefix.
+  virtual void append(std::span<const std::uint8_t> data) = 0;
+  /// Durability barrier (fsync).  A dropped-fsync fault makes this a no-op.
+  virtual void sync() = 0;
+  virtual void truncate(std::uint64_t new_size) = 0;
+};
+
+class StorageEnv {
+ public:
+  virtual ~StorageEnv() = default;
+
+  /// Opens (creating if absent) a named file.  The pointer stays valid until
+  /// the env is destroyed or the name is passed to remove()/rename() — both
+  /// invalidate outstanding handles for the affected names; re-open after.
+  virtual StorageFile* open(std::string_view name) = 0;
+  [[nodiscard]] virtual bool exists(std::string_view name) const = 0;
+  virtual void remove(std::string_view name) = 0;
+  /// Atomic replace: `to` takes `from`'s contents; `from` disappears.
+  /// Like POSIX rename(2), the swap itself is atomic but only durable after
+  /// the next sync on the destination.
+  virtual void rename(std::string_view from, std::string_view to) = 0;
+};
+
+/// Counters for injected faults and durability traffic (test assertions and
+/// the storage bench report).
+struct StorageFaultStats {
+  std::uint64_t syncs = 0;
+  std::uint64_t bytes_written = 0;
+  std::uint64_t torn_writes = 0;
+  std::uint64_t dropped_fsyncs = 0;
+  std::uint64_t bit_flips = 0;
+  std::uint64_t power_cuts = 0;
+};
+
+/// Deterministic in-memory disk with an explicit crash/corruption model.
+class MemStorageEnv final : public StorageEnv {
+ public:
+  MemStorageEnv();
+  ~MemStorageEnv() override;  // out-of-line: MemFile is incomplete here
+
+  StorageFile* open(std::string_view name) override;
+  [[nodiscard]] bool exists(std::string_view name) const override;
+  void remove(std::string_view name) override;
+  void rename(std::string_view from, std::string_view to) override;
+
+  // --- fault injection -----------------------------------------------------
+  /// The next append to `name` persists only the first `keep_bytes` bytes of
+  /// its buffer (a torn write at a sector boundary mid-record).
+  void arm_torn_write(std::string_view name, std::uint64_t keep_bytes);
+  /// While enabled, sync() calls complete but durabilize nothing — the model
+  /// of a drive that acks fsync from its volatile cache.
+  void set_drop_fsyncs(bool drop) { drop_fsyncs_ = drop; }
+  /// Flips one bit of `name`'s DURABLE image (latent media corruption: the
+  /// running process never sees it; recovery does).  Out-of-range offsets
+  /// wrap, so callers can feed raw entropy.  No-op on an empty file.
+  void flip_bit(std::string_view name, std::uint64_t bit_offset);
+  /// Crash: every file falls back to its durable image; un-synced writes and
+  /// un-synced renames are lost.
+  void power_cut();
+
+  /// A fresh env holding only the durable images — what a recovering node
+  /// would read off its disk, without disturbing the live one.
+  [[nodiscard]] std::unique_ptr<MemStorageEnv> durable_view() const;
+
+  [[nodiscard]] const StorageFaultStats& fault_stats() const { return stats_; }
+
+ private:
+  class MemFile;
+  struct FileState {
+    std::vector<std::uint8_t> current;
+    std::vector<std::uint8_t> durable;
+    /// Durable name mapping: rename is atomic in `current` space immediately
+    /// but only survives a crash once synced (see rename()).
+    bool durable_exists = false;
+  };
+
+  std::map<std::string, FileState, std::less<>> files_;
+  std::map<std::string, std::unique_ptr<MemFile>, std::less<>> handles_;
+  std::map<std::string, std::uint64_t, std::less<>> torn_next_write_;
+  bool drop_fsyncs_ = false;
+  StorageFaultStats stats_;
+
+  friend class MemFile;
+};
+
+/// Real files under `dir` (created if needed); sync() is fsync(2).
+class PosixStorageEnv final : public StorageEnv {
+ public:
+  explicit PosixStorageEnv(std::string dir);
+  ~PosixStorageEnv() override;
+
+  StorageFile* open(std::string_view name) override;
+  [[nodiscard]] bool exists(std::string_view name) const override;
+  void remove(std::string_view name) override;
+  void rename(std::string_view from, std::string_view to) override;
+
+  [[nodiscard]] const std::string& dir() const { return dir_; }
+
+ private:
+  class PosixFile;
+  [[nodiscard]] std::string path_of(std::string_view name) const;
+
+  std::string dir_;
+  std::map<std::string, std::unique_ptr<PosixFile>, std::less<>> handles_;
+};
+
+}  // namespace jenga::ledger

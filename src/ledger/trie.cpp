@@ -1,0 +1,210 @@
+#include "ledger/trie.hpp"
+
+#include "crypto/sha256.hpp"
+
+namespace jenga::ledger {
+
+namespace {
+
+/// Nibble `depth` of the path, most-significant first (64 per 256-bit path).
+std::uint8_t nibble(const Hash256& path, std::size_t depth) {
+  const std::uint8_t byte = path.bytes[depth / 2];
+  return (depth % 2 == 0) ? (byte >> 4) : (byte & 0x0F);
+}
+
+Hash256 hash_inner_frame(const std::array<Hash256, 16>& children) {
+  crypto::Sha256 h;
+  h.update("jenga/trie-inner");
+  for (const Hash256& child : children) h.update(child);
+  return h.finish();
+}
+
+}  // namespace
+
+struct MerkleTrie::Node {
+  bool leaf = false;
+  mutable bool dirty = true;
+  mutable Hash256 hash{};
+  // leaf payload
+  Hash256 path{};
+  Hash256 value_hash{};
+  // inner payload
+  std::array<std::unique_ptr<Node>, 16> children;
+
+  static std::unique_ptr<Node> make_leaf(const Hash256& path, const Hash256& value_hash) {
+    auto n = std::make_unique<Node>();
+    n->leaf = true;
+    n->path = path;
+    n->value_hash = value_hash;
+    return n;
+  }
+  static std::unique_ptr<Node> make_inner() { return std::make_unique<Node>(); }
+};
+
+MerkleTrie::MerkleTrie() = default;
+MerkleTrie::~MerkleTrie() = default;
+MerkleTrie::MerkleTrie(MerkleTrie&&) noexcept = default;
+MerkleTrie& MerkleTrie::operator=(MerkleTrie&&) noexcept = default;
+
+Hash256 MerkleTrie::empty_root() {
+  static const Hash256 h = crypto::sha256("jenga/trie-empty");
+  return h;
+}
+
+Hash256 MerkleTrie::leaf_hash(const Hash256& path, const Hash256& value_hash) {
+  crypto::Sha256 h;
+  h.update("jenga/trie-leaf");
+  h.update(path);
+  h.update(value_hash);
+  return h.finish();
+}
+
+namespace {
+
+/// Inserts (path → value_hash) under `slot` at `depth`; returns true when a
+/// new leaf was created (vs an in-place update).
+bool insert_at(std::unique_ptr<MerkleTrie::Node>& slot, std::size_t depth,
+               const Hash256& path, const Hash256& value_hash) {
+  using N = MerkleTrie::Node;
+  if (!slot) {
+    slot = N::make_leaf(path, value_hash);
+    return true;
+  }
+  N& n = *slot;
+  n.dirty = true;
+  if (n.leaf) {
+    if (n.path == path) {
+      n.value_hash = value_hash;
+      return false;
+    }
+    // Split: push the resident leaf down an inner chain to the first nibble
+    // where the two paths diverge, then hang both leaves there.
+    std::unique_ptr<N> old = std::move(slot);
+    slot = N::make_inner();
+    N* cur = slot.get();
+    std::size_t d = depth;
+    while (nibble(old->path, d) == nibble(path, d)) {
+      auto& child = cur->children[nibble(path, d)];
+      child = N::make_inner();
+      cur = child.get();
+      ++d;
+    }
+    cur->children[nibble(old->path, d)] = std::move(old);
+    cur->children[nibble(path, d)] = N::make_leaf(path, value_hash);
+    return true;
+  }
+  return insert_at(n.children[nibble(path, depth)], depth + 1, path, value_hash);
+}
+
+bool erase_at(std::unique_ptr<MerkleTrie::Node>& slot, std::size_t depth,
+              const Hash256& path) {
+  using N = MerkleTrie::Node;
+  if (!slot) return false;
+  N& n = *slot;
+  if (n.leaf) {
+    if (!(n.path == path)) return false;
+    slot.reset();
+    return true;
+  }
+  if (!erase_at(n.children[nibble(path, depth)], depth + 1, path)) return false;
+  n.dirty = true;
+  // Canonical collapse: an inner node left holding a single leaf hoists it,
+  // so the structure stays a pure function of the surviving key set.
+  std::unique_ptr<N>* only = nullptr;
+  int live = 0;
+  for (auto& child : n.children) {
+    if (child) {
+      ++live;
+      only = &child;
+    }
+  }
+  if (live == 0) {
+    slot.reset();  // defensive: canonical structure never leaves empty inners
+  } else if (live == 1 && (*only)->leaf) {
+    slot = std::move(*only);
+  }
+  return true;
+}
+
+Hash256 cached_hash(const MerkleTrie::Node* n) {
+  if (!n->dirty) return n->hash;
+  if (n->leaf) {
+    n->hash = MerkleTrie::leaf_hash(n->path, n->value_hash);
+  } else {
+    crypto::Sha256 h;
+    h.update("jenga/trie-inner");
+    for (const auto& child : n->children)
+      h.update(child ? cached_hash(child.get()) : Hash256{});
+    n->hash = h.finish();
+  }
+  n->dirty = false;
+  return n->hash;
+}
+
+Hash256 full_hash(const MerkleTrie::Node* n) {
+  if (n->leaf) return MerkleTrie::leaf_hash(n->path, n->value_hash);
+  crypto::Sha256 h;
+  h.update("jenga/trie-inner");
+  for (const auto& child : n->children) h.update(child ? full_hash(child.get()) : Hash256{});
+  return h.finish();
+}
+
+}  // namespace
+
+void MerkleTrie::put(const Hash256& path, const Hash256& value_hash) {
+  if (insert_at(root_, 0, path, value_hash)) ++size_;
+}
+
+bool MerkleTrie::erase(const Hash256& path) {
+  if (!erase_at(root_, 0, path)) return false;
+  --size_;
+  return true;
+}
+
+const Hash256* MerkleTrie::get(const Hash256& path) const {
+  const Node* n = root_.get();
+  std::size_t depth = 0;
+  while (n != nullptr) {
+    if (n->leaf) return n->path == path ? &n->value_hash : nullptr;
+    n = n->children[nibble(path, depth)].get();
+    ++depth;
+  }
+  return nullptr;
+}
+
+Hash256 MerkleTrie::root() const {
+  return root_ ? cached_hash(root_.get()) : empty_root();
+}
+
+Hash256 MerkleTrie::recompute_root() const {
+  return root_ ? full_hash(root_.get()) : empty_root();
+}
+
+bool MerkleTrie::prove(const Hash256& path, TrieProof& out) const {
+  out.nodes.clear();
+  const Node* n = root_.get();
+  std::size_t depth = 0;
+  while (n != nullptr) {
+    if (n->leaf) return n->path == path;
+    TrieProofNode frame;
+    for (std::size_t i = 0; i < 16; ++i)
+      frame.children[i] = n->children[i] ? cached_hash(n->children[i].get()) : Hash256{};
+    out.nodes.push_back(frame);
+    n = n->children[nibble(path, depth)].get();
+    ++depth;
+  }
+  return false;
+}
+
+bool MerkleTrie::verify(const Hash256& root, const Hash256& path, const Hash256& value_hash,
+                        const TrieProof& proof) {
+  Hash256 expected = leaf_hash(path, value_hash);
+  for (std::size_t i = proof.nodes.size(); i-- > 0;) {
+    const TrieProofNode& frame = proof.nodes[i];
+    if (!(frame.children[nibble(path, i)] == expected)) return false;
+    expected = hash_inner_frame(frame.children);
+  }
+  return expected == root;
+}
+
+}  // namespace jenga::ledger

@@ -1,0 +1,90 @@
+// Authenticated map: radix-16 Merkle trie over hashed keys (SHAMap-style).
+//
+// Keys are 256-bit path hashes (the caller hashes its logical key — see
+// StateStore's key scheme), walked nibble by nibble from the top.  A leaf
+// lives at the shallowest depth where its path is unique, inner nodes exist
+// exactly on shared prefixes, and deletion collapses one-leaf inner chains —
+// so the structure (and therefore the root) is a pure function of the
+// key→value mapping, independent of insertion order.  That is the property
+// the exec-determinism tests lean on: any worker count, any arrival order,
+// same root.
+//
+// Hashing is incremental and lazy: mutations dirty the path, root() rehashes
+// only dirty subtrees.  A mutation therefore costs O(depth) pointer work and
+// root() costs O(dirty paths × depth × 16) hashing — at 10^6 keys depth is
+// ~5-6, against the old whole-store rehash that walked every entry on every
+// digest() call.
+//
+// Domain separation: leaf hashes, inner hashes and the empty root use
+// distinct SHA-256 tags, so a leaf can never be replayed as an inner node.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jenga::ledger {
+
+/// One inner node of a proof path: the full 16-child hash frame, root first.
+/// The verifier recomputes each frame's hash and checks the child slot the
+/// key's nibble selects, so any tampering — value, sibling, or path — breaks
+/// the chain.
+struct TrieProofNode {
+  std::array<Hash256, 16> children;
+};
+
+struct TrieProof {
+  std::vector<TrieProofNode> nodes;  // root frame first, leaf's parent last
+
+  [[nodiscard]] std::size_t depth() const { return nodes.size(); }
+  /// Wire size for the bandwidth model: 16 hashes per frame.
+  [[nodiscard]] std::uint64_t wire_size() const { return nodes.size() * 16 * 32 + 8; }
+};
+
+class MerkleTrie {
+ public:
+  MerkleTrie();
+  ~MerkleTrie();
+  MerkleTrie(MerkleTrie&&) noexcept;
+  MerkleTrie& operator=(MerkleTrie&&) noexcept;
+  MerkleTrie(const MerkleTrie&) = delete;
+  MerkleTrie& operator=(const MerkleTrie&) = delete;
+
+  /// Inserts or updates `path` with the given value hash.
+  void put(const Hash256& path, const Hash256& value_hash);
+  /// Removes `path`; returns false if absent.
+  bool erase(const Hash256& path);
+  /// The stored value hash, or nullptr.
+  [[nodiscard]] const Hash256* get(const Hash256& path) const;
+  [[nodiscard]] std::size_t size() const { return size_; }
+
+  /// Authenticated root.  Cached: only subtrees dirtied since the last call
+  /// are rehashed.
+  [[nodiscard]] Hash256 root() const;
+  /// Root recomputed from scratch, ignoring every cached hash — the oracle
+  /// the incremental path is asserted against in debug builds.
+  [[nodiscard]] Hash256 recompute_root() const;
+
+  /// Inclusion proof for `path` (which must be present; returns an empty
+  /// proof with ok=false otherwise via the bool).
+  [[nodiscard]] bool prove(const Hash256& path, TrieProof& out) const;
+
+  /// Verifies that (path → value_hash) is included under `root`.
+  [[nodiscard]] static bool verify(const Hash256& root, const Hash256& path,
+                                   const Hash256& value_hash, const TrieProof& proof);
+
+  [[nodiscard]] static Hash256 empty_root();
+  [[nodiscard]] static Hash256 leaf_hash(const Hash256& path, const Hash256& value_hash);
+
+  /// Implementation node; public so the out-of-line helpers can name it.
+  struct Node;
+
+ private:
+  std::unique_ptr<Node> root_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace jenga::ledger

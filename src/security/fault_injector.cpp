@@ -58,6 +58,26 @@ void FaultInjector::arm(FaultPlan plan) {
     events_armed_ += plan_.epoch_churn.size();
   }
 
+  for (const auto& fault : plan_.storage) {
+    sim_.schedule_at(fault.at, [this, fault] {
+      switch (fault.kind) {
+        case StorageFaultKind::kTornWrite:
+          sys_.storage_torn_write(fault.shard, fault.param);
+          break;
+        case StorageFaultKind::kDroppedFsync:
+          sys_.storage_drop_fsyncs(fault.shard, true);
+          sim_.schedule_after(fault.window, [this, shard = fault.shard] {
+            sys_.storage_drop_fsyncs(shard, false);
+          });
+          break;
+        case StorageFaultKind::kBitFlip:
+          sys_.storage_flip_bit(fault.shard, fault.param);
+          break;
+      }
+    });
+    ++events_armed_;
+  }
+
   for (const auto& hit : plan_.assassinations) {
     sim_.schedule_at(hit.at, [this, shard = hit.shard, at = hit.at,
                               recover_at = hit.recover_at] {
@@ -89,8 +109,13 @@ std::string InvariantReport::describe() const {
       << (boundary_lock_leaks == 0 ? " (ok)" : " (VIOLATION)") << "\n";
   out << "boundary_balance_mismatches=" << boundary_balance_mismatches
       << (boundary_balance_mismatches == 0 ? " (ok)" : " (VIOLATION)") << "\n";
+  out << "state_sync_root_mismatches=" << state_sync_root_mismatches
+      << (state_sync_root_mismatches == 0 ? " (ok)" : " (VIOLATION)") << "\n";
   out << "epoch_transitions=" << epoch_transitions << " txs_requeued=" << txs_requeued
-      << " (info)";
+      << " (info)\n";
+  out << "state_sync: proof_rejections=" << state_sync_proof_rejections
+      << " full_syncs=" << state_sync_full_syncs
+      << " recovery_refusals=" << storage_recovery_refusals << " (info)";
   return out.str();
 }
 
@@ -107,6 +132,11 @@ InvariantReport check_invariants(const core::JengaSystem& sys,
   report.boundary_balance_mismatches = epoch.boundary_balance_mismatches;
   report.epoch_transitions = epoch.transitions;
   report.txs_requeued = epoch.txs_requeued;
+  const auto& sync = sys.state_sync_stats();
+  report.state_sync_root_mismatches = sync.root_mismatches;
+  report.state_sync_proof_rejections = sync.proof_rejections;
+  report.state_sync_full_syncs = sync.full_syncs;
+  report.storage_recovery_refusals = sync.recovery_refusals;
   return report;
 }
 

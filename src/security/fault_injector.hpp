@@ -77,6 +77,25 @@ struct EpochBoundaryChurn {
   std::vector<NodeId> revive;
 };
 
+/// Storage-layer fault operations (durable backend; see MemStorageEnv).
+enum class StorageFaultKind : std::uint8_t {
+  kTornWrite = 0,   // next WAL append persists only `param` bytes
+  kDroppedFsync,    // fsyncs durabilize nothing for `window` of sim time
+  kBitFlip,         // flip durable WAL bit `param` (latent media corruption)
+};
+
+/// At time `at`, hit shard `shard`'s simulated disk with one storage fault.
+struct StorageFault {
+  ShardId shard;
+  SimTime at = 0;
+  StorageFaultKind kind = StorageFaultKind::kTornWrite;
+  /// kTornWrite: bytes of the next append that survive.  kBitFlip: bit offset
+  /// into the durable WAL image (wraps, so raw entropy is fine).
+  std::uint64_t param = 0;
+  /// kDroppedFsync: how long the drive keeps lying about fsync.
+  SimTime window = 0;
+};
+
 struct FaultPlan {
   std::vector<FaultRamp> ramps;
   std::vector<PartitionWindow> partitions;
@@ -84,10 +103,11 @@ struct FaultPlan {
   std::vector<ByzantineAssignment> byzantine;
   std::vector<LeaderAssassination> assassinations;
   std::vector<EpochBoundaryChurn> epoch_churn;
+  std::vector<StorageFault> storage;
 
   [[nodiscard]] std::size_t event_count() const {
     return ramps.size() + partitions.size() + crashes.size() + byzantine.size() +
-           assassinations.size() + epoch_churn.size();
+           assassinations.size() + epoch_churn.size() + storage.size();
   }
 };
 
@@ -128,11 +148,20 @@ struct InvariantReport {
   /// in-flight transactions were carried across a boundary.
   std::uint64_t epoch_transitions = 0;
   std::uint64_t txs_requeued = 0;
+  /// A recovery/rehome sync that ended on the wrong root is a safety
+  /// violation (an honest peer always exists in tolerated configurations).
+  std::uint64_t state_sync_root_mismatches = 0;
+  /// Informational storage/sync traffic: tampered proofs rejected, fallbacks
+  /// taken, corrupt durable images refused.
+  std::uint64_t state_sync_proof_rejections = 0;
+  std::uint64_t state_sync_full_syncs = 0;
+  std::uint64_t storage_recovery_refusals = 0;
 
   [[nodiscard]] bool balance_conserved() const { return expected_balance == actual_balance; }
   [[nodiscard]] bool ok() const {
     return leaked_locks == 0 && balance_conserved() && divergent_decides == 0 &&
-           limbo_txs == 0 && boundary_lock_leaks == 0 && boundary_balance_mismatches == 0;
+           limbo_txs == 0 && boundary_lock_leaks == 0 && boundary_balance_mismatches == 0 &&
+           state_sync_root_mismatches == 0;
   }
   /// Human-readable one-per-line summary (for test failure output and the
   /// resilience benchmark report).

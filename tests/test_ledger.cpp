@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <span>
 
 #include "crypto/sha256.hpp"
 #include "ledger/block.hpp"
@@ -53,6 +54,39 @@ TEST(StateStore, StorageAccounting) {
   store.create_contract_state(ContractId{1}, {{1, 1}, {2, 2}, {3, 3}});
   EXPECT_EQ(store.state_storage_bytes(),
             kAccountStateBytes + kContractStateOverheadBytes + 3 * kStateEntryBytes);
+}
+
+TEST(StateStore, DigestIsIncrementalAndOrderIndependent) {
+  // The digest is the trie's cached incremental root; it must be a pure
+  // function of the key→value mapping.  Two stores reaching the same state
+  // through different mutation orders (including deletes-by-overwrite) agree,
+  // and the cached root always matches a from-scratch recompute.
+  StateStore a;
+  StateStore b;
+  for (std::uint64_t i = 0; i < 50; ++i) a.create_account(AccountId{i}, i * 7);
+  for (std::uint64_t i = 50; i-- > 0;) b.create_account(AccountId{i}, 1);
+  for (std::uint64_t i = 0; i < 50; ++i) b.set_balance(AccountId{i}, i * 7);
+  a.create_contract_state(ContractId{3}, {{1, 10}});
+  b.create_contract_state(ContractId{3}, {{1, 99}});
+  b.set_contract_state(ContractId{3}, {{1, 10}});
+  EXPECT_EQ(a.digest(), b.digest());
+  EXPECT_EQ(a.digest(), a.trie().recompute_root());
+
+  // Any divergence in content diverges the digest.
+  b.set_balance(AccountId{49}, 0);
+  EXPECT_NE(a.digest(), b.digest());
+}
+
+TEST(StateStore, DigestChangesWithEveryMutation) {
+  StateStore store;
+  const Hash256 empty = store.digest();
+  store.create_account(AccountId{1}, 5);
+  const Hash256 one = store.digest();
+  EXPECT_NE(one, empty);
+  store.set_balance(AccountId{1}, 6);
+  EXPECT_NE(store.digest(), one);
+  store.set_balance(AccountId{1}, 5);
+  EXPECT_EQ(store.digest(), one);  // same content, same root
 }
 
 TEST(LogicStore, DeduplicatesAndAccounts) {
@@ -181,6 +215,53 @@ TEST(PortableState, MergeOverwritesWithNewer) {
   b.contracts[ContractId{1}] = {{1, 99}};
   a.merge(b);
   EXPECT_EQ(a.contracts.at(ContractId{1}).at(1), 99u);
+}
+
+PortableState sample_portable() {
+  PortableState state;
+  state.contracts[ContractId{1}] = {{1, 10}, {2, 20}};
+  state.contracts[ContractId{7}] = {};
+  state.balances[AccountId{3}] = 300;
+  state.balances[AccountId{4}] = 400;
+  return state;
+}
+
+TEST(PortableState, EncodeDecodeRoundTrip) {
+  const PortableState state = sample_portable();
+  const auto wire = state.encode();
+  auto decoded = PortableState::decode(wire);
+  ASSERT_TRUE(decoded.ok()) << decoded.error();
+  EXPECT_EQ(decoded.value().contracts, state.contracts);
+  EXPECT_EQ(decoded.value().balances, state.balances);
+  EXPECT_EQ(decoded.value().total_balance(), 700u);
+
+  // Empty bundles round-trip too.
+  auto empty = PortableState::decode(PortableState{}.encode());
+  ASSERT_TRUE(empty.ok()) << empty.error();
+  EXPECT_TRUE(empty.value().empty());
+}
+
+TEST(PortableState, DecodeRejectsTruncation) {
+  const auto wire = sample_portable().encode();
+  // Every proper prefix must fail cleanly — no crash, no partial bundle.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    auto r = PortableState::decode(std::span(wire).first(cut));
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes decoded";
+  }
+  // Trailing garbage is rejected as a length mismatch.
+  auto padded = wire;
+  padded.push_back(0);
+  EXPECT_FALSE(PortableState::decode(padded).ok());
+}
+
+TEST(PortableState, DecodeRejectsBitFlips) {
+  const auto wire = sample_portable().encode();
+  for (std::size_t byte = 0; byte < wire.size(); ++byte) {
+    auto bent = wire;
+    bent[byte] ^= 0x10;
+    auto r = PortableState::decode(bent);
+    EXPECT_FALSE(r.ok()) << "flip in byte " << byte << " decoded";
+  }
 }
 
 TEST(Placement, DeterministicAndInRange) {
