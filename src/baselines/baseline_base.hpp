@@ -117,6 +117,9 @@ class BaselineSystem {
   void set_telemetry(telemetry::Telemetry* t);
 
   [[nodiscard]] const TxStats& stats() const { return stats_; }
+  /// Transactions submitted but neither committed nor aborted yet (the
+  /// open-loop dispatcher's credit window reads this).
+  [[nodiscard]] std::size_t in_flight() const { return tracker_.size(); }
   [[nodiscard]] const BaselineConfig& config() const { return config_; }
   [[nodiscard]] virtual StorageReport storage_report() const;
   [[nodiscard]] const ledger::Chain& shard_chain(ShardId s) const;

@@ -1053,6 +1053,10 @@ consensus::ConsensusValue wrap_value(std::string_view tag, std::uint64_t group,
 
 std::optional<consensus::ConsensusValue> JengaSystem::shard_propose(ShardEngine& eng,
                                                                     std::uint64_t height) {
+  // Watchdog piggybacks on proposal cadence: no dedicated timer, so idle
+  // simulations still drain (run_until_idle), yet any inflight 2PC round is
+  // re-examined at least once per consensus round.
+  twopc_watchdog_scan();
   if (config_.pipeline != Pipeline::kFull)
     eng.gather.expire(sim_.now(), config_.pending_timeout);
 
@@ -1361,6 +1365,17 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
       switch (item.stage) {
         case 0: {  // debit at the sender's shard
           if (draining_) break;  // parked: the epoch boundary requeues it
+          // Transfers mutate balances directly, so they must honor the same
+          // Phase-1 account locks that contract commits write gathered
+          // snapshots back under — a debit/credit interleaved between gather
+          // and commit would be silently undone by the absolute write-back.
+          // Parked behind the lock: re-propose in a later block (the non-empty
+          // queue keeps the shard proposing until the holder commits/aborts).
+          if (eng.locks.account_locked(tx.sender) ||
+              (dest == eng.id && eng.locks.account_locked(tx.to))) {
+            eng.transfers.push_back(item);
+            break;
+          }
           const auto bal = eng.store.balance(tx.sender);
           if (!bal || *bal < tx.amount) {
             tx_shard_finished(tx.hash, false);
@@ -1376,7 +1391,7 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
           } else {
             // The debit is applied; until the 2PC round finalizes the tx must
             // not be force-aborted (the cutover waits for this set to empty).
-            twopc_inflight_.insert(tx.hash);
+            twopc_inflight_.emplace(tx.hash, TwoPcEntry{sim_.now(), false});
             auto pp = std::make_shared<TwoPcPayload>();
             pp->tx = item.tx;
             pp->commit = false;
@@ -1390,6 +1405,10 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
           break;
         }
         case 1: {  // credit at the destination shard
+          if (eng.locks.account_locked(tx.to)) {  // same hazard as the debit
+            eng.transfers.push_back(item);
+            break;
+          }
           eng.store.set_balance(tx.to, eng.store.balance(tx.to).value_or(0) + tx.amount);
           committed.push_back(tx.hash);
           body_bytes += tx.wire_size();
@@ -2053,6 +2072,25 @@ std::size_t JengaSystem::held_locks() const {
   std::size_t n = 0;
   for (const auto& s : shards_) n += s->locks.held_locks();
   return n;
+}
+
+std::size_t JengaSystem::twopc_stuck_now() const {
+  if (config_.twopc_stuck_timeout <= 0) return 0;
+  std::size_t n = 0;
+  for (const auto& [h, e] : twopc_inflight_)
+    if (sim_.now() - e.since >= config_.twopc_stuck_timeout) ++n;
+  return n;
+}
+
+void JengaSystem::twopc_watchdog_scan() {
+  if (config_.twopc_stuck_timeout <= 0) return;
+  const SimTime now = sim_.now();
+  for (auto& [h, e] : twopc_inflight_) {
+    if (e.flagged || now - e.since < config_.twopc_stuck_timeout) continue;
+    e.flagged = true;
+    ++twopc_stuck_total_;
+    if (telemetry_ != nullptr) telemetry_->registry.counter("twopc.stuck").inc();
+  }
 }
 
 Hash256 JengaSystem::ledger_digest() const {

@@ -78,6 +78,12 @@ struct JengaConfig {
   /// before Phase 1 gives up and emits an AbortRequest (mempool retry, as in
   /// real implementations).
   std::uint32_t max_lock_retries = 24;
+  /// 2PC inflight watchdog: a cross-shard transfer whose debit applied but
+  /// whose round has not finalized within this window is flagged as stuck
+  /// (`twopc.stuck` counter, audited by security::check_invariants).  The
+  /// watchdog only observes — a genuinely wedged round is a liveness bug the
+  /// audit should fail loudly on, not silently patch.  0 disables.
+  SimTime twopc_stuck_timeout = 60 * kSecond;
   Pipeline pipeline = Pipeline::kFull;
   /// Worker threads for batch transaction execution (src/exec/).  Results are
   /// bit-identical for every value; 1 = serial, no threads spawned.
@@ -177,6 +183,13 @@ class JengaSystem {
   [[nodiscard]] std::size_t held_locks() const;
   /// Transactions submitted but neither committed nor aborted yet.
   [[nodiscard]] std::size_t in_flight() const { return tracker_.size(); }
+  /// 2PC rounds with an applied debit awaiting finalization right now.
+  [[nodiscard]] std::size_t twopc_inflight() const { return twopc_inflight_.size(); }
+  /// Inflight 2PC entries currently older than `twopc_stuck_timeout`
+  /// (snapshot view, for the invariant audit).
+  [[nodiscard]] std::size_t twopc_stuck_now() const;
+  /// Total entries ever flagged stuck by the watchdog (monotonic).
+  [[nodiscard]] std::uint64_t twopc_stuck_total() const { return twopc_stuck_total_; }
   /// Safety violations observed: two replicas of one group deciding different
   /// digests at the same height.  Must stay 0 under every fault schedule.
   [[nodiscard]] std::uint64_t divergent_decides() const { return divergent_decides_; }
@@ -308,6 +321,10 @@ class JengaSystem {
   void relay_gossip(NodeId node, const std::vector<NodeId>& group, const sim::Message& msg);
 
   // Consensus app plumbing (payload types are internal to the .cpp).
+  /// Flags inflight 2PC entries older than `twopc_stuck_timeout` (once each)
+  /// into `twopc_stuck_total_` and the `twopc.stuck` counter.
+  void twopc_watchdog_scan();
+
   [[nodiscard]] std::optional<consensus::ConsensusValue> shard_propose(ShardEngine& eng,
                                                                        std::uint64_t height);
   void shard_decide(ShardEngine& eng, NodeId node, std::uint64_t height,
@@ -381,8 +398,14 @@ class JengaSystem {
   std::uint64_t initial_balance_ = 0;
   /// Cross-shard transfers whose debit applied but whose 2PC round has not
   /// finalized; the cutover waits for this to empty (a force-abort here would
-  /// either lose or double the debit).
-  std::unordered_set<Hash256> twopc_inflight_;
+  /// either lose or double the debit).  Each entry remembers when its debit
+  /// applied and whether the watchdog already flagged it stuck.
+  struct TwoPcEntry {
+    SimTime since = 0;
+    bool flagged = false;
+  };
+  std::unordered_map<Hash256, TwoPcEntry> twopc_inflight_;
+  std::uint64_t twopc_stuck_total_ = 0;
   /// Client-tx hashes already re-routed once after landing on a node whose
   /// new-epoch assignment no longer matches the submit-time contact.
   std::unordered_set<Hash256> rerouted_;

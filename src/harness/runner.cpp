@@ -135,6 +135,8 @@ RunResult run_experiment(const RunConfig& config) {
     }
   };
   auto stats = [&]() -> const TxStats& { return jenga ? jenga->stats() : baseline->stats(); };
+  const std::uint64_t initial_balance =
+      jenga ? jenga->total_account_balance() : baseline->total_account_balance();
 
   if (jenga) {
     jenga->set_telemetry(telemetry.get());
@@ -148,7 +150,7 @@ RunResult run_experiment(const RunConfig& config) {
   auto mix = std::make_shared<Rng>(config.seed ^ 0x317);
   auto contracts_left = std::make_shared<std::size_t>(config.contract_txs);
   auto transfers_left = std::make_shared<std::size_t>(config.transfer_txs);
-  auto submit_one = [&, mix, contracts_left, transfers_left] {
+  auto make_one = [&, mix, contracts_left, transfers_left]() -> ledger::Transaction {
     const bool pick_transfer =
         *transfers_left > 0 && (*contracts_left == 0 ||
                                 mix->uniform(*contracts_left + *transfers_left) <
@@ -158,13 +160,57 @@ RunResult run_experiment(const RunConfig& config) {
     } else {
       --*contracts_left;
     }
-    auto tx = std::make_shared<ledger::Transaction>(
-        pick_transfer ? gen.transfer_tx(sim.now())
-                      : gen.contract_tx(config.trace_height, sim.now()));
-    submit(std::move(tx));
+    return pick_transfer ? gen.transfer_tx(sim.now())
+                         : gen.contract_tx(config.trace_height, sim.now());
+  };
+  auto submit_one = [&, make_one] {
+    submit(std::make_shared<ledger::Transaction>(make_one()));
   };
 
-  if (config.closed_loop_window > 0) {
+  // Open-loop ingestion (admission control, backpressure, retry) when an
+  // arrival mode is selected; otherwise the legacy injection paths below run
+  // bit-identically to earlier revisions.
+  const bool open_loop = config.arrival.mode != workload::ArrivalMode::kNone;
+  std::unique_ptr<mempool::IngressSet> ingress;
+  std::unique_ptr<workload::OpenLoopClient> client;
+  std::unique_ptr<security::FaultInjector> injector;
+  if (open_loop) {
+    mempool::IngressConfig ic;
+    ic.num_shards = config.num_shards;
+    ic.pool = config.mempool;
+    ic.soft_watermark = config.mempool_soft_watermark;
+    ic.hard_watermark = config.mempool_hard_watermark;
+    ingress = std::make_unique<mempool::IngressSet>(ic);
+    ingress->set_telemetry(&telemetry->registry);
+
+    workload::ClientConfig cc;
+    cc.arrival = config.arrival;
+    cc.retry = config.retry;
+    cc.fee_tiers = config.fee_tiers;
+    cc.total_txs = total;
+    cc.max_inflight = config.max_inflight;
+    cc.pump_interval = config.pump_interval;
+    client = std::make_unique<workload::OpenLoopClient>(
+        sim, *ingress, cc, Rng(config.seed ^ 0xC11E47), make_one, submit,
+        [&]() -> std::size_t { return jenga ? jenga->in_flight() : baseline->in_flight(); });
+    client->set_telemetry(&telemetry->registry);
+    client->start();
+  }
+  if (config.faults_plan.event_count() > 0 && jenga) {
+    // Scripted faults ride along (Jenga kinds; the injector drives the
+    // system's fault hooks).  Overload bursts reach the open-loop client's
+    // rate multiplier; without a client they have nothing to throttle.
+    injector = std::make_unique<security::FaultInjector>(sim, net, *jenga);
+    if (client) {
+      injector->set_overload_hook(
+          [c = client.get()](double m) { c->set_rate_multiplier(m); });
+    }
+    injector->arm(config.faults_plan);
+  }
+
+  if (open_loop) {
+    // Arrivals already scheduled by the client.
+  } else if (config.closed_loop_window > 0) {
     // Closed loop: a pacer keeps `window` transactions outstanding.
     auto pacer = std::make_shared<std::function<void()>>();
     *pacer = [&, pacer, submit_one, total] {
@@ -198,11 +244,32 @@ RunResult run_experiment(const RunConfig& config) {
     now += slice;
     sim.run_until(now);
     const auto& s = stats();
-    if (s.submitted == total && s.committed + s.aborted == total) break;
+    if (open_loop) {
+      // Open loop: every generated tx must reach a terminal state — committed
+      // or aborted inside the system, or terminally rejected/expired at the
+      // admission layer (the client tracks those).
+      if (client->drained() && s.committed + s.aborted == s.submitted) break;
+    } else if (s.submitted == total && s.committed + s.aborted == total) {
+      break;
+    }
   }
 
   RunResult result;
   result.stats = stats();
+  if (open_loop) {
+    const workload::ClientStats& cs = client->stats();
+    result.stats.rejected = cs.rejected_terminal;
+    result.stats.expired = cs.expired_doa + cs.expired_pool;
+    result.ingress.enabled = true;
+    result.ingress.pools = ingress->stats();
+    result.ingress.client = cs;
+    result.ingress.admission_digest = ingress->admission_digest();
+    if (jenga) {
+      result.ingress.invariants_audited = true;
+      result.ingress.invariants =
+          security::check_invariants(*jenga, initial_balance, ingress.get());
+    }
+  }
   result.traffic = net.stats();
   result.faults = net.fault_stats();
   result.storage = jenga ? jenga->storage_report() : baseline->storage_report();

@@ -7,7 +7,11 @@
 
 #include "baselines/baseline_base.hpp"
 #include "core/jenga_system.hpp"
+#include "mempool/ingress.hpp"
+#include "security/fault_injector.hpp"
 #include "telemetry/telemetry.hpp"
+#include "workload/arrival.hpp"
+#include "workload/client.hpp"
 #include "workload/trace.hpp"
 
 namespace jenga::harness {
@@ -70,6 +74,42 @@ struct RunConfig {
   std::uint32_t storage_snapshot_interval = 64;
   /// Model proof-verified state sync on crash recovery / rehoming.
   bool model_state_sync = false;
+
+  // --- Open-loop ingestion (DESIGN.md §10) --------------------------------
+  /// arrival.mode == kNone (default): the legacy injection paths above run
+  /// bit-identically to earlier PRs.  Any other mode routes every generated
+  /// tx through per-ingress-shard fee-priority mempools: Poisson/bursty/
+  /// diurnal arrivals at arrival.rate_tps, admission control with reason
+  /// codes, TTL expiry, backpressure into the arrival process, client retry
+  /// with backoff, and a credit-windowed dispatch pump into the system.
+  /// Works on every SystemKind; contract_txs + transfer_txs still set the
+  /// total generated.
+  workload::ArrivalConfig arrival;
+  workload::RetryPolicy retry;
+  workload::FeeTierSpec fee_tiers;
+  mempool::MempoolConfig mempool;  // per-ingress-shard pool
+  double mempool_soft_watermark = 0.70;
+  double mempool_hard_watermark = 0.95;
+  /// Dispatch credit window: pool → system submissions keep at most this many
+  /// transactions in flight (open-loop modes only).
+  std::size_t max_inflight = 512;
+  SimTime pump_interval = 50 * kMillisecond;
+  /// Scripted faults, armed before the run (Jenga kinds only; overload bursts
+  /// additionally need an open-loop arrival mode to have a client to throttle).
+  security::FaultPlan faults_plan;
+};
+
+/// Admission-layer outcome of an open-loop run (zeroed for legacy modes).
+struct IngressReport {
+  bool enabled = false;
+  mempool::IngressStats pools;
+  workload::ClientStats client;
+  /// Chained hash over every admit/reject/evict/expire/dispatch event — the
+  /// determinism witness for the admission sequence.
+  Hash256 admission_digest{};
+  /// Post-drain safety audit (Jenga kinds only; see audited flag).
+  bool invariants_audited = false;
+  security::InvariantReport invariants;
 };
 
 struct RunResult {
@@ -93,6 +133,8 @@ struct RunResult {
   std::uint64_t epoch_txs_requeued = 0;
   /// Recovery-time state sync counters (all 0 unless model_state_sync).
   core::StateSyncStats state_sync;
+  /// Admission-layer outcome (enabled only for open-loop arrival modes).
+  IngressReport ingress;
   /// Every run is instrumented (telemetry is cheap enough to stay on): the
   /// full metric registry / tracer / message telemetry, and the per-phase
   /// latency breakdown derived from the tracer.

@@ -1,0 +1,113 @@
+#include "mempool/mempool.hpp"
+
+#include <algorithm>
+
+namespace jenga::mempool {
+
+const char* admit_result_name(AdmitResult r) {
+  switch (r) {
+    case AdmitResult::kAdmitted: return "admitted";
+    case AdmitResult::kRejectedFull: return "rejected_full";
+    case AdmitResult::kRejectedDuplicate: return "rejected_duplicate";
+    case AdmitResult::kRejectedExpired: return "rejected_expired";
+  }
+  return "?";
+}
+
+OfferOutcome Mempool::offer(TxPtr tx, SimTime now, std::uint8_t fee_tier,
+                            std::optional<SimTime> ttl_override) {
+  OfferOutcome out;
+  const SimTime ttl = ttl_override.value_or(config_.ttl);
+  const SimTime deadline = now + ttl;
+  if (deadline <= now) {
+    // TTL 0 (or negative override): dead on arrival, never enters the pool.
+    ++stats_.rejected_expired;
+    out.result = AdmitResult::kRejectedExpired;
+    return out;
+  }
+  if (by_hash_.contains(tx->hash)) {
+    ++stats_.rejected_duplicate;
+    out.result = AdmitResult::kRejectedDuplicate;
+    return out;
+  }
+
+  const std::int64_t key = priority_key(tx->fee, now, config_.aging_fee_per_second);
+  if (by_hash_.size() >= config_.capacity) {
+    // Full: displace the lowest-priority resident only if the newcomer
+    // strictly outranks it.  On an exact tie the resident wins (it is older
+    // by definition — a newcomer with the same key arrived later).
+    if (by_priority_.empty()) {  // capacity == 0
+      ++stats_.rejected_full;
+      out.result = AdmitResult::kRejectedFull;
+      return out;
+    }
+    auto worst = std::prev(by_priority_.end());
+    const Rank worst_rank = worst->first;
+    const bool newcomer_wins =
+        key > worst_rank.key;  // same key → newcomer has higher seq → loses
+    if (!newcomer_wins) {
+      ++stats_.rejected_full;
+      out.result = AdmitResult::kRejectedFull;
+      return out;
+    }
+    out.evicted = by_hash_.at(worst->second).tx;
+    erase_entry(worst->second);
+    ++stats_.evicted;
+  }
+
+  Entry e;
+  e.tx = std::move(tx);
+  e.enqueued = now;
+  e.deadline = deadline;
+  e.seq = next_seq_++;
+  e.key = key;
+  e.fee_tier = fee_tier;
+  const Hash256 h = e.tx->hash;
+  by_priority_.emplace(Rank{e.key, e.seq}, h);
+  by_deadline_.emplace(e.deadline, e.seq);
+  seq_to_hash_.emplace(e.seq, h);
+  by_hash_.emplace(h, std::move(e));
+  ++stats_.admitted;
+  stats_.peak_depth = std::max(stats_.peak_depth, by_hash_.size());
+  out.result = AdmitResult::kAdmitted;
+  return out;
+}
+
+std::vector<TxPtr> Mempool::expire(SimTime now) {
+  std::vector<TxPtr> shed;
+  while (!by_deadline_.empty()) {
+    const auto it = by_deadline_.begin();
+    if (it->first > now) break;
+    const Hash256 h = seq_to_hash_.at(it->second);
+    shed.push_back(by_hash_.at(h).tx);
+    erase_entry(h);
+    ++stats_.expired;
+  }
+  return shed;
+}
+
+std::optional<Dispatched> Mempool::pop_best(SimTime now) {
+  if (by_priority_.empty()) return std::nullopt;
+  const auto it = by_priority_.begin();
+  const Entry& e = by_hash_.at(it->second);
+  Dispatched d;
+  d.tx = e.tx;
+  d.enqueued = e.enqueued;
+  d.wait = now - e.enqueued;
+  d.fee_tier = e.fee_tier;
+  erase_entry(e.tx->hash);
+  ++stats_.dispatched;
+  return d;
+}
+
+void Mempool::erase_entry(const Hash256& h) {
+  const auto it = by_hash_.find(h);
+  if (it == by_hash_.end()) return;
+  const Entry& e = it->second;
+  by_priority_.erase(Rank{e.key, e.seq});
+  by_deadline_.erase({e.deadline, e.seq});
+  seq_to_hash_.erase(e.seq);
+  by_hash_.erase(it);
+}
+
+}  // namespace jenga::mempool

@@ -1,0 +1,169 @@
+// Bounded fee-priority mempool (DESIGN.md §10).
+//
+// One pool buffers the transactions of one ingress shard between the client
+// and the consensus pipeline.  Three rules govern it:
+//
+//   Admission   — capacity is a hard bound.  A full pool either evicts its
+//                 lowest-priority resident (when the newcomer outranks it) or
+//                 rejects the newcomer; every rejection carries a reason code,
+//                 nothing is ever dropped silently.
+//   Priority    — effective priority at time t is fee + aging_fee_per_second ×
+//                 wait.  Because the aging boost grows identically for every
+//                 resident, the ordering between two entries is decided by the
+//                 time-independent key (fee − aging × enqueue_time): a static
+//                 key per entry, so the pool can keep one sorted index and
+//                 still promote old low-fee transactions past newer high-fee
+//                 ones — bounded wait for every admitted tx (anti-starvation).
+//   Expiry      — each entry carries a deadline (enqueue + TTL).  Stale work
+//                 is shed from the pool before dispatch, so an expired tx has
+//                 never touched a Phase-1 lock or a 2PC round.
+//
+// Everything is a pure function of the call sequence: same (seed, arrival
+// trace) → same admit/evict/expire/dispatch order, regardless of exec worker
+// count (the pool never sees a thread).  Ties break on arrival sequence.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "core/protocol_messages.hpp"  // TxPtr
+#include "ledger/transaction.hpp"
+
+namespace jenga::mempool {
+
+using core::TxPtr;
+
+/// Outcome of one admission attempt.  Every non-admit is a reason code the
+/// client sees (and can act on: back off, re-fee, give up).
+enum class AdmitResult : std::uint8_t {
+  kAdmitted = 0,        // entered the pool
+  kRejectedFull,        // pool at capacity and the newcomer ranks lowest
+  kRejectedDuplicate,   // same tx hash already resident
+  kRejectedExpired,     // dead on arrival: deadline not after `now`
+};
+
+[[nodiscard]] const char* admit_result_name(AdmitResult r);
+
+/// Number of fee tiers the wait-fairness accounting distinguishes.
+inline constexpr std::uint8_t kFeeTiers = 3;
+
+struct MempoolConfig {
+  std::size_t capacity = 4096;
+  /// Entry deadline = enqueue time + ttl.  0 is legal and means "already
+  /// stale": the entry expires on the first shed sweep at or after enqueue.
+  SimTime ttl = 120 * kSecond;
+  /// Anti-starvation aging: effective priority = fee + this × seconds waited.
+  /// 0 disables aging (pure fee priority, low-fee txs can starve).
+  std::uint64_t aging_fee_per_second = 2;
+};
+
+/// Per-pool event counters (aggregated across shards by IngressSet).
+struct MempoolStats {
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected_full = 0;
+  std::uint64_t rejected_duplicate = 0;
+  std::uint64_t rejected_expired = 0;
+  std::uint64_t evicted = 0;    // displaced by a higher-priority newcomer
+  std::uint64_t expired = 0;    // shed by TTL before dispatch
+  std::uint64_t dispatched = 0;
+  std::size_t peak_depth = 0;
+
+  [[nodiscard]] std::uint64_t rejected_total() const {
+    return rejected_full + rejected_duplicate + rejected_expired;
+  }
+};
+
+/// What offer() did, including the collateral eviction if one happened.
+struct OfferOutcome {
+  AdmitResult result = AdmitResult::kAdmitted;
+  /// Set when admission displaced the lowest-priority resident: that tx is
+  /// back in the client's hands (counted, reason-coded kRejectedFull there).
+  TxPtr evicted;
+};
+
+/// A transaction handed back by dispatch, with its queue telemetry.
+struct Dispatched {
+  TxPtr tx;
+  SimTime enqueued = 0;
+  SimTime wait = 0;
+  std::uint8_t fee_tier = 0;
+};
+
+class Mempool {
+ public:
+  explicit Mempool(MempoolConfig config) : config_(config) {}
+
+  /// Admission control.  `fee_tier` only labels the wait histograms; priority
+  /// comes from tx->fee.  `ttl_override` replaces config().ttl for this entry.
+  OfferOutcome offer(TxPtr tx, SimTime now, std::uint8_t fee_tier,
+                     std::optional<SimTime> ttl_override = std::nullopt);
+
+  /// Sheds every entry whose deadline is ≤ now, in deadline order (sequence
+  /// tie-break).  Returns the shed transactions, oldest deadline first.
+  std::vector<TxPtr> expire(SimTime now);
+
+  /// Pops the highest-effective-priority entry, or nullopt when empty.
+  /// Callers shed stale entries first (expire()) so dispatch never hands out
+  /// work that is already past its deadline.
+  std::optional<Dispatched> pop_best(SimTime now);
+
+  [[nodiscard]] std::size_t depth() const { return by_hash_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return config_.capacity; }
+  [[nodiscard]] bool contains(const Hash256& h) const { return by_hash_.contains(h); }
+  [[nodiscard]] const MempoolConfig& config() const { return config_; }
+  [[nodiscard]] const MempoolStats& stats() const { return stats_; }
+
+  /// Occupancy in [0,1] — the backpressure signal's raw input.
+  [[nodiscard]] double fill() const {
+    return config_.capacity == 0
+               ? 1.0
+               : static_cast<double>(depth()) / static_cast<double>(config_.capacity);
+  }
+
+  /// The time-independent priority key (see file comment).  Exposed for the
+  /// property tests that check ordering is a pure function of (fee, enqueue).
+  [[nodiscard]] static std::int64_t priority_key(std::uint64_t fee, SimTime enqueued,
+                                                 std::uint64_t aging_fee_per_second) {
+    // fee in whole-second units minus the aging debit for enqueueing late:
+    // comparing two keys is exactly comparing fee + aging × wait at any t.
+    return static_cast<std::int64_t>(fee) * kSecond -
+           static_cast<std::int64_t>(aging_fee_per_second) * enqueued;
+  }
+
+ private:
+  struct Entry {
+    TxPtr tx;
+    SimTime enqueued = 0;
+    SimTime deadline = 0;
+    std::uint64_t seq = 0;  // admission order; FIFO tie-break
+    std::int64_t key = 0;   // static priority key
+    std::uint8_t fee_tier = 0;
+  };
+
+  /// Highest key first; among equals the OLDER entry (lower seq) ranks higher.
+  struct Rank {
+    std::int64_t key;
+    std::uint64_t seq;
+    bool operator<(const Rank& o) const {
+      if (key != o.key) return key > o.key;
+      return seq < o.seq;
+    }
+  };
+
+  void erase_entry(const Hash256& h);
+
+  MempoolConfig config_;
+  MempoolStats stats_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<Hash256, Entry> by_hash_;
+  std::map<Rank, Hash256> by_priority_;                       // dispatch / evict order
+  std::set<std::pair<SimTime, std::uint64_t>> by_deadline_;   // (deadline, seq) → expiry order
+  std::unordered_map<std::uint64_t, Hash256> seq_to_hash_;
+};
+
+}  // namespace jenga::mempool

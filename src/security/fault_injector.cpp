@@ -78,6 +78,16 @@ void FaultInjector::arm(FaultPlan plan) {
     ++events_armed_;
   }
 
+  for (const auto& burst : plan_.overload) {
+    sim_.schedule_at(burst.at, [this, mult = burst.rate_multiplier] {
+      if (overload_hook_) overload_hook_(mult);
+    });
+    sim_.schedule_at(burst.at + burst.duration, [this] {
+      if (overload_hook_) overload_hook_(1.0);
+    });
+    ++events_armed_;
+  }
+
   for (const auto& hit : plan_.assassinations) {
     sim_.schedule_at(hit.at, [this, shard = hit.shard, at = hit.at,
                               recover_at = hit.recover_at] {
@@ -115,13 +125,38 @@ std::string InvariantReport::describe() const {
       << " (info)\n";
   out << "state_sync: proof_rejections=" << state_sync_proof_rejections
       << " full_syncs=" << state_sync_full_syncs
-      << " recovery_refusals=" << storage_recovery_refusals << " (info)";
+      << " recovery_refusals=" << storage_recovery_refusals << " (info)\n";
+  out << "twopc_stuck=" << twopc_stuck << (twopc_stuck == 0 ? " (ok)" : " (VIOLATION)")
+      << " total_flagged=" << twopc_stuck_total << " (info)\n";
+  if (mempool_capacity == 0) {
+    out << "mempool: not audited (info)";
+  } else {
+    out << "mempool: resident=" << mempool_resident << " peak=" << mempool_peak_resident
+        << " capacity=" << mempool_capacity
+        << (mempool_bounded() ? " (ok)" : " (VIOLATION)")
+        << " unaccounted=" << mempool_unaccounted
+        << (mempool_unaccounted == 0 ? " (ok)" : " (VIOLATION)");
+  }
   return out.str();
 }
 
-InvariantReport check_invariants(const core::JengaSystem& sys,
-                                 std::uint64_t initial_balance) {
+InvariantReport check_invariants(const core::JengaSystem& sys, std::uint64_t initial_balance,
+                                 const mempool::IngressSet* ingress) {
   InvariantReport report;
+  report.twopc_stuck = sys.twopc_stuck_now();
+  report.twopc_stuck_total = sys.twopc_stuck_total();
+  if (ingress != nullptr) {
+    const mempool::IngressStats ms = ingress->stats();
+    report.mempool_resident = ms.resident;
+    report.mempool_peak_resident = ms.peak_resident;
+    report.mempool_capacity =
+        ingress->config().pool.capacity * ingress->config().num_shards;
+    const std::uint64_t leavers =
+        ms.totals.dispatched + ms.totals.evicted + ms.totals.expired + ms.resident;
+    report.mempool_unaccounted = ms.totals.admitted >= leavers
+                                     ? ms.totals.admitted - leavers
+                                     : leavers - ms.totals.admitted;
+  }
   report.leaked_locks = sys.held_locks();
   report.expected_balance = initial_balance - sys.stats().fees_charged;
   report.actual_balance = sys.total_account_balance();

@@ -23,6 +23,7 @@
 #include "common/types.hpp"
 #include "consensus/bft.hpp"
 #include "core/jenga_system.hpp"
+#include "mempool/ingress.hpp"
 #include "simnet/network.hpp"
 #include "simnet/simulator.hpp"
 
@@ -96,6 +97,18 @@ struct StorageFault {
   SimTime window = 0;
 };
 
+/// Between [at, at+duration) the workload's offered rate is scaled by
+/// `rate_multiplier` (a flash crowd scripted like any other fault).  Applied
+/// through the injector's overload hook — the arrival process is not a
+/// network entity, so the plan reaches it by callback rather than by NodeId.
+/// Windows are restored to ×1.0 at their end; overlapping windows are not
+/// composed (the latest event wins), so keep them disjoint in plans.
+struct OverloadBurst {
+  SimTime at = 0;
+  SimTime duration = 0;
+  double rate_multiplier = 1.0;
+};
+
 struct FaultPlan {
   std::vector<FaultRamp> ramps;
   std::vector<PartitionWindow> partitions;
@@ -104,10 +117,11 @@ struct FaultPlan {
   std::vector<LeaderAssassination> assassinations;
   std::vector<EpochBoundaryChurn> epoch_churn;
   std::vector<StorageFault> storage;
+  std::vector<OverloadBurst> overload;
 
   [[nodiscard]] std::size_t event_count() const {
     return ramps.size() + partitions.size() + crashes.size() + byzantine.size() +
-           assassinations.size() + epoch_churn.size() + storage.size();
+           assassinations.size() + epoch_churn.size() + storage.size() + overload.size();
   }
 };
 
@@ -123,6 +137,13 @@ class FaultInjector {
   /// before running the simulation; Byzantine assignments apply immediately.
   void arm(FaultPlan plan);
 
+  /// Receiver for OverloadBurst events (the open-loop client's
+  /// set_rate_multiplier, typically).  Set before arm() if the plan scripts
+  /// overload; bursts armed without a hook are dropped with a count.
+  void set_overload_hook(std::function<void(double)> hook) {
+    overload_hook_ = std::move(hook);
+  }
+
   [[nodiscard]] std::size_t events_armed() const { return events_armed_; }
 
  private:
@@ -130,6 +151,7 @@ class FaultInjector {
   sim::Network& net_;
   core::JengaSystem& sys_;
   FaultPlan plan_;
+  std::function<void(double)> overload_hook_;
   std::size_t events_armed_ = 0;
 };
 
@@ -156,12 +178,32 @@ struct InvariantReport {
   std::uint64_t state_sync_proof_rejections = 0;
   std::uint64_t state_sync_full_syncs = 0;
   std::uint64_t storage_recovery_refusals = 0;
+  /// 2PC rounds still past the stuck timeout when the run drained — a wedged
+  /// cross-shard transfer the protocol never finalized (liveness violation).
+  std::size_t twopc_stuck = 0;
+  /// Total watchdog flags over the whole run (informational: transient stalls
+  /// that later resolved, e.g. a partition window that healed).
+  std::uint64_t twopc_stuck_total = 0;
+  /// Ingress mempool audits (populated when an IngressSet is passed in).
+  /// Bounded-queue check: residents and lifetime peak must fit capacity.
+  std::size_t mempool_resident = 0;
+  std::size_t mempool_peak_resident = 0;
+  std::size_t mempool_capacity = 0;  // sum over shards; 0 = no ingress audited
+  /// Conservation: every admitted tx must be accounted as dispatched,
+  /// evicted, expired, or still resident.  A mismatch means a tx vanished
+  /// (or was double-counted) inside the admission layer.
+  std::uint64_t mempool_unaccounted = 0;
 
+  [[nodiscard]] bool mempool_bounded() const {
+    return mempool_capacity == 0 || (mempool_resident <= mempool_capacity &&
+                                     mempool_peak_resident <= mempool_capacity);
+  }
   [[nodiscard]] bool balance_conserved() const { return expected_balance == actual_balance; }
   [[nodiscard]] bool ok() const {
     return leaked_locks == 0 && balance_conserved() && divergent_decides == 0 &&
            limbo_txs == 0 && boundary_lock_leaks == 0 && boundary_balance_mismatches == 0 &&
-           state_sync_root_mismatches == 0;
+           state_sync_root_mismatches == 0 && twopc_stuck == 0 && mempool_bounded() &&
+           mempool_unaccounted == 0;
   }
   /// Human-readable one-per-line summary (for test failure output and the
   /// resilience benchmark report).
@@ -170,8 +212,10 @@ struct InvariantReport {
 
 /// Audits `sys` after the simulation drained.  `initial_balance` is the sum
 /// of all genesis account balances; fees charged during the run are the only
-/// legitimate sink.
+/// legitimate sink.  Pass the run's IngressSet to additionally audit the
+/// admission layer (bounded depth, entry conservation) — overload runs must.
 [[nodiscard]] InvariantReport check_invariants(const core::JengaSystem& sys,
-                                               std::uint64_t initial_balance);
+                                               std::uint64_t initial_balance,
+                                               const mempool::IngressSet* ingress = nullptr);
 
 }  // namespace jenga::security
