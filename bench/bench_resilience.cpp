@@ -8,9 +8,11 @@
 // Every cell is traced: the phase tracer's breakdown shows *which* pipeline
 // phase the faults inflate (checked against the clean cell below), and
 // `--trace-out <file>.jsonl` exports the reference faulted cell's full
-// telemetry (metrics, per-tx phase intervals, BFT spans) for offline
-// analysis / the CI trace linter.  JENGA_RESILIENCE_QUICK=1 shrinks the
-// sweep to {clean, 10% drop} for smoke runs.
+// telemetry (metrics, per-tx phase intervals, BFT spans, causal span DAG)
+// for offline analysis / the CI trace linter.  A failed invariant audit
+// additionally dumps the flight recorder's last-events window to
+// flight_d<drop>_b<byz>-N.jsonl (DESIGN.md §11).  JENGA_RESILIENCE_QUICK=1
+// shrinks the sweep to {clean, 10% drop} for smoke runs.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -84,6 +86,15 @@ CellResult run_cell(double drop, int byz_per_shard) {
   core::JengaSystem system(sim, net, cfg, harness::make_genesis(gen));
   security::FaultInjector injector(sim, net, system);
   auto telemetry = std::make_shared<telemetry::Telemetry>();
+  // Chaos cells run with the full observability layer on (it is passive):
+  // the --trace-out export carries the causal span DAG, and any audit
+  // failure dumps a flight-recorder window for post-mortem debugging.
+  telemetry->causal.enable(true);
+  telemetry->flight.configure(kShards * 8, 64);
+  char dump_prefix[64];
+  std::snprintf(dump_prefix, sizeof(dump_prefix), "flight_d%02d_b%d",
+                static_cast<int>(drop * 100), byz_per_shard);
+  telemetry->flight.set_dump_path(dump_prefix);
   net.set_telemetry(telemetry.get());
   system.set_telemetry(telemetry.get());
   const std::uint64_t initial_balance = system.total_account_balance();
@@ -138,7 +149,11 @@ CellResult run_cell(double drop, int byz_per_shard) {
   reg.counter("net.faults.duplicated").set(net.fault_stats().duplicated);
   reg.counter("tx.submitted").set(st.submitted);
   r.telemetry = telemetry;
-  if (!report.ok()) std::printf("%s\n", report.describe().c_str());
+  if (!report.ok()) {
+    std::printf("%s\n", report.describe().c_str());
+    // Capture the post-mortem window (also written to <dump_prefix>-N.jsonl).
+    telemetry->flight.trigger("invariant.violation");
+  }
   // Detach before net/system go out of scope (the telemetry outlives them
   // through the shared_ptr in the result).
   net.set_telemetry(nullptr);

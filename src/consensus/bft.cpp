@@ -570,6 +570,17 @@ void Replica::decide(const ConsensusValue& value, const QuorumCert& cert) {
       view_change_hist_->record(now - view_change_begin_);
       telemetry_->registry.counter("bft.view_changes").inc();
     }
+    if (telemetry_->flight.enabled()) {
+      telemetry::FlightEvent e;
+      e.at = now;
+      e.node = self_.value;
+      e.kind = telemetry::FlightEvent::Kind::kDecide;
+      e.span = telemetry_->causal.current_context();
+      e.a = config_->group_tag;
+      e.b = decided;
+      e.tx = value.digest;
+      telemetry_->flight.record(self_.value, e);
+    }
   }
   view_change_begin_ = -1;
   decided_log_[decided] = DecidedEntry{value, cert};
@@ -652,6 +663,16 @@ void Replica::handle_new_view(const sim::Message& msg) {
                               view_change_begin_, now);
       view_change_hist_->record(now - view_change_begin_);
       telemetry_->registry.counter("bft.view_changes").inc();
+      if (telemetry_->flight.enabled()) {
+        telemetry::FlightEvent e;
+        e.at = now;
+        e.node = self_.value;
+        e.kind = telemetry::FlightEvent::Kind::kViewChange;
+        e.span = telemetry_->causal.current_context();
+        e.a = config_->group_tag;
+        e.b = next_height_;
+        telemetry_->flight.record(self_.value, e);
+      }
     }
     view_change_begin_ = -1;
   }

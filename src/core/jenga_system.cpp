@@ -569,7 +569,10 @@ NodeId JengaSystem::shard_leader(ShardId s) const {
 void JengaSystem::note_decide(std::uint64_t group_tag, std::uint64_t height,
                               const Hash256& digest) {
   const auto [it, inserted] = decide_ledger_.try_emplace({group_tag, height}, digest);
-  if (!inserted && !(it->second == digest)) ++divergent_decides_;
+  if (!inserted && !(it->second == digest)) {
+    ++divergent_decides_;
+    if (telemetry_ != nullptr) telemetry_->flight.trigger("divergent.decide");
+  }
 }
 
 void JengaSystem::relay_gossip(NodeId node, const std::vector<NodeId>& group,
@@ -2089,7 +2092,10 @@ void JengaSystem::twopc_watchdog_scan() {
     if (e.flagged || now - e.since < config_.twopc_stuck_timeout) continue;
     e.flagged = true;
     ++twopc_stuck_total_;
-    if (telemetry_ != nullptr) telemetry_->registry.counter("twopc.stuck").inc();
+    if (telemetry_ != nullptr) {
+      telemetry_->registry.counter("twopc.stuck").inc();
+      telemetry_->flight.trigger("twopc.stuck", &h);
+    }
   }
 }
 

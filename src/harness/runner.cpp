@@ -76,6 +76,15 @@ RunResult run_experiment(const RunConfig& config) {
 
   // Always-on telemetry: passive recording, bit-identical runs.
   auto telemetry = std::make_shared<telemetry::Telemetry>();
+  if (config.causal_trace) {
+    telemetry->causal.set_capacity(config.causal_span_capacity);
+    telemetry->causal.enable(true);
+  }
+  if (config.flight_events_per_node > 0) {
+    telemetry->flight.configure(k * config.num_shards, config.flight_events_per_node);
+    if (!config.flight_dump_path.empty())
+      telemetry->flight.set_dump_path(config.flight_dump_path);
+  }
   net.set_telemetry(telemetry.get());
 
   // The system under test, behind a uniform submit/metric facade.
@@ -182,6 +191,7 @@ RunResult run_experiment(const RunConfig& config) {
     ic.hard_watermark = config.mempool_hard_watermark;
     ingress = std::make_unique<mempool::IngressSet>(ic);
     ingress->set_telemetry(&telemetry->registry);
+    ingress->set_causal(&telemetry->causal);
 
     workload::ClientConfig cc;
     cc.arrival = config.arrival;
@@ -268,6 +278,9 @@ RunResult run_experiment(const RunConfig& config) {
       result.ingress.invariants_audited = true;
       result.ingress.invariants =
           security::check_invariants(*jenga, initial_balance, ingress.get());
+      // A failed audit fires the flight recorder: the last-N-events window
+      // plus lineage becomes the post-mortem artifact for this run.
+      if (!result.ingress.invariants.ok()) telemetry->flight.trigger("invariant.violation");
     }
   }
   result.traffic = net.stats();
@@ -327,6 +340,10 @@ RunResult run_experiment(const RunConfig& config) {
   if (!config.trace_out.empty()) {
     std::ofstream out(config.trace_out);
     if (out) telemetry->export_jsonl(out);
+  }
+  if (!config.chrome_out.empty()) {
+    std::ofstream out(config.chrome_out);
+    if (out) telemetry->export_chrome(out);
   }
   // Detach before the systems/network go out of scope (telemetry outlives
   // them via the shared_ptr in the result).

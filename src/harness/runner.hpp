@@ -60,6 +60,26 @@ struct RunConfig {
   /// Non-empty: write the full JSONL telemetry trace here after the run.
   std::string trace_out;
 
+  // --- Causal tracing & flight recorder (DESIGN.md §11) -------------------
+  /// Assign every network message a causal span (parent = the message being
+  /// handled when the send happened).  Passive: digests and metrics stay
+  /// bit-identical on or off.  Adds cspan lines + per-tx dag_* fields to the
+  /// JSONL export and enables critical-path extraction.
+  bool causal_trace = false;
+  /// Span table capacity before new sends stop being traced (chains truncate
+  /// gracefully; the drop count is exported in the meta line).
+  std::size_t causal_span_capacity = std::size_t{1} << 20;
+  /// > 0: keep a ring of the last N events per node and dump a causally
+  /// ordered window when check_invariants fails, the 2PC watchdog fires, or
+  /// replicas diverge on a decide.
+  std::size_t flight_events_per_node = 0;
+  /// Non-empty: each flight dump is also written to `<prefix>-<n>.jsonl`
+  /// (dumps are always retained in telemetry->flight.dumps()).
+  std::string flight_dump_path;
+  /// Non-empty: write a chrome://tracing-compatible JSON view of the causal
+  /// DAG here after the run (requires causal_trace).
+  std::string chrome_out;
+
   // --- Live epoch reconfiguration (Jenga kinds only; baselines ignore) ----
   /// > 0: reshuffle the lattice every `epoch_interval` of simulated time.
   SimTime epoch_interval = 0;

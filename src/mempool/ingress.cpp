@@ -26,6 +26,14 @@ OfferOutcome IngressSet::offer(core::TxPtr tx, SimTime now, std::uint8_t fee_tie
   OfferOutcome out = pools_[shard.value].offer(std::move(tx), now, fee_tier, ttl_override);
   fold_event(admit_result_name(out.result), h, now);
   if (out.evicted) fold_event("evicted", out.evicted->hash, now);
+  if (causal_ != nullptr) {
+    if (out.result == AdmitResult::kAdmitted)
+      causal_->tx_anchor(h, telemetry::AnchorKind::kNote,
+                         static_cast<std::uint32_t>(IngressNote::kAdmit), now);
+    if (out.evicted)
+      causal_->tx_anchor(out.evicted->hash, telemetry::AnchorKind::kNote,
+                         static_cast<std::uint32_t>(IngressNote::kEvicted), now);
+  }
   if (registry_ != nullptr) {
     registry_->counter(std::string("mempool.") + admit_result_name(out.result)).inc();
     if (out.evicted) registry_->counter("mempool.evicted").inc();
@@ -39,6 +47,9 @@ std::size_t IngressSet::expire(SimTime now) {
   for (auto& pool : pools_) {
     for (const auto& tx : pool.expire(now)) {
       fold_event("expired", tx->hash, now);
+      if (causal_ != nullptr)
+        causal_->tx_anchor(tx->hash, telemetry::AnchorKind::kNote,
+                           static_cast<std::uint32_t>(IngressNote::kExpired), now);
       if (expiry_observer_) expiry_observer_(tx);
       ++shed;
     }
@@ -65,6 +76,9 @@ std::size_t IngressSet::dispatch(SimTime now, std::size_t credits,
     }
     empty_streak = 0;
     fold_event("dispatched", d->tx->hash, now);
+    if (causal_ != nullptr)
+      causal_->tx_anchor(d->tx->hash, telemetry::AnchorKind::kNote,
+                         static_cast<std::uint32_t>(IngressNote::kDispatched), now);
     if (registry_ != nullptr) {
       registry_->counter("mempool.dispatched").inc();
       registry_

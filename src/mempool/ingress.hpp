@@ -30,6 +30,7 @@
 #include "crypto/sha256.hpp"
 #include "ledger/placement.hpp"
 #include "mempool/mempool.hpp"
+#include "telemetry/causal.hpp"
 #include "telemetry/metrics.hpp"
 
 namespace jenga::mempool {
@@ -107,6 +108,11 @@ class IngressSet {
   /// wait histograms).  Recording never changes behaviour.
   void set_telemetry(telemetry::MetricsRegistry* registry) { registry_ = registry; }
 
+  /// Optional causal tracer: admission and dispatch fold into each tx's
+  /// lineage as anchors, so a flight-recorder dump shows the mempool leg of
+  /// a stuck transaction's history.  Passive like the registry.
+  void set_causal(telemetry::CausalTracer* causal) { causal_ = causal; }
+
  private:
   void fold_event(std::string_view kind, const Hash256& h, SimTime now);
   void record_depth();
@@ -118,6 +124,15 @@ class IngressSet {
   Hash256 digest_state_{};  // running chain value
   std::function<void(const core::TxPtr&)> expiry_observer_;
   telemetry::MetricsRegistry* registry_ = nullptr;
+  telemetry::CausalTracer* causal_ = nullptr;
+};
+
+/// Anchor `aux` codes used by IngressSet admission anchors (AnchorKind::kNote).
+enum class IngressNote : std::uint32_t {
+  kAdmit = 1,
+  kEvicted = 2,
+  kExpired = 3,
+  kDispatched = 4,
 };
 
 }  // namespace jenga::mempool

@@ -82,6 +82,9 @@ struct Message {
   MsgType type{};
   NodeId from{};
   std::uint32_t size_bytes = 0;
+  /// Causal span id assigned by the network at send time (0 when causal
+  /// tracing is disabled).  Purely observational — no protocol reads it.
+  std::uint64_t span = 0;
   std::shared_ptr<const Payload> payload;
 };
 

@@ -110,12 +110,60 @@ void Network::deliver_at(SimTime when, NodeId to, Message msg) {
     ++fault_stats_.down_blocked;
     return;
   }
-  if (telemetry_ != nullptr) telemetry_->net.hop_delay_us.record(when - sim_.now());
+  if (telemetry_ != nullptr) {
+    telemetry_->net.hop_delay_us.record(when - sim_.now());
+    telemetry_->causal.note_arrival(msg.span, when);
+  }
   sim_.schedule_at(when, [this, to, msg = std::move(msg)] {
     // Re-checked at delivery time: a message in flight to a node that
     // crashes before it lands is lost with the crash.
-    if (!down_[to.value]) handlers_[to.value](msg);
+    if (down_[to.value]) return;
+    // The handler (and everything it schedules or sends) runs in the causal
+    // context of this delivery; step() resets the context afterwards.
+    sim_.set_context(msg.span);
+    if (telemetry_ != nullptr && telemetry_->flight.enabled()) {
+      telemetry::FlightEvent e;
+      e.at = sim_.now();
+      e.node = to.value;
+      e.kind = telemetry::FlightEvent::Kind::kDeliver;
+      e.msg_type = static_cast<std::uint16_t>(msg.type);
+      e.span = msg.span;
+      const telemetry::CausalSpan* s = telemetry_->causal.span(msg.span);
+      e.parent = s != nullptr ? s->parent : 0;
+      e.a = msg.from.value;
+      e.b = msg.size_bytes;
+      telemetry_->flight.record(to.value, e);
+    }
+    handlers_[to.value](msg);
   });
+}
+
+void Network::stamp_span(Message& msg, std::uint32_t from, std::uint32_t to, SimTime send,
+                         SimTime depart) {
+  const std::uint64_t parent =
+      telemetry_ != nullptr ? telemetry_->causal.current_context() : 0;
+  stamp_span_with_parent(msg, from, to, send, depart, parent);
+}
+
+void Network::stamp_span_with_parent(Message& msg, std::uint32_t from, std::uint32_t to,
+                                     SimTime send, SimTime depart, std::uint64_t parent) {
+  msg.span = 0;
+  if (telemetry_ == nullptr) return;
+  if (telemetry_->causal.enabled())
+    msg.span = telemetry_->causal.begin_span_with_parent(
+        static_cast<std::uint16_t>(msg.type), from, to, send, depart, parent);
+  if (telemetry_->flight.enabled()) {
+    telemetry::FlightEvent e;
+    e.at = send;
+    e.node = from;
+    e.kind = telemetry::FlightEvent::Kind::kSend;
+    e.msg_type = static_cast<std::uint16_t>(msg.type);
+    e.span = msg.span;
+    e.parent = parent;
+    e.a = to;
+    e.b = msg.size_bytes;
+    telemetry_->flight.record(from, e);
+  }
 }
 
 void Network::account(TrafficClass cls, MsgType type, std::uint32_t bytes) {
@@ -130,12 +178,14 @@ void Network::set_telemetry(telemetry::Telemetry* t) {
   if (t == nullptr) return;
   for (std::size_t i = 0; i < telemetry::MessageTelemetry::kMaxTypes; ++i)
     t->net.type_name[i] = msg_type_name(static_cast<MsgType>(i));
+  t->causal.bind_context(sim_.context_handle());
 }
 
 void Network::send(NodeId from, NodeId to, Message msg, TrafficClass cls) {
   if (from.value < down_.size() && down_[from.value]) return;
   account(cls, msg.type, msg.size_bytes);
   const SimTime departure = reserve_egress(from, msg.size_bytes);
+  stamp_span(msg, from.value, to.value, sim_.now(), departure);
   deliver_faulty(from, departure + config_.base_latency + jitter(), to, std::move(msg));
 }
 
@@ -178,13 +228,21 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
 
   const SimTime ser = serialization_delay(msg.size_bytes);
 
+  // Spans per hop: the root's children are caused by the current handler
+  // context; a relay hop is caused by the relay's own inbound copy.
+  std::vector<std::uint64_t> hop_span(order.size(), 0);
+
   // Root sends to the first `fanout` members, using the real egress ledger.
+  const SimTime root_send = sim_.now();
   SimTime root_departure = std::max(sim_.now(), egress_busy_until_[from.value]);
   for (std::size_t i = 0; i < order.size() && i < fanout; ++i) {
     root_departure += ser;
     arrival[i] = root_departure + config_.base_latency + jitter();
     account(cls, msg.type, msg.size_bytes);
-    received[i] = deliver_faulty(from, arrival[i], order[i], msg);
+    Message copy = msg;
+    stamp_span(copy, from.value, order[i].value, root_send, root_departure);
+    hop_span[i] = copy.span;
+    received[i] = deliver_faulty(from, arrival[i], order[i], std::move(copy));
   }
   if (!order.empty()) egress_busy_until_[from.value] = root_departure;
 
@@ -197,7 +255,12 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
     relay_busy[parent] = departure;
     arrival[child] = departure + config_.base_latency + jitter();
     account(cls, msg.type, msg.size_bytes);
-    received[child] = deliver_faulty(order[parent], arrival[child], order[child], msg);
+    Message copy = msg;
+    stamp_span_with_parent(copy, order[parent].value, order[child].value, arrival[parent],
+                           departure, hop_span[parent]);
+    hop_span[child] = copy.span;
+    received[child] = deliver_faulty(order[parent], arrival[child], order[child],
+                                     std::move(copy));
   }
 }
 
@@ -206,6 +269,7 @@ void Network::send_via_relay(NodeId from, NodeId to, Message msg, TrafficClass c
   account(cls, msg.type, msg.size_bytes);
   account(cls, msg.type, msg.size_bytes);  // second leg: relay -> destination
   const SimTime departure = reserve_egress(from, msg.size_bytes);
+  stamp_span(msg, from.value, to.value, sim_.now(), departure);
   // The relay's own serialization is charged as one extra payload time.
   const SimTime arrival = departure + serialization_delay(msg.size_bytes) +
                           2 * config_.base_latency + jitter() + jitter();
@@ -222,6 +286,8 @@ void Network::send_via_relay(NodeId from, NodeId to, Message msg, TrafficClass c
 
 void Network::client_send(NodeId to, Message msg) {
   account(TrafficClass::kClient, msg.type, msg.size_bytes);
+  // Clients pay no egress serialization, so the span departs when it is sent.
+  stamp_span(msg, telemetry::kClientNode, to.value, sim_.now(), sim_.now());
   deliver_at(sim_.now() + config_.base_latency + jitter(), to, std::move(msg));
 }
 

@@ -163,12 +163,22 @@ class Network {
 
   /// Attaches a telemetry context (nullptr detaches).  Recording is passive:
   /// an instrumented run consumes the same rng stream and schedules the same
-  /// events as a bare one.
+  /// events as a bare one.  Also binds the causal tracer to the simulator's
+  /// context cell so span parentage can be read at send time.
   void set_telemetry(telemetry::Telemetry* t);
 
  private:
   [[nodiscard]] SimTime serialization_delay(std::uint32_t bytes) const;
   [[nodiscard]] SimTime jitter();
+  /// Assigns `msg` a causal span (when tracing is enabled) whose parent is
+  /// the message being handled right now, and mirrors the send into the
+  /// flight recorder.  Pure observation — no-ops into msg.span = 0 otherwise.
+  void stamp_span(Message& msg, std::uint32_t from, std::uint32_t to, SimTime send,
+                  SimTime depart);
+  /// Same with an explicit parent span (gossip relay hops are caused by the
+  /// relay's inbound copy, not by the context that started the gossip).
+  void stamp_span_with_parent(Message& msg, std::uint32_t from, std::uint32_t to, SimTime send,
+                              SimTime depart, std::uint64_t parent);
   /// Reserves the sender's egress link and returns the departure time.
   SimTime reserve_egress(NodeId from, std::uint32_t bytes);
   void deliver_at(SimTime when, NodeId to, Message msg);

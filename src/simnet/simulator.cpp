@@ -6,7 +6,7 @@ namespace jenga::sim {
 
 void Simulator::schedule_at(SimTime when, Task task) {
   if (when < now_) when = now_;
-  queue_.push(Event{when, next_seq_++, std::move(task)});
+  queue_.push(Event{when, next_seq_++, ctx_, std::move(task)});
 }
 
 bool Simulator::step() {
@@ -17,7 +17,9 @@ bool Simulator::step() {
   queue_.pop();
   now_ = ev.when;
   ++events_processed_;
+  ctx_ = ev.ctx;
   ev.task();
+  ctx_ = 0;
   return true;
 }
 

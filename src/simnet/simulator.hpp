@@ -42,10 +42,25 @@ class Simulator {
   [[nodiscard]] std::uint64_t events_processed() const { return events_processed_; }
   [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
+  /// Causal context: an opaque span id carried alongside the event loop.
+  /// `schedule_at` snapshots the current context into the new event and
+  /// `step` restores it before running the task, so timer chains and
+  /// self-scheduled work inherit the causal ancestor that armed them.  The
+  /// network overrides the context to the delivered message's span at
+  /// delivery time.  Purely observational: the context never influences
+  /// ordering, timing, or any RNG, so runs are bit-identical whether or not
+  /// anyone reads it.
+  [[nodiscard]] std::uint64_t context() const { return ctx_; }
+  void set_context(std::uint64_t ctx) { ctx_ = ctx; }
+  /// Stable pointer to the current context, for passive observers
+  /// (telemetry) that must not depend on this header.
+  [[nodiscard]] const std::uint64_t* context_handle() const { return &ctx_; }
+
  private:
   struct Event {
     SimTime when;
     std::uint64_t seq;  // FIFO tie-break keeps same-instant ordering deterministic
+    std::uint64_t ctx;  // causal context captured at schedule time
     Task task;
   };
   struct Later {
@@ -58,6 +73,7 @@ class Simulator {
   SimTime now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_processed_ = 0;
+  std::uint64_t ctx_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
 };
 

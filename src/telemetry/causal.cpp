@@ -1,0 +1,102 @@
+#include "telemetry/causal.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace jenga::telemetry {
+
+std::uint64_t CausalTracer::begin_span_with_parent(std::uint16_t msg_type, std::uint32_t from,
+                                                   std::uint32_t to, SimTime send, SimTime depart,
+                                                   std::uint64_t parent) {
+  if (!enabled_) return 0;
+  if (spans_.size() >= capacity_) {
+    ++dropped_;
+    return 0;
+  }
+  CausalSpan s;
+  s.id = spans_.size() + 1;
+  s.parent = parent;
+  s.msg_type = msg_type;
+  s.from = from;
+  s.to = to;
+  s.send = send;
+  s.depart = depart < send ? send : depart;
+  spans_.push_back(s);
+  return s.id;
+}
+
+void CausalTracer::note_arrival(std::uint64_t span, SimTime when) {
+  if (span == 0 || span > spans_.size()) return;
+  CausalSpan& s = spans_[span - 1];
+  if (!s.delivered || when < s.arrive) {
+    s.delivered = true;
+    s.arrive = when < s.depart ? s.depart : when;
+  }
+}
+
+void CausalTracer::tx_anchor(const Hash256& tx, AnchorKind kind, std::uint32_t aux, SimTime at) {
+  if (!enabled_) return;
+  anchors_[tx].push_back(TxAnchor{kind, aux, at, current_context()});
+}
+
+CausalTracer::CriticalPath CausalTracer::critical_path(const Hash256& tx, SimTime submit,
+                                                       SimTime finish) const {
+  CriticalPath cp;
+  const std::vector<TxAnchor>* a = anchors(tx);
+  if (a == nullptr) return cp;
+  const TxAnchor* fin = nullptr;
+  for (const TxAnchor& an : *a)
+    if (an.kind == AnchorKind::kFinish) fin = &an;
+  if (fin == nullptr) return cp;
+
+  // Collect the ancestor chain of the finish anchor, newest first.
+  std::vector<const CausalSpan*> chain;
+  std::uint64_t id = fin->span;
+  while (id != 0) {
+    const CausalSpan* s = span(id);
+    if (s == nullptr || !s->delivered) break;
+    if (s->send < submit) break;  // shared pre-submit traffic: not this tx's work
+    chain.push_back(s);
+    id = s->parent;
+  }
+  std::reverse(chain.begin(), chain.end());
+
+  cp.total = finish - submit;
+  SimTime prev = submit;
+  for (const CausalSpan* s : chain) {
+    Hop h;
+    h.span = s;
+    h.service_before = s->send > prev ? s->send - prev : 0;
+    cp.hops.push_back(h);
+    cp.queue += s->queue_us();
+    cp.link += s->link_us();
+    prev = s->arrive;
+  }
+  cp.tail = finish > prev ? finish - prev : 0;
+  cp.ingress_wait = cp.hops.empty() ? cp.total : cp.hops.front().service_before;
+  cp.service = cp.total - cp.queue - cp.link;
+  cp.valid = true;
+  return cp;
+}
+
+std::vector<std::uint64_t> CausalTracer::lineage(const Hash256& tx, SimTime submit) const {
+  std::vector<std::uint64_t> out;
+  const std::vector<TxAnchor>* a = anchors(tx);
+  if (a == nullptr) return out;
+  std::unordered_set<std::uint64_t> seen;
+  for (const TxAnchor& an : *a) {
+    std::uint64_t id = an.span;
+    while (id != 0 && !seen.count(id)) {
+      const CausalSpan* s = span(id);
+      if (s == nullptr) break;
+      if (s->send < submit) break;
+      seen.insert(id);
+      id = s->parent;
+    }
+  }
+  out.assign(seen.begin(), seen.end());
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace jenga::telemetry

@@ -1,0 +1,158 @@
+// Causal trace DAG over the simulated message fabric (DESIGN.md §11).
+//
+// Every sim::Network transmission gets a span: who sent what to whom, when
+// the send was initiated, when the sender's egress finished serializing it
+// (depart) and when the first copy arrived.  Each span records the span in
+// whose handler context the send happened as its parent, so a transaction's
+// full lineage — client submit, mempool admission, gather, grant relay, BFT
+// rounds, 2PC prepare/decide, commit — forms a per-transaction causal DAG.
+//
+// Span ids are 1-based indices into a flat vector and are assigned in send
+// order, so `parent < id` always holds and the DAG is acyclic by
+// construction.  The tracer is strictly passive: it draws no randomness,
+// schedules no events and touches no MetricsRegistry counter, so enabling it
+// leaves ledger digests, admission digests and metrics snapshots
+// bit-identical (tests/test_causal.cpp pins this for all four systems at
+// exec worker counts 1 and 4).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jenga::telemetry {
+
+/// Sentinel "node id" for the client side of a span (client_send has no
+/// in-lattice sender).
+inline constexpr std::uint32_t kClientNode = 0xFFFFFFFFu;
+
+/// One network transmission.  Times partition the hop's latency:
+///   queue-wait   = depart - send    (egress serialization backlog)
+///   link-latency = arrive - depart  (propagation + scripted fault delay)
+struct CausalSpan {
+  std::uint64_t id = 0;      ///< 1-based; 0 means "no span".
+  std::uint64_t parent = 0;  ///< 0 = root (no recorded causal predecessor).
+  std::uint16_t msg_type = 0;
+  std::uint32_t from = kClientNode;
+  std::uint32_t to = 0;
+  SimTime send = 0;    ///< transmission initiated
+  SimTime depart = 0;  ///< sender egress finished serializing
+  SimTime arrive = 0;  ///< earliest delivery (0 until delivered)
+  bool delivered = false;
+
+  [[nodiscard]] SimTime queue_us() const { return depart - send; }
+  [[nodiscard]] SimTime link_us() const { return delivered ? arrive - depart : 0; }
+};
+
+/// Where a per-tx anchor came from.
+enum class AnchorKind : std::uint8_t {
+  kSubmit = 0,  ///< PhaseTracer::on_submit
+  kPhase = 1,   ///< PhaseTracer::phase_event (aux = Phase index)
+  kFinish = 2,  ///< PhaseTracer::on_finish (aux = committed)
+  kNote = 3,    ///< free-form annotation (mempool admission etc.)
+};
+
+/// A point on a transaction's lifecycle tied to the span in whose delivery
+/// context it was observed.  The union of all anchors' ancestor chains is
+/// the transaction's causal DAG; the finish anchor's chain is its critical
+/// path (each hop is, by construction, the last-arriving dependency of the
+/// work that followed it).
+struct TxAnchor {
+  AnchorKind kind = AnchorKind::kNote;
+  std::uint32_t aux = 0;  ///< phase index / committed flag / note id
+  SimTime at = 0;
+  std::uint64_t span = 0;  ///< simulator context when the anchor fired
+};
+
+class CausalTracer {
+ public:
+  /// Spans kept before new sends stop being assigned ids (dropped spans are
+  /// counted; chains simply truncate, decomposition stays exact).
+  void set_capacity(std::size_t cap) { capacity_ = cap; }
+
+  void enable(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  /// Binds the simulator's current-context cell (Simulator::context_handle).
+  /// Telemetry must not depend on simnet, so the binding is a raw pointer.
+  void bind_context(const std::uint64_t* current) { ctx_ = current; }
+  [[nodiscard]] std::uint64_t current_context() const { return ctx_ != nullptr ? *ctx_ : 0; }
+
+  /// Records a send whose parent is the current delivery context.
+  /// Returns the new span id, or 0 when disabled or at capacity.
+  std::uint64_t begin_span(std::uint16_t msg_type, std::uint32_t from, std::uint32_t to,
+                           SimTime send, SimTime depart) {
+    return begin_span_with_parent(msg_type, from, to, send, depart, current_context());
+  }
+
+  /// Same, with an explicit parent (gossip relay hops are caused by the
+  /// relay's own inbound copy, not by the handler that started the gossip).
+  std::uint64_t begin_span_with_parent(std::uint16_t msg_type, std::uint32_t from,
+                                       std::uint32_t to, SimTime send, SimTime depart,
+                                       std::uint64_t parent);
+
+  /// Records the earliest delivery time for `span` (duplicates keep the min).
+  void note_arrival(std::uint64_t span, SimTime when);
+
+  /// Lifecycle anchors, called by PhaseTracer / IngressSet.
+  void tx_anchor(const Hash256& tx, AnchorKind kind, std::uint32_t aux, SimTime at);
+
+  [[nodiscard]] const CausalSpan* span(std::uint64_t id) const {
+    if (id == 0 || id > spans_.size()) return nullptr;
+    return &spans_[id - 1];
+  }
+  [[nodiscard]] std::size_t span_count() const { return spans_.size(); }
+  [[nodiscard]] std::uint64_t spans_dropped() const { return dropped_; }
+
+  [[nodiscard]] const std::vector<TxAnchor>* anchors(const Hash256& tx) const {
+    auto it = anchors_.find(tx);
+    return it == anchors_.end() ? nullptr : &it->second;
+  }
+
+  /// One hop on a critical path plus the service gap that preceded it
+  /// (time between the previous hop's arrival — or submit — and this send).
+  struct Hop {
+    const CausalSpan* span = nullptr;
+    SimTime service_before = 0;
+  };
+
+  /// Exact decomposition of [submit, finish]:
+  ///   total == queue + link + service  and  total == finish - submit,
+  /// where `service` folds the pre-first-hop gap, all inter-hop gaps and the
+  /// post-last-arrival tail.  `valid` is false when the tx has no finish
+  /// anchor (still in flight) or tracing was disabled.
+  struct CriticalPath {
+    std::vector<Hop> hops;  ///< chronological (earliest first)
+    SimTime total = 0;
+    SimTime queue = 0;
+    SimTime link = 0;
+    SimTime service = 0;
+    SimTime ingress_wait = 0;  ///< submit → first hop send (subset of service)
+    SimTime tail = 0;          ///< last arrival → finish (subset of service)
+    bool valid = false;
+  };
+
+  /// Longest weighted path: walk the finish anchor's parent chain back until
+  /// a span that started before `submit` (shared infrastructure traffic) or
+  /// a root.  Because each span's parent is the message whose delivery
+  /// caused the send, this chain IS the chain of last-arriving dependencies.
+  [[nodiscard]] CriticalPath critical_path(const Hash256& tx, SimTime submit,
+                                           SimTime finish) const;
+
+  /// The tx's full causal DAG: union of ancestor chains of every anchor,
+  /// truncated at `submit`.  Sorted ascending, so parents precede children.
+  [[nodiscard]] std::vector<std::uint64_t> lineage(const Hash256& tx, SimTime submit) const;
+
+ private:
+  bool enabled_ = false;
+  const std::uint64_t* ctx_ = nullptr;
+  std::size_t capacity_ = std::size_t{1} << 20;
+  std::uint64_t dropped_ = 0;
+  std::vector<CausalSpan> spans_;
+  std::unordered_map<Hash256, std::vector<TxAnchor>> anchors_;
+};
+
+}  // namespace jenga::telemetry

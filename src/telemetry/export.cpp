@@ -26,19 +26,50 @@ void write_line(std::ostream& out, const char* fmt, auto... args) {
   out << buf << "\n";
 }
 
+/// Sorted tx entries (submit time, then hash) — the deterministic export
+/// order shared by the tx lines and the DAG union.
+std::vector<const std::pair<const Hash256, TxTrace>*> sorted_traces(const PhaseTracer& tracer) {
+  std::vector<const std::pair<const Hash256, TxTrace>*> order;
+  order.reserve(tracer.traces().size());
+  for (const auto& entry : tracer.traces()) order.push_back(&entry);
+  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b2) {
+    if (a->second.submit != b2->second.submit) return a->second.submit < b2->second.submit;
+    return a->first < b2->first;
+  });
+  return order;
+}
+
+/// Union of every finished tx's causal DAG, ascending span ids (so parents
+/// always precede children in the export).
+std::vector<std::uint64_t> dag_union(const CausalTracer& causal, const PhaseTracer& tracer) {
+  std::vector<std::uint64_t> ids;
+  if (!causal.enabled()) return ids;
+  for (const auto& [hash, t] : tracer.traces()) {
+    if (!t.done || t.submit < 0) continue;
+    const auto lineage = causal.lineage(hash, t.submit);
+    ids.insert(ids.end(), lineage.begin(), lineage.end());
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
 }  // namespace
 
 void Telemetry::export_jsonl(std::ostream& out) const {
   const PhaseBreakdown b = tracer.breakdown();
+  const std::vector<std::uint64_t> dag = dag_union(causal, tracer);
   write_line(out,
              "{\"kind\":\"meta\",\"version\":1,\"traced_txs\":%zu,\"spans\":%zu,"
              "\"spans_dropped\":%llu,\"committed\":%llu,\"aborted\":%llu,"
-             "\"incomplete\":%llu}",
+             "\"incomplete\":%llu,\"cspans\":%zu,\"cspans_total\":%zu,"
+             "\"cspans_dropped\":%llu}",
              tracer.traced(), tracer.spans().size(),
              static_cast<unsigned long long>(tracer.spans_dropped()),
              static_cast<unsigned long long>(b.committed),
              static_cast<unsigned long long>(b.aborted),
-             static_cast<unsigned long long>(b.incomplete));
+             static_cast<unsigned long long>(b.incomplete), dag.size(), causal.span_count(),
+             static_cast<unsigned long long>(causal.spans_dropped()));
 
   for (const auto& [name, c] : registry.counters())
     write_line(out, "{\"kind\":\"metric\",\"type\":\"counter\",\"name\":\"%s\",\"value\":%llu}",
@@ -80,14 +111,7 @@ void Telemetry::export_jsonl(std::ostream& out) const {
   }
 
   // Tx lines, sorted for deterministic output across platforms.
-  std::vector<const std::pair<const Hash256, TxTrace>*> order;
-  order.reserve(tracer.traces().size());
-  for (const auto& entry : tracer.traces()) order.push_back(&entry);
-  std::sort(order.begin(), order.end(), [](const auto* a, const auto* b2) {
-    if (a->second.submit != b2->second.submit) return a->second.submit < b2->second.submit;
-    return a->first < b2->first;
-  });
-  for (const auto* entry : order) {
+  for (const auto* entry : sorted_traces(tracer)) {
     const TxTrace& t = entry->second;
     const std::string hash = to_hex(entry->first);
     if (!t.done) {
@@ -98,15 +122,26 @@ void Telemetry::export_jsonl(std::ostream& out) const {
       continue;
     }
     const auto iv = t.intervals();
+    char dag_fields[192] = "";
+    if (causal.enabled()) {
+      const auto cp = causal.critical_path(entry->first, t.submit, t.finish);
+      if (cp.valid)
+        std::snprintf(dag_fields, sizeof(dag_fields),
+                      ",\"dag_hops\":%zu,\"dag_total_us\":%lld,\"dag_queue_us\":%lld,"
+                      "\"dag_link_us\":%lld,\"dag_service_us\":%lld",
+                      cp.hops.size(), static_cast<long long>(cp.total),
+                      static_cast<long long>(cp.queue), static_cast<long long>(cp.link),
+                      static_cast<long long>(cp.service));
+    }
     write_line(out,
                "{\"kind\":\"tx\",\"hash\":\"%s\",\"outcome\":\"%s\",\"submit_us\":%lld,"
                "\"finish_us\":%lld,\"state_lock_us\":%lld,\"grant_relay_us\":%lld,"
-               "\"execute_us\":%lld,\"commit_us\":%lld,\"critical\":\"%s\"}",
+               "\"execute_us\":%lld,\"commit_us\":%lld,\"critical\":\"%s\"%s}",
                hash.c_str(), t.committed ? "commit" : "abort",
                static_cast<long long>(t.submit), static_cast<long long>(t.finish),
                static_cast<long long>(iv[0]), static_cast<long long>(iv[1]),
                static_cast<long long>(iv[2]), static_cast<long long>(iv[3]),
-               interval_name(t.critical_interval()));
+               interval_name(t.critical_interval()), dag_fields);
   }
 
   for (const SpanRecord& s : tracer.spans()) {
@@ -117,6 +152,73 @@ void Telemetry::export_jsonl(std::ostream& out) const {
                static_cast<unsigned long long>(s.seq), static_cast<long long>(s.begin),
                static_cast<long long>(s.end));
   }
+
+  // Causal DAG spans (union over every finished tx's lineage).  Ids are
+  // strictly ascending and parent < id, so a streaming consumer always sees
+  // a parent before any of its children and the graph is acyclic.
+  for (std::uint64_t id : dag) {
+    const CausalSpan* s = causal.span(id);
+    if (s == nullptr) continue;
+    const char* tname =
+        s->msg_type < MessageTelemetry::kMaxTypes && net.type_name[s->msg_type] != nullptr
+            ? net.type_name[s->msg_type]
+            : "unknown";
+    write_line(out,
+               "{\"kind\":\"cspan\",\"id\":%llu,\"parent\":%llu,\"type\":%u,"
+               "\"name\":\"%s\",\"from\":%llu,\"to\":%llu,\"send_us\":%lld,"
+               "\"depart_us\":%lld,\"arrive_us\":%lld}",
+               static_cast<unsigned long long>(s->id),
+               static_cast<unsigned long long>(s->parent), static_cast<unsigned>(s->msg_type),
+               tname, static_cast<unsigned long long>(s->from),
+               static_cast<unsigned long long>(s->to), static_cast<long long>(s->send),
+               static_cast<long long>(s->depart), static_cast<long long>(s->arrive));
+  }
+}
+
+void Telemetry::export_chrome(std::ostream& out) const {
+  // chrome://tracing JSON object format.  One "X" slice per DAG hop on the
+  // sending node's lane ([send, arrive] covers queue-wait + link latency),
+  // plus an "s"→"f" flow arrow from each parent's arrival to the child's
+  // send, which renders the causal chains as connected arcs.
+  const std::vector<std::uint64_t> dag = dag_union(causal, tracer);
+  out << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  const auto emit = [&](const char* fmt, auto... args) {
+    char buf[512];
+    std::snprintf(buf, sizeof(buf), fmt, args...);
+    out << (first ? "\n" : ",\n") << buf;
+    first = false;
+  };
+  for (std::uint64_t id : dag) {
+    const CausalSpan* s = causal.span(id);
+    if (s == nullptr) continue;
+    const char* tname =
+        s->msg_type < MessageTelemetry::kMaxTypes && net.type_name[s->msg_type] != nullptr
+            ? net.type_name[s->msg_type]
+            : "hop";
+    const unsigned long long pid = s->from == kClientNode ? 999999ull : s->from;
+    const SimTime end = s->delivered ? s->arrive : s->depart;
+    emit("{\"name\":\"%s\",\"cat\":\"hop\",\"ph\":\"X\",\"ts\":%lld,\"dur\":%lld,"
+         "\"pid\":%llu,\"tid\":%u,\"args\":{\"span\":%llu,\"parent\":%llu,\"to\":%llu,"
+         "\"queue_us\":%lld,\"link_us\":%lld}}",
+         tname, static_cast<long long>(s->send), static_cast<long long>(end - s->send), pid,
+         static_cast<unsigned>(s->msg_type), static_cast<unsigned long long>(s->id),
+         static_cast<unsigned long long>(s->parent), static_cast<unsigned long long>(s->to),
+         static_cast<long long>(s->queue_us()), static_cast<long long>(s->link_us()));
+    const CausalSpan* p = causal.span(s->parent);
+    if (p != nullptr && p->delivered) {
+      const unsigned long long ppid = p->from == kClientNode ? 999999ull : p->from;
+      emit("{\"name\":\"cause\",\"cat\":\"flow\",\"ph\":\"s\",\"id\":%llu,\"ts\":%lld,"
+           "\"pid\":%llu,\"tid\":%u}",
+           static_cast<unsigned long long>(s->id), static_cast<long long>(p->arrive), ppid,
+           static_cast<unsigned>(p->msg_type));
+      emit("{\"name\":\"cause\",\"cat\":\"flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":%llu,"
+           "\"ts\":%lld,\"pid\":%llu,\"tid\":%u}",
+           static_cast<unsigned long long>(s->id), static_cast<long long>(s->send), pid,
+           static_cast<unsigned>(s->msg_type));
+    }
+  }
+  out << "\n]}\n";
 }
 
 // ---------------------------------------------------------------------------
@@ -354,7 +456,84 @@ bool validate_trace_line(const std::string& line, std::string* error) {
                  std::to_string(phases_sum) + " vs " + std::to_string(total) + ")";
       return false;
     }
+    // Causal-DAG reconciliation: when the exporter attached dag_* fields,
+    // the critical-path decomposition must (a) partition dag_total_us
+    // exactly and (b) agree with the four-interval total within 1%.
+    if (obj.count("dag_total_us") != 0) {
+      double hops = 0, dag_total = 0, dag_queue = 0, dag_link = 0, dag_service = 0;
+      if (!num_field("dag_hops", &hops) || !num_field("dag_total_us", &dag_total) ||
+          !num_field("dag_queue_us", &dag_queue) || !num_field("dag_link_us", &dag_link) ||
+          !num_field("dag_service_us", &dag_service))
+        return false;
+      if (std::abs(dag_queue + dag_link + dag_service - dag_total) > 2.0) {
+        if (error) *error = "dag queue+link+service does not partition dag_total_us";
+        return false;
+      }
+      if (std::abs(dag_total - total) > slop) {
+        if (error)
+          *error = "dag_total_us does not reconcile with phase intervals (" +
+                   std::to_string(dag_total) + " vs " + std::to_string(total) + ")";
+        return false;
+      }
+    }
     return true;
+  }
+  if (kind == "cspan") {
+    double id = 0, parent = 0, send = 0, depart = 0, arrive = 0, v = 0;
+    std::string name;
+    if (!num_field("id", &id) || !num_field("parent", &parent) || !num_field("type", &v) ||
+        !str_field("name", &name) || !num_field("from", &v) || !num_field("to", &v) ||
+        !num_field("send_us", &send) || !num_field("depart_us", &depart) ||
+        !num_field("arrive_us", &arrive))
+      return false;
+    if (id < 1) {
+      if (error) *error = "cspan id must be >= 1";
+      return false;
+    }
+    if (parent >= id) {
+      if (error) *error = "cspan parent must precede the span (parent < id)";
+      return false;
+    }
+    if (send > depart || depart > arrive) {
+      if (error) *error = "cspan times must satisfy send <= depart <= arrive";
+      return false;
+    }
+    return true;
+  }
+  if (kind == "flight_meta") {
+    std::string reason;
+    double v = 0;
+    return num_field("version", &v) && str_field("reason", &reason) &&
+           num_field("events", &v);
+  }
+  if (kind == "flight") {
+    std::string event;
+    double v = 0;
+    return num_field("at_us", &v) && num_field("seq", &v) && num_field("node", &v) &&
+           str_field("event", &event) && num_field("span", &v) && num_field("parent", &v);
+  }
+  if (kind == "lineage") {
+    std::string what;
+    double v = 0;
+    if (!str_field("what", &what)) return false;
+    if (what == "span") {
+      double id = 0, parent = 0, send = 0, depart = 0, arrive = 0;
+      if (!num_field("id", &id) || !num_field("parent", &parent) ||
+          !num_field("send_us", &send) || !num_field("depart_us", &depart) ||
+          !num_field("arrive_us", &arrive))
+        return false;
+      if (parent >= id) {
+        if (error) *error = "lineage span parent must precede the span";
+        return false;
+      }
+      return true;
+    }
+    if (what == "anchor") {
+      std::string anchor;
+      return str_field("anchor", &anchor) && num_field("at_us", &v) && num_field("span", &v);
+    }
+    if (error) *error = "unknown lineage \"what\" value \"" + what + "\"";
+    return false;
   }
   if (kind == "span") {
     std::string name;
@@ -378,6 +557,8 @@ bool validate_trace_stream(std::istream& in, std::string* error, TraceLintSummar
   std::string line;
   bool saw_meta = false;
   std::size_t line_no = 0;
+  double last_cspan_id = 0;       // parent-before-child: ids strictly ascend
+  double last_flight_at = -1e18;  // dumps must be causally (time-)ordered
   while (std::getline(in, line)) {
     ++line_no;
     if (line.empty()) continue;
@@ -388,12 +569,49 @@ bool validate_trace_stream(std::istream& in, std::string* error, TraceLintSummar
     }
     ++local.lines;
     // Cheap kind extraction (the line just validated, so the field exists).
-    if (line.find("\"kind\":\"tx\"") != std::string::npos) ++local.tx_lines;
-    else if (line.find("\"kind\":\"metric\"") != std::string::npos) ++local.metric_lines;
-    else if (line.find("\"kind\":\"span\"") != std::string::npos) ++local.span_lines;
-    else if (line.find("\"kind\":\"phase_hist\"") != std::string::npos)
+    if (line.find("\"kind\":\"tx\"") != std::string::npos) {
+      ++local.tx_lines;
+      if (line.find("\"dag_total_us\":") != std::string::npos) ++local.dag_tx_lines;
+    } else if (line.find("\"kind\":\"metric\"") != std::string::npos) {
+      ++local.metric_lines;
+    } else if (line.find("\"kind\":\"cspan\"") != std::string::npos) {
+      ++local.cspan_lines;
+      FlatObject obj;
+      if (parse_flat_object(line, &obj, nullptr)) {
+        const double id = obj["id"].num;
+        if (id <= last_cspan_id) {
+          if (error)
+            *error = "line " + std::to_string(line_no) +
+                     ": cspan ids must be strictly ascending (DAG order)";
+          return false;
+        }
+        last_cspan_id = id;
+      }
+    } else if (line.find("\"kind\":\"span\"") != std::string::npos) {
+      ++local.span_lines;
+    } else if (line.find("\"kind\":\"phase_hist\"") != std::string::npos) {
       ++local.phase_hist_lines;
-    else if (line.find("\"kind\":\"meta\"") != std::string::npos) saw_meta = true;
+    } else if (line.find("\"kind\":\"flight\"") != std::string::npos &&
+               line.find("\"kind\":\"flight_meta\"") == std::string::npos) {
+      ++local.flight_lines;
+      FlatObject obj;
+      if (parse_flat_object(line, &obj, nullptr)) {
+        const double at = obj["at_us"].num;
+        if (at < last_flight_at) {
+          if (error)
+            *error = "line " + std::to_string(line_no) +
+                     ": flight events must be in causal (time) order";
+          return false;
+        }
+        last_flight_at = at;
+      }
+    } else if (line.find("\"kind\":\"lineage\"") != std::string::npos) {
+      ++local.lineage_lines;
+    } else if (line.find("\"kind\":\"flight_meta\"") != std::string::npos) {
+      saw_meta = true;  // a flight dump is a self-contained stream
+    } else if (line.find("\"kind\":\"meta\"") != std::string::npos) {
+      saw_meta = true;
+    }
   }
   if (!saw_meta) {
     if (error) *error = "no meta line found";

@@ -1,0 +1,154 @@
+#include "telemetry/flight.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/hex.hpp"
+#include "telemetry/causal.hpp"
+#include "telemetry/trace.hpp"
+
+namespace jenga::telemetry {
+
+namespace {
+
+void write_line(std::ostream& out, const char* fmt, auto... args) {
+  char buf[512];
+  std::snprintf(buf, sizeof(buf), fmt, args...);
+  out << buf << "\n";
+}
+
+const char* kind_name(FlightEvent::Kind k) {
+  switch (k) {
+    case FlightEvent::Kind::kSend: return "send";
+    case FlightEvent::Kind::kDeliver: return "deliver";
+    case FlightEvent::Kind::kPhase: return "phase";
+    case FlightEvent::Kind::kDecide: return "decide";
+    case FlightEvent::Kind::kViewChange: return "view_change";
+    case FlightEvent::Kind::kAdmission: return "admission";
+    case FlightEvent::Kind::kTrigger: return "trigger";
+  }
+  return "unknown";
+}
+
+const char* anchor_name(AnchorKind k) {
+  switch (k) {
+    case AnchorKind::kSubmit: return "submit";
+    case AnchorKind::kPhase: return "phase";
+    case AnchorKind::kFinish: return "finish";
+    case AnchorKind::kNote: return "note";
+  }
+  return "unknown";
+}
+
+}  // namespace
+
+void FlightRecorder::configure(std::size_t nodes, std::size_t events_per_node) {
+  per_node_ = events_per_node;
+  rings_.assign(nodes + 1, {});  // +1: client-side ring
+  next_slot_.assign(nodes + 1, 0);
+  if (per_node_ > 0)
+    for (auto& r : rings_) r.reserve(per_node_);
+}
+
+void FlightRecorder::record(std::uint32_t node, FlightEvent e) {
+  if (per_node_ == 0 || rings_.empty()) return;
+  const std::size_t ring =
+      node == kClientNode ? rings_.size() - 1 : std::min<std::size_t>(node, rings_.size() - 1);
+  e.seq = next_seq_++;
+  auto& r = rings_[ring];
+  if (r.size() < per_node_) {
+    r.push_back(e);
+  } else {
+    r[next_slot_[ring]] = e;
+    next_slot_[ring] = (next_slot_[ring] + 1) % per_node_;
+  }
+}
+
+bool FlightRecorder::trigger(const std::string& reason, const Hash256* tx) {
+  if (per_node_ == 0) return false;
+  ++triggers_;
+  for (const std::string& r : fired_reasons_)
+    if (r == reason) return false;  // one dump per distinct failure mode
+  if (dumps_.size() >= max_dumps_) return false;
+  fired_reasons_.push_back(reason);
+
+  std::ostringstream out;
+  write_dump(out, reason, tx);
+  dumps_.push_back(FlightDump{reason, out.str()});
+  if (!dump_prefix_.empty()) {
+    std::ofstream f(dump_prefix_ + "-" + std::to_string(dumps_.size() - 1) + ".jsonl");
+    if (f) f << dumps_.back().contents;
+  }
+  return true;
+}
+
+void FlightRecorder::write_dump(std::ostream& out, const std::string& reason,
+                                const Hash256* tx) const {
+  // Merge every ring into one causally-ordered window: virtual time first,
+  // global record order as the tie-break (a cause is always recorded before
+  // its same-instant effect, so sorting is a valid causal order).
+  std::vector<const FlightEvent*> window;
+  for (const auto& r : rings_)
+    for (const FlightEvent& e : r) window.push_back(&e);
+  std::sort(window.begin(), window.end(), [](const FlightEvent* a, const FlightEvent* b) {
+    if (a->at != b->at) return a->at < b->at;
+    return a->seq < b->seq;
+  });
+
+  const std::string tx_hex = tx != nullptr ? to_hex(*tx) : std::string();
+  write_line(out,
+             "{\"kind\":\"flight_meta\",\"version\":1,\"reason\":\"%s\",\"tx\":\"%s\","
+             "\"events\":%zu,\"recorded\":%llu}",
+             reason.c_str(), tx_hex.c_str(), window.size(),
+             static_cast<unsigned long long>(next_seq_));
+
+  for (const FlightEvent* e : window) {
+    char txbuf[80] = "";
+    if (!e->tx.is_zero())
+      std::snprintf(txbuf, sizeof(txbuf), ",\"tx\":\"%s\"", to_hex(e->tx).c_str());
+    write_line(out,
+               "{\"kind\":\"flight\",\"at_us\":%lld,\"seq\":%llu,\"node\":%llu,"
+               "\"event\":\"%s\",\"type\":%u,\"span\":%llu,\"parent\":%llu,"
+               "\"a\":%llu,\"b\":%llu%s}",
+               static_cast<long long>(e->at), static_cast<unsigned long long>(e->seq),
+               static_cast<unsigned long long>(e->node), kind_name(e->kind),
+               static_cast<unsigned>(e->msg_type), static_cast<unsigned long long>(e->span),
+               static_cast<unsigned long long>(e->parent), static_cast<unsigned long long>(e->a),
+               static_cast<unsigned long long>(e->b), txbuf);
+  }
+
+  // The offending transaction's full causal lineage: every span on any of
+  // its anchor chains, parents before children, plus the anchors themselves.
+  if (tx == nullptr || causal_ == nullptr || !causal_->enabled()) return;
+  SimTime submit = 0;
+  if (tracer_ != nullptr) {
+    const TxTrace* t = tracer_->find(*tx);
+    if (t != nullptr && t->submit >= 0) submit = t->submit;
+  }
+  for (std::uint64_t id : causal_->lineage(*tx, submit)) {
+    const CausalSpan* s = causal_->span(id);
+    if (s == nullptr) continue;
+    write_line(out,
+               "{\"kind\":\"lineage\",\"what\":\"span\",\"id\":%llu,\"parent\":%llu,"
+               "\"type\":%u,\"from\":%llu,\"to\":%llu,\"send_us\":%lld,"
+               "\"depart_us\":%lld,\"arrive_us\":%lld}",
+               static_cast<unsigned long long>(s->id),
+               static_cast<unsigned long long>(s->parent), static_cast<unsigned>(s->msg_type),
+               static_cast<unsigned long long>(s->from), static_cast<unsigned long long>(s->to),
+               static_cast<long long>(s->send), static_cast<long long>(s->depart),
+               static_cast<long long>(s->arrive));
+  }
+  const std::vector<TxAnchor>* anchors = causal_->anchors(*tx);
+  if (anchors != nullptr) {
+    for (const TxAnchor& a : *anchors)
+      write_line(out,
+                 "{\"kind\":\"lineage\",\"what\":\"anchor\",\"anchor\":\"%s\",\"aux\":%u,"
+                 "\"at_us\":%lld,\"span\":%llu}",
+                 anchor_name(a.kind), a.aux, static_cast<long long>(a.at),
+                 static_cast<unsigned long long>(a.span));
+  }
+}
+
+}  // namespace jenga::telemetry

@@ -1,0 +1,107 @@
+// Crash-dump flight recorder (DESIGN.md §11).
+//
+// A bounded ring buffer of the last N events per node (sends, deliveries,
+// tx phase transitions, BFT decides/view-changes, mempool admissions).  When
+// something goes wrong — `security::check_invariants` reports a violation,
+// the 2PC watchdog flags a stuck transfer, or replicas diverge on a decide —
+// `trigger()` merges all rings into one causally-ordered window (sorted by
+// virtual time, record-order tie-break) and dumps it as JSONL, together with
+// the offending transaction's full causal lineage from the CausalTracer.
+// Chaos-run failures become post-mortem-debuggable instead of
+// seed-bisectable.
+//
+// Passive by the same discipline as the rest of src/telemetry: recording
+// never draws randomness, schedules events, or touches a metrics counter.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/types.hpp"
+
+namespace jenga::telemetry {
+
+class CausalTracer;
+class PhaseTracer;
+
+struct FlightEvent {
+  enum class Kind : std::uint8_t {
+    kSend = 0,
+    kDeliver = 1,
+    kPhase = 2,
+    kDecide = 3,
+    kViewChange = 4,
+    kAdmission = 5,
+    kTrigger = 6,
+  };
+
+  SimTime at = 0;
+  std::uint64_t seq = 0;  ///< global record order; causal tie-break at equal times
+  std::uint32_t node = 0;  ///< node id; tracer key for kPhase; shard for kAdmission
+  Kind kind = Kind::kSend;
+  std::uint16_t msg_type = 0;     ///< kSend/kDeliver
+  std::uint64_t span = 0;         ///< causal span id when tracing is enabled
+  std::uint64_t parent = 0;
+  std::uint64_t a = 0;            ///< kind-specific: peer node / phase / group
+  std::uint64_t b = 0;            ///< kind-specific: bytes / height / reason code
+  Hash256 tx{};                   ///< zero when the event is not tx-scoped
+};
+
+struct FlightDump {
+  std::string reason;
+  std::string contents;  ///< JSONL (flight_meta, flight, lineage lines)
+};
+
+class FlightRecorder {
+ public:
+  /// Ring capacity per node.  0 (default) disables the recorder entirely.
+  /// One extra ring (index = nodes) holds client-side events.
+  void configure(std::size_t nodes, std::size_t events_per_node);
+  [[nodiscard]] bool enabled() const { return per_node_ > 0; }
+
+  void record(std::uint32_t node, FlightEvent e);
+
+  /// Lineage source for dumps; both optional (lineage lines are skipped
+  /// when causal tracing is off).
+  void set_lineage_source(const CausalTracer* causal, const PhaseTracer* tracer) {
+    causal_ = causal;
+    tracer_ = tracer;
+  }
+
+  /// When set, each dump is also written to `<prefix>-<n>.jsonl`.
+  void set_dump_path(std::string prefix) { dump_prefix_ = std::move(prefix); }
+  void set_max_dumps(std::size_t n) { max_dumps_ = n; }
+
+  /// Fires the recorder: merges the rings into a causally-ordered window and
+  /// captures a dump.  At most one dump per distinct reason and at most
+  /// `max_dumps_` overall; always counts the trigger.  Returns true when a
+  /// dump was captured.
+  bool trigger(const std::string& reason, const Hash256* tx = nullptr);
+
+  /// Writes the merged window (and the tx lineage, when available) to `out`.
+  void write_dump(std::ostream& out, const std::string& reason, const Hash256* tx) const;
+
+  [[nodiscard]] std::uint64_t triggers() const { return triggers_; }
+  [[nodiscard]] const std::vector<FlightDump>& dumps() const { return dumps_; }
+  [[nodiscard]] std::uint64_t events_recorded() const { return next_seq_; }
+
+ private:
+  std::size_t per_node_ = 0;
+  std::vector<std::vector<FlightEvent>> rings_;  ///< fixed-capacity, overwrite oldest
+  std::vector<std::size_t> next_slot_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t triggers_ = 0;
+  std::size_t max_dumps_ = 4;
+  std::vector<std::string> fired_reasons_;
+  std::vector<FlightDump> dumps_;
+  std::string dump_prefix_;
+  const CausalTracer* causal_ = nullptr;
+  const PhaseTracer* tracer_ = nullptr;
+};
+
+}  // namespace jenga::telemetry

@@ -60,8 +60,16 @@ double Histogram::quantile(double q) const {
       const double within = (rank - static_cast<double>(seen)) /
                             static_cast<double>(buckets_[i]);
       const double lo = static_cast<double>(bucket_lower(i));
-      const double est = lo + within * static_cast<double>(bucket_width(i));
-      // Bucket bounds can overshoot the true extremes; clamp to them.
+      // The bucket holds integer values in [lower, lower + width - 1]; the
+      // interpolation span must use that inclusive top, not the next
+      // bucket's lower edge.  Otherwise a rank landing exactly on a bucket
+      // boundary (within == 1.0) overshoots into the next bucket and, when a
+      // larger outlier exists elsewhere, the global min/max clamp cannot
+      // catch it — e.g. 100 samples of 16 plus one of 1000 reported p99 = 17
+      // even though no recorded sample lies in (16, 1000).
+      const double hi = lo + static_cast<double>(bucket_width(i) - 1);
+      const double est = lo + within * (hi - lo);
+      // Bucket bounds can still overshoot the true extremes; clamp to them.
       return std::clamp(est, static_cast<double>(min()), static_cast<double>(max()));
     }
     seen = next;

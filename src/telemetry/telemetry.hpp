@@ -19,9 +19,16 @@
 //               "critical":..}
 //   span       {"kind":"span","name":..,"group":..,"seq":..,"begin_us":..,
 //               "end_us":..}
+//   cspan      {"kind":"cspan","id":..,"parent":..,"type":..,"from":..,
+//               "to":..,"send_us":..,"depart_us":..,"arrive_us":..}
+//               (causal tracing only; ids strictly ascending, parent < id)
+// Tx lines additionally carry "dag_hops"/"dag_total_us"/"dag_queue_us"/
+// "dag_link_us"/"dag_service_us" when causal tracing was enabled.
 // validate_trace_stream() is the schema checker shared by the CI lint tool
 // and the telemetry tests; it re-checks the per-tx invariant that the four
-// phase intervals sum to finish_us - submit_us.
+// phase intervals sum to finish_us - submit_us, the per-tx DAG/interval
+// reconciliation, and the cspan ordering invariants.  It also accepts
+// flight-recorder dumps (flight_meta/flight/lineage lines, see flight.hpp).
 #pragma once
 
 #include <array>
@@ -29,6 +36,8 @@
 #include <iosfwd>
 #include <string>
 
+#include "telemetry/causal.hpp"
+#include "telemetry/flight.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -61,11 +70,29 @@ struct Telemetry {
   MetricsRegistry registry;
   PhaseTracer tracer;
   MessageTelemetry net;
+  CausalTracer causal;
+  FlightRecorder flight;
+
+  Telemetry() {
+    tracer.set_causal(&causal);
+    tracer.set_flight(&flight);
+    flight.set_lineage_source(&causal, &tracer);
+  }
+  Telemetry(const Telemetry&) = delete;
+  Telemetry& operator=(const Telemetry&) = delete;
 
   /// Writes the full JSONL trace (metrics snapshot, message telemetry,
-  /// per-phase histograms, one line per traced tx, one line per sub-span).
-  /// Tx lines are sorted by (submit time, hash) so output is deterministic.
+  /// per-phase histograms, one line per traced tx, one line per sub-span;
+  /// with causal tracing on, also one cspan line per DAG span and dag_*
+  /// fields on tx lines).  Tx lines are sorted by (submit time, hash) so
+  /// output is deterministic.
   void export_jsonl(std::ostream& out) const;
+
+  /// chrome://tracing / Perfetto-compatible JSON: one "X" complete event per
+  /// causal DAG hop (pid = destination node, tid = message type) plus "s"/"f"
+  /// flow events binding each hop to its parent.  Empty array when causal
+  /// tracing was off.
+  void export_chrome(std::ostream& out) const;
 };
 
 /// Schema sanity for one exported line.  Returns false and fills `error`
@@ -80,6 +107,10 @@ struct TraceLintSummary {
   std::size_t metric_lines = 0;
   std::size_t span_lines = 0;
   std::size_t phase_hist_lines = 0;
+  std::size_t cspan_lines = 0;
+  std::size_t dag_tx_lines = 0;  ///< tx lines carrying dag_* fields
+  std::size_t flight_lines = 0;
+  std::size_t lineage_lines = 0;
 };
 
 /// Validates a whole JSONL stream; requires at least a meta line.

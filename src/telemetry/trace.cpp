@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "telemetry/causal.hpp"
+#include "telemetry/flight.hpp"
+
 namespace jenga::telemetry {
 
 const char* phase_name(Phase p) {
@@ -76,7 +79,10 @@ std::size_t PhaseBreakdown::dominant_interval() const {
 
 void PhaseTracer::on_submit(const Hash256& tx, SimTime now) {
   TxTrace& t = traces_[tx];
-  if (t.submit < 0) t.submit = now;
+  if (t.submit < 0) {
+    t.submit = now;
+    if (causal_ != nullptr) causal_->tx_anchor(tx, AnchorKind::kSubmit, 0, now);
+  }
 }
 
 void PhaseTracer::phase_event(const Hash256& tx, Phase phase, std::uint32_t key,
@@ -88,6 +94,18 @@ void PhaseTracer::phase_event(const Hash256& tx, Phase phase, std::uint32_t key,
   t.events.push_back(TraceEvent{phase, key, now});
   SimTime& cp = t.checkpoint[static_cast<std::size_t>(phase)];
   cp = std::max(cp, now);
+  if (causal_ != nullptr)
+    causal_->tx_anchor(tx, AnchorKind::kPhase, static_cast<std::uint32_t>(phase), now);
+  if (flight_ != nullptr && flight_->enabled()) {
+    FlightEvent e;
+    e.at = now;
+    e.node = key;
+    e.kind = FlightEvent::Kind::kPhase;
+    e.a = static_cast<std::uint64_t>(phase);
+    e.span = causal_ != nullptr ? causal_->current_context() : 0;
+    e.tx = tx;
+    flight_->record(key, e);
+  }
 }
 
 void PhaseTracer::on_finish(const Hash256& tx, bool committed, SimTime now) {
@@ -98,6 +116,8 @@ void PhaseTracer::on_finish(const Hash256& tx, bool committed, SimTime now) {
   t.done = true;
   t.committed = committed;
   t.finish = now;
+  if (causal_ != nullptr)
+    causal_->tx_anchor(tx, AnchorKind::kFinish, committed ? 1u : 0u, now);
 }
 
 void PhaseTracer::span(const char* name, std::uint64_t group, std::uint64_t seq,

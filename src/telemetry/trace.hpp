@@ -32,6 +32,9 @@
 
 namespace jenga::telemetry {
 
+class CausalTracer;
+class FlightRecorder;
+
 enum class Phase : std::uint8_t {
   kStateLock = 0,  // shard decided the block granting (or refusing) its state
   kGather,         // execution site holds every involved shard's grant
@@ -122,11 +125,20 @@ class PhaseTracer {
 
   [[nodiscard]] PhaseBreakdown breakdown() const;
 
+  /// Optional sinks: when a CausalTracer is attached (and enabled), every
+  /// accepted submit/phase/finish is mirrored as a per-tx anchor tied to the
+  /// current causal context; a FlightRecorder receives phase events for its
+  /// ring buffers.  Both passive.
+  void set_causal(CausalTracer* causal) { causal_ = causal; }
+  void set_flight(FlightRecorder* flight) { flight_ = flight; }
+
  private:
   std::unordered_map<Hash256, TxTrace> traces_;
   std::vector<SpanRecord> spans_;
   std::size_t span_capacity_ = 1u << 20;
   std::uint64_t spans_dropped_ = 0;
+  CausalTracer* causal_ = nullptr;
+  FlightRecorder* flight_ = nullptr;
 };
 
 }  // namespace jenga::telemetry

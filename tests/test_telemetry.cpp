@@ -54,6 +54,37 @@ TEST(Histogram, SmallValuesExactLargeValuesBounded) {
   EXPECT_GE(big.max(), 999'000);
 }
 
+TEST(Histogram, BucketEdgeQuantileConsistentWithRawMax) {
+  // Regression: a rank landing exactly on a log-linear bucket boundary used
+  // to interpolate past the bucket's top value (est = lower + 1.0 * width),
+  // and when a larger outlier existed elsewhere the global min/max clamp
+  // could not catch the overshoot: 100 samples of 16 plus one of 1000
+  // reported p99 = 17 even though no sample lies in (16, 1000).
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.record(16);
+  h.record(1000);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 16.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 1000.0);
+  EXPECT_EQ(h.max(), 1000);
+
+  // Any single-valued distribution must report that value at every quantile,
+  // including values sitting exactly on bucket boundaries (powers of two).
+  for (const std::int64_t v : {15ll, 16ll, 32ll, 1024ll, 4096ll}) {
+    Histogram one;
+    for (int i = 0; i < 1000; ++i) one.record(v);
+    EXPECT_DOUBLE_EQ(one.quantile(0.5), static_cast<double>(v)) << v;
+    EXPECT_DOUBLE_EQ(one.quantile(0.99), static_cast<double>(v)) << v;
+    EXPECT_DOUBLE_EQ(one.quantile(1.0), static_cast<double>(v)) << v;
+  }
+
+  // Quantiles never exceed the recorded raw max, boundary or not.
+  Histogram mix;
+  for (int i = 0; i < 90; ++i) mix.record(100);
+  for (int i = 0; i < 10; ++i) mix.record(1017);
+  EXPECT_LE(mix.quantile(0.99), static_cast<double>(mix.max()));
+  EXPECT_DOUBLE_EQ(mix.quantile(1.0), 1017.0);
+}
+
 TEST(Histogram, MergeMatchesCombinedRecording) {
   Histogram a, b, both;
   for (int i = 0; i < 100; ++i) {

@@ -1,8 +1,14 @@
-// Trace linter: validates a `--trace-out` JSONL file against the telemetry
-// schema (see telemetry/telemetry.hpp), including the per-tx invariant that
-// the four phase intervals sum to the end-to-end latency.  CI runs it on a
-// fresh bench trace so a schema drift fails the build instead of silently
-// breaking downstream analysis.
+// Trace linter: validates a `--trace-out` JSONL file (or a flight-recorder
+// dump) against the telemetry schema (see telemetry/telemetry.hpp):
+//   - the per-tx invariant that the four phase intervals sum to the
+//     end-to-end latency;
+//   - causal span ordering (ids strictly ascending, parent before child —
+//     the DAG acyclicity witness) and per-span send ≤ depart ≤ arrive;
+//   - per-tx DAG/interval reconciliation: dag_queue + dag_link + dag_service
+//     matches dag_total, and dag_total matches finish - submit within 1%;
+//   - flight-dump lines in causal (time) order.
+// CI runs it on a fresh bench trace so a schema drift fails the build
+// instead of silently breaking downstream analysis.
 //
 // Usage: trace_lint <trace.jsonl>   (exit 0 = valid, 1 = invalid / unreadable)
 #include <cstdio>
@@ -27,8 +33,11 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "trace_lint: %s: INVALID: %s\n", argv[1], error.c_str());
     return 1;
   }
-  std::printf("trace_lint: %s: OK (%zu lines: %zu tx, %zu metric, %zu phase_hist, %zu span)\n",
-              argv[1], summary.lines, summary.tx_lines, summary.metric_lines,
-              summary.phase_hist_lines, summary.span_lines);
+  std::printf(
+      "trace_lint: %s: OK (%zu lines: %zu tx (%zu with DAG), %zu metric, "
+      "%zu phase_hist, %zu span, %zu cspan, %zu flight, %zu lineage)\n",
+      argv[1], summary.lines, summary.tx_lines, summary.dag_tx_lines,
+      summary.metric_lines, summary.phase_hist_lines, summary.span_lines,
+      summary.cspan_lines, summary.flight_lines, summary.lineage_lines);
   return 0;
 }
