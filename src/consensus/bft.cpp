@@ -7,7 +7,6 @@
 #include "crypto/sha256.hpp"
 
 namespace jenga::consensus {
-namespace {
 
 Hash256 vote_digest(const Hash256& value_digest, std::uint64_t height, std::uint32_t view,
                     bool commit_phase) {
@@ -17,6 +16,25 @@ Hash256 vote_digest(const Hash256& value_digest, std::uint64_t height, std::uint
   h.update_u64(height);
   h.update_u64(view);
   return h.finish();
+}
+
+std::vector<std::uint64_t> group_public_ids(std::uint64_t crypto_seed, std::size_t n) {
+  std::vector<std::uint64_t> ids;
+  ids.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    ids.push_back(crypto::fast_keypair(crypto_seed * 0x9E3779B9ULL + i).public_id);
+  return ids;
+}
+
+namespace {
+
+/// Rumor identity of a proposal broadcast: the same (group, height, view,
+/// value) proposed by any sender dedups to one spread.
+std::uint64_t proposal_rumor_id(std::uint64_t group_tag, std::uint64_t height,
+                                std::uint32_t view, const Hash256& digest) {
+  std::uint64_t w = 0;
+  for (int i = 0; i < 8; ++i) w = (w << 8) | digest.bytes[static_cast<std::size_t>(i)];
+  return sim::rumor_id_mix(group_tag, height, view, w);
 }
 
 }  // namespace
@@ -68,10 +86,11 @@ bool Replica::verify_cert(const QuorumCert& cert) const {
   return crypto::fast_verify_multisig(public_ids_, commit_digest, cert.sig);
 }
 
-void Replica::broadcast(const sim::Message& msg, bool gossip) {
+void Replica::broadcast(const sim::Message& msg, bool gossip, std::uint64_t rumor_id) {
   if (stopped_) return;
   if (gossip && config_->use_gossip_for_proposal) {
-    net_.gossip(self_, config_->members, msg, config_->traffic);
+    net_.broadcast(sim::BroadcastKind::kProposal, self_, config_->members, rumor_id, msg,
+                   config_->traffic);
   } else {
     net_.multicast(self_, config_->members, msg, config_->traffic);
   }
@@ -201,9 +220,10 @@ void Replica::try_propose() {
   // leaves its machine.
   const std::uint64_t h = next_height_;
   const std::uint32_t v = view_;
-  net_.simulator().schedule_after(value->exec_delay, [this, h, v, msg] {
+  const std::uint64_t rid = proposal_rumor_id(config_->group_tag, h, v, value->digest);
+  net_.simulator().schedule_after(value->exec_delay, [this, h, v, msg, rid] {
     if (next_height_ != h || view_ != v) return;
-    broadcast(msg, /*gossip=*/true);
+    broadcast(msg, /*gossip=*/true, rid);
     const auto idx = member_index(self_);
     if (idx) {
       prepare_votes_[*idx] = true;
@@ -484,7 +504,15 @@ void Replica::handle_prepared_cert(const sim::Message& msg) {
     return;
   }
 
-  if (!current_value_) current_value_ = p.value;  // recover value if gossip missed us
+  if (!current_value_) {
+    // The proposal dissemination missed this replica; the certificate's
+    // embedded copy fills the gap, so no pull is needed — just count the
+    // recovery so lossy-transport runs can see how often the backup path
+    // carried the round.
+    current_value_ = p.value;
+    ++stats_.value_recovered;
+    if (telemetry_ != nullptr) telemetry_->registry.counter("bft.value_recovered").inc();
+  }
   prepared_cert_ = p.cert;
   sent_commit_ = true;
 
@@ -546,10 +574,20 @@ void Replica::handle_commit_cert(const sim::Message& msg) {
     return;
   }
 
-  ConsensusValue value = current_value_ && current_value_->digest == p.cert.value_digest
-                             ? *current_value_
-                             : p.value;
-  if (!(value.digest == p.cert.value_digest)) return;
+  const bool have_local = current_value_ && current_value_->digest == p.cert.value_digest;
+  ConsensusValue value = have_local ? *current_value_ : p.value;
+  if (!(value.digest == p.cert.value_digest)) {
+    // A valid commit certificate for a value this replica does not hold:
+    // the height decided without us.  Pull it explicitly instead of silently
+    // dropping the certificate and stalling until the view timer fires.
+    ++stats_.value_pulls;
+    request_sync();
+    return;
+  }
+  if (!have_local) {
+    ++stats_.value_recovered;
+    if (telemetry_ != nullptr) telemetry_->registry.counter("bft.value_recovered").inc();
+  }
   decide(value, p.cert);
 }
 
@@ -705,7 +743,9 @@ void Replica::handle_new_view(const sim::Message& msg) {
       out.from = self_;
       out.size_bytes = kProposalOverheadBytes + current_value_->size_bytes;
       out.payload = std::move(payload);
-      broadcast(out, /*gossip=*/true);
+      broadcast(out, /*gossip=*/true,
+                proposal_rumor_id(config_->group_tag, next_height_, view_,
+                                  current_value_->digest));
       const auto idx = member_index(self_);
       if (idx) {
         prepare_votes_[*idx] = true;

@@ -46,6 +46,18 @@ struct ConsensusValue {
   std::shared_ptr<const sim::Payload> data;
 };
 
+/// Digest a replica signs when voting for (value, height, view) in the
+/// prepare or commit phase.  Exposed so other layers (the relay batch
+/// verifier in src/core) can check a commit certificate's aggregate signature
+/// without instantiating a Replica.
+[[nodiscard]] Hash256 vote_digest(const Hash256& value_digest, std::uint64_t height,
+                                  std::uint32_t view, bool commit_phase);
+
+/// The public vote-key ids of a group of `n` members derived from
+/// `crypto_seed` — exactly the key schedule every Replica of that group uses.
+[[nodiscard]] std::vector<std::uint64_t> group_public_ids(std::uint64_t crypto_seed,
+                                                          std::size_t n);
+
 /// Aggregated quorum certificate.
 struct QuorumCert {
   Hash256 value_digest;
@@ -102,6 +114,8 @@ struct ReplicaStats {
   std::uint64_t sync_requests_sent = 0;
   std::uint64_t sync_responses_served = 0;
   std::uint64_t sync_heights_applied = 0;     // decided via catch-up, not votes
+  std::uint64_t value_recovered = 0;          // value adopted from a cert, not the proposal
+  std::uint64_t value_pulls = 0;              // explicit syncs triggered by a value gap
 };
 
 /// One replica's state machine for one group.  All replicas of a group share
@@ -159,7 +173,7 @@ class Replica {
  private:
   [[nodiscard]] NodeId leader_for(std::uint32_t view) const;
   [[nodiscard]] std::optional<std::size_t> member_index(NodeId id) const;
-  void broadcast(const sim::Message& msg, bool gossip);
+  void broadcast(const sim::Message& msg, bool gossip, std::uint64_t rumor_id = 0);
   void send_to(NodeId to, const sim::Message& msg);
   void enter_height(std::uint64_t height);
   void arm_view_timer();

@@ -6,6 +6,8 @@
 #include "consensus/messages.hpp"
 #include "crypto/sha256.hpp"
 #include "exec/engine.hpp"
+#include "gossip/batch.hpp"
+#include "gossip/rumor.hpp"
 #include "ledger/placement.hpp"
 #include "ledger/state_sync.hpp"
 #include "vm/interpreter.hpp"
@@ -91,6 +93,39 @@ struct ContinuationPayload : sim::Payload {
 
   [[nodiscard]] std::uint32_t wire_size() const { return 128 + gathered.wire_size(); }
 };
+
+/// Content-derived dedup identity of a relayed protocol message: every
+/// subgroup relay of the same certified outcome computes the same id, so in
+/// rumor mode their spreads merge into one (DESIGN.md §12).
+/// Type-salted pool-dedup key for a parked grant batch (results use their
+/// already-mixed result_dedup key; the salt keeps the two spaces apart).
+std::uint64_t grant_park_key(std::uint64_t key) {
+  std::uint64_t state = key ^ 0xA1C3ULL;
+  return splitmix64(state);
+}
+
+std::uint64_t relay_rumor_id(const sim::Message& msg) {
+  switch (msg.type) {
+    case sim::MsgType::kStateGrant: {
+      const auto& p = sim::payload_as<GrantBatchPayload>(msg);
+      return sim::rumor_id_mix(0xA1, p.source.value, p.shard_height, p.relay_target.value);
+    }
+    case sim::MsgType::kExecResult: {
+      const auto& p = sim::payload_as<ResultBatchPayload>(msg);
+      return sim::rumor_id_mix(0xA2, p.source.value, p.channel_height, p.target.value);
+    }
+    case sim::MsgType::kSubTxResult: {
+      const auto& p = sim::payload_as<ContinuationPayload>(msg);
+      return sim::rumor_id_mix(0xA3, p.tx->hash.prefix_u64(), p.next_step, p.target.value);
+    }
+    case sim::MsgType::kEpochVrf: {
+      const auto& p = sim::payload_as<EpochContributionPayload>(msg);
+      return sim::rumor_id_mix(0xA4, p.contribution.node.value, p.epoch);
+    }
+    default:
+      return sim::rumor_id_mix(static_cast<std::uint64_t>(msg.type), msg.size_bytes);
+  }
+}
 
 }  // namespace
 
@@ -357,6 +392,19 @@ JengaSystem::JengaSystem(sim::Simulator& sim, sim::Network& net, JengaConfig con
                                                 config_.epoch_vdf_checkpoints);
   }
 
+  // Dissemination subsystem (DESIGN.md §12).  The mesh gets its OWN rng
+  // stream so naive/tree runs consume the exact network rng sequence they did
+  // before this subsystem existed.
+  if (net_.config().any_rumor() && net_.rumor_mesh() == nullptr) {
+    mesh_ = std::make_unique<gossip::RumorMesh>(net_, gossip::RumorConfig{},
+                                                Rng(config_.seed ^ 0x52554D52ULL));
+    net_.set_rumor_mesh(mesh_.get());
+  }
+  if (net_.config().transport_for(sim::BroadcastKind::kRelay) == sim::Transport::kRumor &&
+      net_.config().batch_window > 0) {
+    batcher_ = std::make_unique<gossip::Batcher>(net_, net_.config().batch_window);
+  }
+
   build_replicas();
   for (std::uint32_t i = 0; i < n; ++i) {
     const NodeId node{i};
@@ -435,7 +483,9 @@ void JengaSystem::build_replicas() {
   }
 }
 
-JengaSystem::~JengaSystem() = default;
+JengaSystem::~JengaSystem() {
+  if (mesh_ && net_.rumor_mesh() == mesh_.get()) net_.set_rumor_mesh(nullptr);
+}
 
 void JengaSystem::start() {
   for (auto& r : shard_replicas_) r->start();
@@ -576,7 +626,15 @@ void JengaSystem::note_decide(std::uint64_t group_tag, std::uint64_t height,
 }
 
 void JengaSystem::relay_gossip(NodeId node, const std::vector<NodeId>& group,
-                               const sim::Message& msg) {
+                               const sim::Message& msg, sim::BroadcastKind kind) {
+  if (net_.config().transport_for(kind) == sim::Transport::kRumor &&
+      net_.rumor_mesh() != nullptr) {
+    // The mesh's pull-digest repair is the retransmission path; blind
+    // re-gossips would only amplify traffic (dup-drop eats them anyway).
+    net_.broadcast(kind, node, group, relay_rumor_id(msg), msg,
+                   sim::TrafficClass::kIntraShard);
+    return;
+  }
   net_.gossip(node, group, msg, sim::TrafficClass::kIntraShard);
   if (!net_.fault_profile().any()) return;
   for (const SimTime delay : {2 * kSecond, 8 * kSecond}) {
@@ -684,6 +742,9 @@ void JengaSystem::on_node_message(NodeId node, const sim::Message& msg) {
     case sim::MsgType::kEpochVrf:
       handle_epoch_contribution(msg);
       return;
+    case sim::MsgType::kBatchFrame:
+      handle_batch_frame(node, msg);
+      return;
     case sim::MsgType::kSubTxResult: {
       // kNoGlobalLogic continuation relay.
       const auto& p = sim::payload_as<ContinuationPayload>(msg);
@@ -702,8 +763,8 @@ void JengaSystem::on_node_message(NodeId node, const sim::Message& msg) {
           auto fp = std::make_shared<ContinuationPayload>(p);
           fp->hops = 0;
           fwd.payload = std::move(fp);
-          net_.gossip(node, lattice_->shard_members(p.target), fwd,
-                      sim::TrafficClass::kIntraShard);
+          net_.broadcast(sim::BroadcastKind::kRelay, node, lattice_->shard_members(p.target),
+                         relay_rumor_id(fwd), fwd, sim::TrafficClass::kIntraShard);
         }
       }
       return;
@@ -826,6 +887,10 @@ void JengaSystem::handle_grant_batch(NodeId node, const sim::Message& msg) {
       // Delivered inside the execution channel; ingest once per batch.
       ChannelEngine& ch = *channels_[asg.channel.value];
       if (ch.grant_dedup.contains(key)) return;
+      if (try_park_for_pooled_verify(node, msg, channel_tag(asg.channel),
+                                     grant_park_key(key), p.cert))
+        return;
+      if (!verify_relay_cert(p.cert, /*channel_group=*/false, p.source.value)) return;
       ch.grant_dedup.insert(key);
       ingest_grants(ch.gather, ch.id.value);
       break;
@@ -834,6 +899,10 @@ void JengaSystem::handle_grant_batch(NodeId node, const sim::Message& msg) {
       // Arrived via client relay at the execution shard's contact node.
       ShardEngine& eng = *shards_[asg.shard.value];
       if (eng.grant_dedup.contains(key)) return;
+      if (try_park_for_pooled_verify(node, msg, shard_tag(asg.shard),
+                                     grant_park_key(key), p.cert))
+        return;
+      if (!verify_relay_cert(p.cert, /*channel_group=*/false, p.source.value)) return;
       eng.grant_dedup.insert(key);
       ingest_grants(eng.gather, eng.id.value);
       break;
@@ -848,10 +917,14 @@ void JengaSystem::handle_grant_batch(NodeId node, const sim::Message& msg) {
         fp->hops = 0;
         sim::Message fwd = msg;
         fwd.payload = std::move(fp);
-        net_.gossip(node, lattice_->shard_members(asg.shard), fwd,
-                    sim::TrafficClass::kIntraShard);
+        net_.broadcast(sim::BroadcastKind::kRelay, node, lattice_->shard_members(asg.shard),
+                       relay_rumor_id(fwd), fwd, sim::TrafficClass::kIntraShard);
       }
       if (eng.grant_dedup.contains(key)) return;
+      if (try_park_for_pooled_verify(node, msg, shard_tag(asg.shard),
+                                     grant_park_key(key), p.cert))
+        return;
+      if (!verify_relay_cert(p.cert, /*channel_group=*/false, p.source.value)) return;
       eng.grant_dedup.insert(key);
       ingest_grants(eng.gather, eng.id.value);
       break;
@@ -897,13 +970,17 @@ void JengaSystem::handle_result_batch(NodeId node, const sim::Message& msg) {
     fp->hops = 0;
     sim::Message fwd = msg;
     fwd.payload = std::move(fp);
-    net_.gossip(node, lattice_->shard_members(p.target), fwd,
-                sim::TrafficClass::kIntraShard);
+    net_.broadcast(sim::BroadcastKind::kRelay, node, lattice_->shard_members(p.target),
+                   relay_rumor_id(fwd), fwd, sim::TrafficClass::kIntraShard);
   }
   std::uint64_t key = 0x9E3779B97F4A7C15ULL * (p.source.value + 1) +
                       0xC2B2AE3D27D4EB4FULL * (p.target.value + 1) + p.channel_height;
   key = splitmix64(key);
   if (eng.result_dedup.contains(key)) return;
+  if (try_park_for_pooled_verify(node, msg, shard_tag(asg.shard), key, p.cert)) return;
+  // Results are certified by the group that decided them: the channel in the
+  // full pipeline, a state shard otherwise.
+  if (!verify_relay_cert(p.cert, config_.pipeline == Pipeline::kFull, p.source.value)) return;
   eng.result_dedup.insert(key);
   for (const auto& r : p.results) {
     CommitItem item;
@@ -1154,7 +1231,8 @@ std::optional<consensus::ConsensusValue> JengaSystem::shard_propose(ShardEngine&
 // ---------------------------------------------------------------------------
 
 void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t height,
-                               const consensus::ConsensusValue& value) {
+                               const consensus::ConsensusValue& value,
+                               const consensus::QuorumCert& cert) {
   note_decide(shard_tag(eng.id), height, value.digest);
   const auto* payload = dynamic_cast<const ShardBlockPayload*>(value.data.get());
   if (payload == nullptr) return;
@@ -1244,6 +1322,7 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
       batch.source = eng.id;
       batch.shard_height = height;
       batch.epoch = epoch_;
+      batch.cert = cert;  // receivers verify before ingesting
       batch.grants.push_back(std::move(grant));
     }
 
@@ -1450,6 +1529,7 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
       batch.channel_height = height;
       batch.epoch = epoch_;
       batch.target = target;
+      batch.cert = cert;
       batch.results.push_back(result);
     };
     auto add_result = [&](const Transaction& tx, const ExecResult& result) {
@@ -1645,11 +1725,19 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
     if (asg.channel != ch) continue;
     sim::Message copy = msg;
     copy.from = node;
-    // Gossip rather than unicast-to-all: batches carry whole contract
-    // states, and a fanout tree spreads the serialization load across the
-    // channel instead of saturating each subgroup member's uplink.
-    relay_gossip(node, lattice_->channel_members(ch), copy);
-    on_node_message(node, copy);  // local ingest (gossip skips self)
+    if (batcher_ != nullptr) {
+      // Rumor mode: coalesce every relay this node owes the channel within
+      // one aligned window into a single framed rumor (one spread, one
+      // pooled certificate verification on each receiver).
+      batcher_->enqueue(node, lattice_->channel_members(ch), relay_rumor_id(copy), copy,
+                        sim::TrafficClass::kIntraShard);
+    } else {
+      // Gossip rather than unicast-to-all: batches carry whole contract
+      // states, and a fanout tree spreads the serialization load across the
+      // channel instead of saturating each subgroup member's uplink.
+      relay_gossip(node, lattice_->channel_members(ch), copy);
+      on_node_message(node, copy);  // local ingest (dissemination skips self)
+    }
   }
 }
 
@@ -1681,7 +1769,8 @@ std::optional<consensus::ConsensusValue> JengaSystem::channel_propose(ChannelEng
 }
 
 void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t height,
-                                 const consensus::ConsensusValue& value) {
+                                 const consensus::ConsensusValue& value,
+                                 const consensus::QuorumCert& cert) {
   note_decide(channel_tag(eng.id), height, value.digest);
   const auto* payload = dynamic_cast<const ChannelBlockPayload*>(value.data.get());
   if (payload == nullptr) return;
@@ -1699,6 +1788,7 @@ void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t 
       batch.channel_height = height;
       batch.epoch = epoch_;
       batch.target = target;
+      batch.cert = cert;
       batch.results.push_back(result);
     };
     for (const auto& [tx, result] : payload->entries) {
@@ -1755,8 +1845,13 @@ void JengaSystem::channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t 
     if (asg.shard != shard) continue;
     sim::Message copy = msg;
     copy.from = node;
-    relay_gossip(node, lattice_->shard_members(shard), copy);
-    on_node_message(node, copy);
+    if (batcher_ != nullptr) {
+      batcher_->enqueue(node, lattice_->shard_members(shard), relay_rumor_id(copy), copy,
+                        sim::TrafficClass::kIntraShard);
+    } else {
+      relay_gossip(node, lattice_->shard_members(shard), copy);
+      on_node_message(node, copy);
+    }
   }
 }
 
@@ -1797,7 +1892,7 @@ void JengaSystem::start_beacon_round(std::uint64_t target_epoch) {
     m.from = node;
     m.size_bytes = EpochContributionPayload::wire_size();
     m.payload = std::move(payload);
-    relay_gossip(node, all_nodes_, m);
+    relay_gossip(node, all_nodes_, m, sim::BroadcastKind::kBeacon);
     handle_epoch_contribution(m);  // the contributor ingests its own copy
   }
 }
@@ -2111,6 +2206,184 @@ Hash256 JengaSystem::ledger_digest() const {
   return h.finish();
 }
 
+Hash256 JengaSystem::state_digest() const {
+  crypto::Sha256 h;
+  h.update("jenga/state-digest");
+  for (const auto& s : shards_) {
+    h.update_u64(s->id.value);
+    h.update(s->store.digest());
+  }
+  h.update_u64(stats_.committed);
+  h.update_u64(stats_.aborted);
+  return h.finish();
+}
+
+// ---------------------------------------------------------------------------
+// Relay certificate verification (DESIGN.md §12)
+// ---------------------------------------------------------------------------
+
+const std::vector<std::uint64_t>& JengaSystem::source_public_ids(bool channel_group,
+                                                                 std::uint32_t gid) {
+  const std::uint64_t tag =
+      channel_group ? channel_tag(ChannelId{gid}) : shard_tag(ShardId{gid});
+  if (const auto it = group_pubids_.find(tag); it != group_pubids_.end()) return it->second;
+  // Exactly the key schedule build_replicas() gives the group's replicas.
+  const std::uint64_t seed =
+      (config_.seed ^ ((channel_group ? 0xC4A20000ULL : 0x51ED0000ULL) + gid)) +
+      epoch_ * 0xD1B54A32D192ED03ULL;
+  const std::size_t n = channel_group ? lattice_->channel_members(ChannelId{gid}).size()
+                                      : lattice_->shard_members(ShardId{gid}).size();
+  return group_pubids_.emplace(tag, consensus::group_public_ids(seed, n)).first->second;
+}
+
+bool JengaSystem::verify_relay_cert(const consensus::QuorumCert& cert, bool channel_group,
+                                    std::uint32_t gid) {
+  if (cert.sig.signer_count() == 0) {
+    // Synthetic late-abort answers (answer_dead_grant) certify nothing; they
+    // only release locks the receiver already holds, so they pass uncounted
+    // as verifications but visible in telemetry.
+    ++cert_stats_.unsigned_batches;
+    return true;
+  }
+  if (certs_preverified_) return true;  // covered by the frame's pooled pass
+  const auto& ids = source_public_ids(channel_group, gid);
+  ++cert_stats_.individual_checks;
+  const std::size_t quorum = 2 * ((ids.size() - 1) / 3) + 1;
+  const Hash256 digest =
+      consensus::vote_digest(cert.value_digest, cert.height, cert.view, /*commit_phase=*/true);
+  const bool ok = cert.sig.signers.size() == ids.size() &&
+                  cert.sig.signer_count() >= quorum &&
+                  crypto::fast_verify_multisig(ids, digest, cert.sig);
+  if (!ok) {
+    ++cert_stats_.invalid_certs;
+    if (telemetry_ != nullptr) telemetry_->registry.counter("relay.invalid_certs").inc();
+  }
+  return ok;
+}
+
+bool JengaSystem::frame_item_seen(NodeId node, const sim::Message& inner) const {
+  const Assignment asg = lattice_->assignment(node);
+  if (inner.type == sim::MsgType::kStateGrant) {
+    const auto& p = sim::payload_as<GrantBatchPayload>(inner);
+    if (p.epoch != epoch_) return true;  // dropped unread by the handler
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(p.source.value) << 40) ^ p.shard_height;
+    switch (config_.pipeline) {
+      case Pipeline::kFull:
+        return channels_[asg.channel.value]->grant_dedup.contains(key);
+      case Pipeline::kNoLattice:
+        return shards_[asg.shard.value]->grant_dedup.contains(key);
+      case Pipeline::kNoGlobalLogic:
+        if (asg.shard.value != p.relay_target.value) return true;  // witness only
+        return shards_[asg.shard.value]->grant_dedup.contains(key);
+    }
+    return false;
+  }
+  if (inner.type == sim::MsgType::kExecResult) {
+    const auto& p = sim::payload_as<ResultBatchPayload>(inner);
+    if (p.epoch != epoch_) return true;
+    if (asg.shard != p.target) return true;  // channel witnesses just observe
+    std::uint64_t key = 0x9E3779B97F4A7C15ULL * (p.source.value + 1) +
+                        0xC2B2AE3D27D4EB4FULL * (p.target.value + 1) + p.channel_height;
+    key = splitmix64(key);
+    return shards_[asg.shard.value]->result_dedup.contains(key);
+  }
+  return false;
+}
+
+void JengaSystem::handle_batch_frame(NodeId node, const sim::Message& msg) {
+  const auto& frame = sim::payload_as<gossip::BatchFramePayload>(msg);
+  // Just unpack: each contained batch re-enters the normal handler path,
+  // where its cert parks in the receiver's pooled-verification window.  The
+  // frame's span stays the causal parent so trace_lint sees one hop per copy.
+  for (const auto& item : frame.items) {
+    sim::Message inner = item.inner;
+    inner.span = msg.span;
+    on_node_message(node, inner);
+  }
+}
+
+bool JengaSystem::try_park_for_pooled_verify(NodeId node, const sim::Message& msg,
+                                             std::uint64_t pool_tag, std::uint64_t dedup_key,
+                                             const consensus::QuorumCert& cert) {
+  if (batcher_ == nullptr || certs_preverified_ || pool_bypass_) return false;
+  if (cert.sig.signer_count() == 0) return false;  // synthetic, nothing to verify
+  VerifyPool& pool = verify_pools_[pool_tag];
+  if (!pool.keys.insert(dedup_key).second) return true;  // dup of a parked batch
+  pool.parked.emplace_back(node, msg);
+  if (!pool.flush_scheduled) {
+    pool.flush_scheduled = true;
+    // Aligned boundary: every batch the engine hears inside the window —
+    // across ALL source groups — is verified by one aggregated pass.
+    const SimTime w = std::max<SimTime>(1, net_.config().batch_window);
+    sim_.schedule_at((sim_.now() / w + 1) * w,
+                     [this, pool_tag] { flush_verify_pool(pool_tag); });
+  }
+  return true;
+}
+
+void JengaSystem::flush_verify_pool(std::uint64_t pool_tag) {
+  const auto it = verify_pools_.find(pool_tag);
+  if (it == verify_pools_.end()) return;
+  VerifyPool pool = std::move(it->second);
+  // Erase before dispatch: post-flush copies hit the engine dedup instead.
+  verify_pools_.erase(it);
+  if (pool.parked.empty()) return;
+
+  std::vector<crypto::FastBatchEntry> entries;
+  entries.reserve(pool.parked.size());
+  bool pool_ok = true;
+  for (const auto& [node, msg] : pool.parked) {
+    if (frame_item_seen(node, msg)) continue;  // went stale (e.g. epoch turned)
+    const consensus::QuorumCert* cert = nullptr;
+    bool channel_group = false;
+    std::uint32_t gid = 0;
+    if (msg.type == sim::MsgType::kStateGrant) {
+      const auto& p = sim::payload_as<GrantBatchPayload>(msg);
+      cert = &p.cert;
+      gid = p.source.value;
+    } else if (msg.type == sim::MsgType::kExecResult) {
+      const auto& p = sim::payload_as<ResultBatchPayload>(msg);
+      cert = &p.cert;
+      channel_group = config_.pipeline == Pipeline::kFull;
+      gid = p.source.value;
+    }
+    if (cert == nullptr || cert->sig.signer_count() == 0) continue;
+    const auto& ids = source_public_ids(channel_group, gid);
+    if (cert->sig.signers.size() != ids.size() ||
+        cert->sig.signer_count() < 2 * ((ids.size() - 1) / 3) + 1) {
+      pool_ok = false;  // structurally broken: force the per-item fallback
+      continue;
+    }
+    entries.push_back(crypto::FastBatchEntry{
+        ids,
+        consensus::vote_digest(cert->value_digest, cert->height, cert->view,
+                               /*commit_phase=*/true),
+        &cert->sig});
+  }
+  if (!entries.empty()) {
+    ++cert_stats_.batch_passes;
+    cert_stats_.batch_certs += entries.size();
+    if (!crypto::fast_verify_multisig_batch(entries, config_.seed)) {
+      ++cert_stats_.batch_fallbacks;
+      pool_ok = false;
+    }
+  }
+
+  if (pool_ok) {
+    // One aggregated pass covered every cert: dispatch with checks elided.
+    certs_preverified_ = true;
+    for (const auto& [node, msg] : pool.parked) on_node_message(node, msg);
+    certs_preverified_ = false;
+  } else {
+    // A forged or malformed cert poisoned the pool: fall back to individual
+    // verification so the bad batch is isolated and the rest still land.
+    pool_bypass_ = true;
+    for (const auto& [node, msg] : pool.parked) on_node_message(node, msg);
+    pool_bypass_ = false;
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Shard consensus app
 // ---------------------------------------------------------------------------
@@ -2121,8 +2394,8 @@ std::optional<consensus::ConsensusValue> JengaSystem::ShardApp::propose(std::uin
 
 void JengaSystem::ShardApp::on_decide(std::uint64_t height,
                                       const consensus::ConsensusValue& value,
-                                      const consensus::QuorumCert&) {
-  sys->shard_decide(*engine, node, height, value);
+                                      const consensus::QuorumCert& cert) {
+  sys->shard_decide(*engine, node, height, value, cert);
 }
 
 std::optional<consensus::ConsensusValue> JengaSystem::ChannelApp::propose(
@@ -2132,8 +2405,8 @@ std::optional<consensus::ConsensusValue> JengaSystem::ChannelApp::propose(
 
 void JengaSystem::ChannelApp::on_decide(std::uint64_t height,
                                         const consensus::ConsensusValue& value,
-                                        const consensus::QuorumCert&) {
-  sys->channel_decide(*engine, node, height, value);
+                                        const consensus::QuorumCert& cert) {
+  sys->channel_decide(*engine, node, height, value, cert);
 }
 
 }  // namespace jenga::core

@@ -53,6 +53,13 @@ namespace jenga::exec {
 class Engine;
 }
 
+namespace jenga::gossip {
+class RumorMesh;
+class Batcher;
+struct RumorStats;
+struct BatchStats;
+}  // namespace jenga::gossip
+
 namespace jenga::core {
 
 /// Shared state-gathering unit (defined in jenga_system.cpp).
@@ -118,6 +125,21 @@ struct JengaConfig {
   /// rejected), falling back to an unverified full copy if every proof-
   /// serving peer lied.
   bool model_state_sync = false;
+};
+
+/// Counters for relay-certificate verification (mirrored into telemetry as
+/// `relay.*`).  Every grant/result batch carries the commit certificate of
+/// the consensus decision that produced it; receivers check it before
+/// ingesting.  Batches arriving inside a gossip frame are pooled into one
+/// aggregate-verified pass (`batch_passes`) covering `batch_certs`
+/// certificates — the ISSUE's ≥4× signature-check reduction.
+struct CertVerifyStats {
+  std::uint64_t individual_checks = 0;  // certs verified one at a time
+  std::uint64_t batch_passes = 0;       // pooled batch verifications run
+  std::uint64_t batch_certs = 0;        // certs covered by those passes
+  std::uint64_t batch_fallbacks = 0;    // pooled pass failed -> per-cert retry
+  std::uint64_t invalid_certs = 0;      // batches rejected (bad cert)
+  std::uint64_t unsigned_batches = 0;   // synthetic late-abort answers (no cert)
 };
 
 /// Counters for recovery-time state sync (mirrored into telemetry as
@@ -212,6 +234,21 @@ class JengaSystem {
   /// Canonical digest over every shard's chain tip and state store — the
   /// ledger root the determinism tests compare across exec worker counts.
   [[nodiscard]] Hash256 ledger_digest() const;
+
+  /// Order-independent digest over every shard's final state store plus the
+  /// committed/aborted totals.  Unlike ledger_digest() this excludes chain
+  /// tips (whose block boundaries depend on message timing), so it is
+  /// comparable ACROSS transport modes: with a conflict-free workload the
+  /// final state is transport-invariant even though block schedules differ.
+  [[nodiscard]] Hash256 state_digest() const;
+
+  [[nodiscard]] const CertVerifyStats& cert_stats() const { return cert_stats_; }
+  /// The rumor mesh this system created (nullptr when no message class uses
+  /// Transport::kRumor).
+  [[nodiscard]] gossip::RumorMesh* rumor_mesh() const { return mesh_.get(); }
+  /// The per-(relay source, group) batcher (nullptr unless relays ride the
+  /// rumor transport with a non-zero batch window).
+  [[nodiscard]] gossip::Batcher* batcher() const { return batcher_.get(); }
 
   /// Marks a node Byzantine-silent (consensus-level fault injection).
   void set_node_silent(NodeId node);
@@ -311,14 +348,45 @@ class JengaSystem {
   void handle_grant_batch(NodeId node, const sim::Message& msg);
   void handle_result_batch(NodeId node, const sim::Message& msg);
   void handle_two_pc(NodeId node, const sim::Message& msg);
+  /// Unpacks a batched relay frame: pools the contained batches' commit
+  /// certificates into ONE aggregate-verified pass, then dispatches each
+  /// inner message as if it had arrived individually.
+  void handle_batch_frame(NodeId node, const sim::Message& msg);
+  /// True when the engine owning `inner` at this receiver has already
+  /// ingested it (or would drop it unread): its cert needs no pooling, so
+  /// duplicate frames from co-relayers cost zero crypto — mirroring the
+  /// dedup-before-verify order of the unbatched handlers.
+  [[nodiscard]] bool frame_item_seen(NodeId node, const sim::Message& inner) const;
+  /// Batched mode: instead of verifying a relay batch's cert on arrival, the
+  /// receiving engine parks it until the next window boundary and verifies
+  /// every cert that arrived in the window — from ALL source groups (at S
+  /// shards a channel hears up to S granting shards concurrently) — in ONE
+  /// aggregated pass.  Returns true when the batch was parked (or is a
+  /// duplicate of a parked one) and the handler should stop.
+  bool try_park_for_pooled_verify(NodeId node, const sim::Message& msg,
+                                  std::uint64_t pool_tag, std::uint64_t dedup_key,
+                                  const consensus::QuorumCert& cert);
+  void flush_verify_pool(std::uint64_t pool_tag);
+  /// Verifies a relay batch's commit certificate against the source group's
+  /// vote keys.  Skipped (and counted) for unsigned synthetic batches, and
+  /// for certs already covered by a frame's pooled batch verification.
+  [[nodiscard]] bool verify_relay_cert(const consensus::QuorumCert& cert, bool channel_group,
+                                       std::uint32_t gid);
+  /// Cached vote-key ids of a group under the CURRENT epoch's key schedule.
+  [[nodiscard]] const std::vector<std::uint64_t>& source_public_ids(bool channel_group,
+                                                                    std::uint32_t gid);
   void tx_shard_finished(const Hash256& tx_hash, bool ok);
   void note_decide(std::uint64_t group_tag, std::uint64_t height, const Hash256& digest);
-  /// Forwarding-duty gossip of a certified outcome (grants into a channel,
-  /// results into a shard).  On a lossless network this is one gossip; when a
-  /// link-fault profile is active the relay re-gossips twice more (receivers
-  /// dedup by batch key), because a fully lost outcome relay has no other
-  /// retransmission path and would wedge its transactions' locks forever.
-  void relay_gossip(NodeId node, const std::vector<NodeId>& group, const sim::Message& msg);
+  /// Forwarding-duty dissemination of a certified outcome (grants into a
+  /// channel, results into a shard) or a beacon contribution.  Routed per the
+  /// network's transport mode for `kind` (DESIGN.md §12): under kRumor the
+  /// message enters the push-pull mesh (whose pull repair IS the
+  /// retransmission path, so no blind re-sends are needed); under kNaive /
+  /// kTree it is a legacy gossip, re-sent twice more when a link-fault
+  /// profile is active, because a fully lost outcome relay would otherwise
+  /// wedge its transactions' locks forever (receivers dedup by batch key).
+  void relay_gossip(NodeId node, const std::vector<NodeId>& group, const sim::Message& msg,
+                    sim::BroadcastKind kind = sim::BroadcastKind::kRelay);
 
   // Consensus app plumbing (payload types are internal to the .cpp).
   /// Flags inflight 2PC entries older than `twopc_stuck_timeout` (once each)
@@ -328,11 +396,11 @@ class JengaSystem {
   [[nodiscard]] std::optional<consensus::ConsensusValue> shard_propose(ShardEngine& eng,
                                                                        std::uint64_t height);
   void shard_decide(ShardEngine& eng, NodeId node, std::uint64_t height,
-                    const consensus::ConsensusValue& value);
+                    const consensus::ConsensusValue& value, const consensus::QuorumCert& cert);
   [[nodiscard]] std::optional<consensus::ConsensusValue> channel_propose(ChannelEngine& eng,
                                                                          std::uint64_t height);
   void channel_decide(ChannelEngine& eng, NodeId node, std::uint64_t height,
-                      const consensus::ConsensusValue& value);
+                      const consensus::ConsensusValue& value, const consensus::QuorumCert& cert);
 
   /// Executes the gathered-and-ready transactions of one gather unit (up to
   /// `limit`) as a single parallel batch (Phase 2, src/exec/), returning the
@@ -348,6 +416,31 @@ class JengaSystem {
   sim::Network& net_;
   JengaConfig config_;
   std::unique_ptr<Lattice> lattice_;
+
+  // --- Dissemination subsystem (src/gossip/, DESIGN.md §12) ----------------
+  /// Created iff any message class runs Transport::kRumor; registered with
+  /// the network so rumor-transport frames route here.
+  std::unique_ptr<gossip::RumorMesh> mesh_;
+  /// Coalesces forwarding-duty relays per (relayer, group) within a
+  /// batch-window cadence into single framed messages (rumor mode only).
+  std::unique_ptr<gossip::Batcher> batcher_;
+  CertVerifyStats cert_stats_;
+  /// True while dispatching relay batches whose certs the pooled batch
+  /// verification already covered — per-batch checks become no-ops.
+  bool certs_preverified_ = false;
+  /// True while re-dispatching a pool whose aggregated pass failed: handlers
+  /// verify individually (isolating the forged cert) instead of re-parking.
+  bool pool_bypass_ = false;
+  /// Receiver-side pooled verification (batched mode), keyed by the receiving
+  /// engine's group tag.
+  struct VerifyPool {
+    std::vector<std::pair<NodeId, sim::Message>> parked;
+    std::unordered_set<std::uint64_t> keys;  // parked dedup keys (dup-drop)
+    bool flush_scheduled = false;
+  };
+  std::unordered_map<std::uint64_t, VerifyPool> verify_pools_;
+  /// Vote-key id cache: epoch-salted group tag -> public ids.
+  std::unordered_map<std::uint64_t, std::vector<std::uint64_t>> group_pubids_;
 
   std::vector<std::unique_ptr<ShardEngine>> shards_;
   std::vector<std::unique_ptr<ChannelEngine>> channels_;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/types.hpp"
+#include "consensus/bft.hpp"
 #include "ledger/portable_state.hpp"
 #include "ledger/transaction.hpp"
 #include "simnet/message.hpp"
@@ -58,9 +59,14 @@ struct GrantBatchPayload : sim::Payload {
   /// in subgroup(relay_target, channel) rebroadcast when hops > 0.
   ShardId relay_target{UINT32_MAX};
   std::uint8_t hops = 0;
+  /// Commit certificate of the shard-consensus decision that produced this
+  /// batch.  Receivers verify the aggregate signature against the source
+  /// group's keys before ingesting (pooled into one batched pass when the
+  /// batch arrives inside a gossip frame).
+  consensus::QuorumCert cert;
 
   [[nodiscard]] std::uint32_t wire_size() const {
-    std::uint32_t n = 96;  // cert + header
+    std::uint32_t n = 32 + cert.wire_size();  // header + quorum cert
     for (const auto& g : grants) n += g.wire_size();
     return n;
   }
@@ -78,9 +84,13 @@ struct ResultBatchPayload : sim::Payload {
   ShardId target;
   std::vector<ExecResult> results;
   std::uint8_t hops = 0;  // >0: relayed via a channel, subgroup rebroadcasts
+  /// Commit certificate of the deciding group (channel in kFull, shard
+  /// otherwise).  Synthetic late-abort answers carry an empty signer bitmap:
+  /// they certify nothing and are counted, not verified.
+  consensus::QuorumCert cert;
 
   [[nodiscard]] std::uint32_t wire_size() const {
-    std::uint32_t n = 96;
+    std::uint32_t n = 32 + cert.wire_size();
     for (const auto& r : results) n += r.wire_size();
     return n;
   }

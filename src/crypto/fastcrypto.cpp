@@ -65,4 +65,23 @@ bool fast_verify_multisig(std::span<const std::uint64_t> group_public_ids, const
   return expect == sig.aggregate;
 }
 
+bool fast_verify_multisig_batch(std::span<const FastBatchEntry> entries, std::uint64_t seed) {
+  std::uint64_t z_state = seed ^ 0x5851F42D4C957F2DULL;
+  std::uint64_t acc = 0;
+  for (const auto& e : entries) {
+    if (e.sig == nullptr) return false;
+    if (e.sig->signers.size() != e.group_public_ids.size() || e.sig->signer_count() == 0)
+      return false;
+    std::uint64_t expect = 0;
+    for (std::size_t i = 0; i < e.group_public_ids.size(); ++i) {
+      if (e.sig->signers[i]) expect ^= tag_for(e.group_public_ids[i], e.msg);
+    }
+    // Random weight per entry: a forged cert cannot cancel another entry's
+    // residual without predicting z (mirrors RLC batch verification).
+    const std::uint64_t z = splitmix64(z_state) | 1;
+    acc += z * (expect ^ e.sig->aggregate);
+  }
+  return acc == 0;
+}
+
 }  // namespace jenga::crypto

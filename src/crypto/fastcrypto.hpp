@@ -54,4 +54,20 @@ struct FastMultiSig {
 [[nodiscard]] bool fast_verify_multisig(std::span<const std::uint64_t> group_public_ids,
                                         const Hash256& msg, const FastMultiSig& sig);
 
+/// One certificate inside a batched verification (gossip batch frames carry
+/// many quorum certs from different groups over different messages).
+struct FastBatchEntry {
+  std::span<const std::uint64_t> group_public_ids;
+  Hash256 msg;
+  const FastMultiSig* sig = nullptr;
+};
+
+/// Verifies every entry in one aggregated pass: per-entry residuals are
+/// combined under seed-derived random weights and checked against zero —
+/// the small-group analogue of BLS/Schnorr random-linear-combination batch
+/// verification.  Accepts iff (w.h.p.) every entry verifies individually;
+/// on failure the caller falls back to per-entry checks to find the culprit.
+[[nodiscard]] bool fast_verify_multisig_batch(std::span<const FastBatchEntry> entries,
+                                              std::uint64_t seed);
+
 }  // namespace jenga::crypto

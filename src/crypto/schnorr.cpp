@@ -182,4 +182,45 @@ bool verify_multisig(std::span<const Point> group, std::span<const std::uint8_t>
   return lhs == rhs;
 }
 
+bool verify_multisig_batch(std::span<const MultisigBatchEntry> entries, std::uint64_t seed) {
+  if (entries.empty()) return true;
+  U256 s_acc;       // Σ z_i·s_i (mod n)
+  Point rhs_acc;    // Σ z_i·R_i + Σ z_i·e_i·K_i
+  for (std::size_t idx = 0; idx < entries.size(); ++idx) {
+    const auto& entry = entries[idx];
+    const MultiSignature* sig = entry.sig;
+    if (sig == nullptr || sig->signers.size() != entry.group.size() ||
+        sig->signer_count() == 0)
+      return false;
+    if (sig->r.infinity || !is_on_curve(sig->r) || sig->s >= kOrderN) return false;
+
+    const Hash256 list_hash = hash_key_list(entry.group);
+    const U256 e = challenge_hash(sig->r, list_hash, entry.msg);
+    Point key_sum;
+    for (std::size_t i = 0; i < entry.group.size(); ++i) {
+      if (!sig->signers[i]) continue;
+      const U256 a = key_agg_coefficient(list_hash, entry.group[i]);
+      key_sum = point_add(key_sum, point_mul(a, entry.group[i]));
+    }
+
+    // z_i = H(seed || i || R_i || s_i || L || msg): unpredictable before the
+    // certificates are fixed, so residuals cannot be crafted to cancel.
+    Sha256 zh;
+    zh.update("jenga/batch-weight");
+    zh.update_u64(seed);
+    zh.update_u64(idx);
+    const auto rc = compress(sig->r);
+    zh.update(std::span<const std::uint8_t>(rc.data(), rc.size()));
+    zh.update(sig->s.to_be_bytes());
+    zh.update(list_hash);
+    zh.update(entry.msg);
+    const U256 z = scalar_from_hash(zh.finish());
+
+    s_acc = addmod(s_acc, mulmod(z, sig->s, kOrderN), kOrderN);
+    rhs_acc = point_add(rhs_acc, point_mul(z, sig->r));
+    rhs_acc = point_add(rhs_acc, point_mul(mulmod(z, e, kOrderN), key_sum));
+  }
+  return point_mul_g(s_acc) == rhs_acc;
+}
+
 }  // namespace jenga::crypto

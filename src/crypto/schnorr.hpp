@@ -107,4 +107,21 @@ class MultisigSession {
                                    std::span<const std::uint8_t> msg,
                                    const MultiSignature& sig);
 
+/// One certificate inside a batched verification.
+struct MultisigBatchEntry {
+  std::span<const Point> group;
+  std::span<const std::uint8_t> msg;
+  const MultiSignature* sig = nullptr;
+};
+
+/// Random-linear-combination batch verification of many aggregated
+/// certificates (possibly from different groups over different messages):
+///   (Σ z_i·s_i)·G  ==  Σ z_i·R_i + Σ z_i·e_i·K_i,   K_i = Σ a_j·P_j
+/// with per-entry random weights z_i derived from `seed` and the entry
+/// contents.  One base-point multiplication and one comparison replace the
+/// per-certificate checks; accepts iff (w.h.p.) every entry verifies
+/// individually.  On failure callers fall back to verify_multisig per entry.
+[[nodiscard]] bool verify_multisig_batch(std::span<const MultisigBatchEntry> entries,
+                                         std::uint64_t seed);
+
 }  // namespace jenga::crypto

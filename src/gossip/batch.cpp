@@ -1,0 +1,71 @@
+#include "gossip/batch.hpp"
+
+#include <algorithm>
+
+#include "gossip/rumor.hpp"
+
+namespace jenga::gossip {
+
+void Batcher::enqueue(NodeId from, std::span<const NodeId> group, std::uint64_t rumor_id,
+                      sim::Message msg, sim::TrafficClass cls) {
+  if (group.empty()) return;
+  const std::uint64_t key = sim::rumor_id_mix(from.value + 1, group_key_of(group));
+  auto [it, inserted] = pending_.try_emplace(key);
+  Pending& p = it->second;
+  if (inserted) {
+    p.from = from;
+    p.group.assign(group.begin(), group.end());
+    p.cls = cls;
+  }
+  BatchFramePayload::Item item;
+  item.rumor_id = rumor_id;
+  item.inner = std::move(msg);
+  p.items.push_back(std::move(item));
+  ++stats_.items_enqueued;
+
+  if (!p.flush_scheduled) {
+    p.flush_scheduled = true;
+    // Aligned boundary: co-deciding relays flush at the same instant and
+    // therefore frame the same item set -> identical frame rumor ids.
+    const SimTime now = net_.simulator().now();
+    const SimTime w = std::max<SimTime>(1, window_);
+    const SimTime at = (now / w + 1) * w;
+    net_.simulator().schedule_at(at, [this, key] { flush(key); });
+  }
+}
+
+void Batcher::flush(std::uint64_t key) {
+  const auto it = pending_.find(key);
+  if (it == pending_.end()) return;
+  Pending& p = it->second;
+  p.flush_scheduled = false;
+  if (p.items.empty()) return;
+
+  auto payload = std::make_shared<BatchFramePayload>();
+  payload->items = std::move(p.items);
+  p.items.clear();
+  std::sort(payload->items.begin(), payload->items.end(),
+            [](const auto& a, const auto& b) { return a.rumor_id < b.rumor_id; });
+
+  // The frame's identity is the fold of its (sorted) item ids: relays that
+  // framed the same certified items start the same rumor.
+  std::uint64_t frame_id = 0xA0761D6478BD642FULL;
+  for (const auto& item : payload->items) frame_id = sim::rumor_id_mix(frame_id, item.rumor_id);
+
+  sim::Message frame;
+  frame.type = sim::MsgType::kBatchFrame;
+  frame.from = p.from;
+  frame.size_bytes = payload->wire_size();
+  const std::size_t count = payload->items.size();
+  frame.payload = std::move(payload);
+
+  ++stats_.frames_sent;
+  stats_.max_frame_items = std::max<std::uint64_t>(stats_.max_frame_items, count);
+  net_.broadcast(sim::BroadcastKind::kRelay, p.from, p.group, frame_id, frame, p.cls);
+  // The relayer ingests its own copy through the frame too, so the first
+  // sight of every contained cert is a pooled pass, never an individual
+  // verification (dissemination skips the origin).
+  net_.deliver_local(p.from, frame);
+}
+
+}  // namespace jenga::gossip

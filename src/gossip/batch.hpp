@@ -1,0 +1,78 @@
+// Per-(shard,channel) message batching for the relay layer (DESIGN.md §12).
+//
+// In rumor mode every certified grant/result relay used to start its own
+// spread.  The Batcher instead coalesces all messages a relay node wants to
+// send into one destination group within a proposal-cadence window into a
+// single framed kBatchFrame rumor.  Flush instants are aligned to wall-clock
+// multiples of the window, so the co-deciding relays of one subgroup — which
+// enqueue the same certified items at the same decide time — emit
+// byte-identical frames whose fold-of-item-ids rumor id dedups to ONE spread
+// across the whole group.  Receivers unpack the frame and feed each inner
+// message through the normal handler path; item-level dedup in the core
+// engine remains the backstop for frames that differ across relays.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.hpp"
+#include "simnet/network.hpp"
+
+namespace jenga::gossip {
+
+/// Wire payload of kBatchFrame: the coalesced inner messages plus their
+/// individual rumor ids (receivers may dedup per item).
+struct BatchFramePayload : sim::Payload {
+  struct Item {
+    std::uint64_t rumor_id = 0;
+    sim::Message inner;
+  };
+  std::vector<Item> items;
+
+  [[nodiscard]] std::uint32_t wire_size() const {
+    std::uint32_t n = 16;
+    for (const auto& it : items) n += 8 + it.inner.size_bytes;
+    return n;
+  }
+};
+
+struct BatchStats {
+  std::uint64_t items_enqueued = 0;
+  std::uint64_t frames_sent = 0;
+  std::uint64_t max_frame_items = 0;
+};
+
+class Batcher {
+ public:
+  Batcher(sim::Network& net, SimTime window) : net_(net), window_(window) {}
+
+  /// Queues `msg` for dissemination from `from` into `group`; flushed as part
+  /// of one kBatchFrame at the next aligned window boundary.  `rumor_id` is
+  /// the item's own dedup identity (also folded into the frame id).
+  void enqueue(NodeId from, std::span<const NodeId> group, std::uint64_t rumor_id,
+               sim::Message msg, sim::TrafficClass cls);
+
+  [[nodiscard]] const BatchStats& stats() const { return stats_; }
+  [[nodiscard]] SimTime window() const { return window_; }
+
+ private:
+  struct Pending {
+    NodeId from{};
+    std::vector<NodeId> group;
+    sim::TrafficClass cls = sim::TrafficClass::kCrossShard;
+    std::vector<BatchFramePayload::Item> items;
+    bool flush_scheduled = false;
+  };
+
+  void flush(std::uint64_t key);
+
+  sim::Network& net_;
+  SimTime window_;
+  BatchStats stats_;
+  /// Keyed (sender, destination-group) — each relay batches per target group.
+  std::unordered_map<std::uint64_t, Pending> pending_;
+};
+
+}  // namespace jenga::gossip

@@ -1,5 +1,6 @@
 #include "harness/runner.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <memory>
@@ -295,6 +296,10 @@ RunResult run_experiment(const RunConfig& config) {
   result.total_nodes = k * config.num_shards;
   result.ledger_digest = jenga ? jenga->ledger_digest() : baseline->ledger_digest();
   if (jenga) {
+    result.state_digest = jenga->state_digest();
+    result.cert_checks = jenga->cert_stats();
+    if (jenga->rumor_mesh() != nullptr) result.rumor = jenga->rumor_mesh()->stats();
+    if (jenga->batcher() != nullptr) result.relay_batches = jenga->batcher()->stats();
     result.epoch_transitions = jenga->epoch_stats().transitions;
     result.epoch_txs_requeued = jenga->epoch_stats().txs_requeued;
     result.state_sync = jenga->state_sync_stats();
@@ -332,6 +337,55 @@ RunResult run_experiment(const RunConfig& config) {
   if (result.epoch_transitions > 0) {
     reg.counter("epoch.transitions").set(result.epoch_transitions);
     reg.counter("epoch.txs_requeued").set(result.epoch_txs_requeued);
+  }
+  if (result.rumor.rumors_started > 0) {
+    reg.counter("net.rumor.started").set(result.rumor.rumors_started);
+    reg.counter("net.rumor.pushes").set(result.rumor.pushes_sent);
+    reg.counter("net.rumor.pulls").set(result.rumor.pull_requests);
+    reg.counter("net.rumor.pull_responses").set(result.rumor.pull_responses);
+    reg.counter("net.rumor.dups_dropped").set(result.rumor.dups_dropped);
+    reg.counter("net.rumor.delivered").set(result.rumor.delivered);
+    reg.counter("net.rumor.covered").set(result.rumor.covered_rumors);
+    auto& cov = reg.histogram("net.rumor.rounds_to_coverage");
+    for (const std::uint32_t rounds : result.rumor.coverage_rounds) {
+      cov.record(static_cast<std::int64_t>(rounds));
+    }
+  }
+  if (result.relay_batches.items_enqueued > 0) {
+    reg.counter("net.batch.items").set(result.relay_batches.items_enqueued);
+    reg.counter("net.batch.frames").set(result.relay_batches.frames_sent);
+    reg.gauge("net.batch.max_frame_items")
+        .set(static_cast<std::int64_t>(result.relay_batches.max_frame_items));
+  }
+  {
+    const core::CertVerifyStats& cc = result.cert_checks;
+    if (cc.individual_checks + cc.batch_passes + cc.unsigned_batches > 0) {
+      reg.counter("relay.cert_checks").set(cc.individual_checks);
+      reg.counter("relay.batch_passes").set(cc.batch_passes);
+      reg.counter("relay.batch_certs").set(cc.batch_certs);
+      reg.counter("relay.batch_fallbacks").set(cc.batch_fallbacks);
+      reg.counter("relay.unsigned_batches").set(cc.unsigned_batches);
+    }
+  }
+  // Per-node fan-out footprint: what the dissemination ablation plots.  Mean
+  // and max over every node's sent message/byte counters.
+  {
+    const auto& msgs = net.node_sent_msgs();
+    const auto& bytes = net.node_sent_bytes();
+    if (!msgs.empty()) {
+      std::uint64_t msum = 0, mmax = 0, bsum = 0, bmax = 0;
+      for (std::size_t i = 0; i < msgs.size(); ++i) {
+        msum += msgs[i];
+        mmax = std::max(mmax, msgs[i]);
+        bsum += bytes[i];
+        bmax = std::max(bmax, bytes[i]);
+      }
+      const auto n = static_cast<std::int64_t>(msgs.size());
+      reg.gauge("net.node_msgs_mean").set(static_cast<std::int64_t>(msum) / n);
+      reg.gauge("net.node_msgs_max").set(static_cast<std::int64_t>(mmax));
+      reg.gauge("net.node_bytes_mean").set(static_cast<std::int64_t>(bsum) / n);
+      reg.gauge("net.node_bytes_max").set(static_cast<std::int64_t>(bmax));
+    }
   }
 
   result.breakdown = telemetry->tracer.breakdown();

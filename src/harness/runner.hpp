@@ -7,6 +7,8 @@
 
 #include "baselines/baseline_base.hpp"
 #include "core/jenga_system.hpp"
+#include "gossip/batch.hpp"
+#include "gossip/rumor.hpp"
 #include "mempool/ingress.hpp"
 #include "security/fault_injector.hpp"
 #include "telemetry/telemetry.hpp"
@@ -147,6 +149,15 @@ struct RunResult {
   /// Canonical digest over every shard's chain tip and state store at run
   /// end — what the determinism tests compare across exec worker counts.
   Hash256 ledger_digest{};
+  /// Order-independent digest over final state + outcome counts (Jenga kinds
+  /// only; zero for baselines).  Excludes timing-dependent chain tips, so it
+  /// is the witness compared ACROSS dissemination transports.
+  Hash256 state_digest{};
+  /// Dissemination-layer counters (all zero unless a message class ran the
+  /// rumor transport on a Jenga kind; see src/gossip/).
+  gossip::RumorStats rumor;
+  gossip::BatchStats relay_batches;
+  core::CertVerifyStats cert_checks;
   /// Reconfigurations completed during the run and transactions carried
   /// across a boundary (both 0 unless epoch_interval > 0 on a Jenga kind).
   std::uint64_t epoch_transitions = 0;

@@ -43,6 +43,13 @@ enum class MsgType : std::uint16_t {
 
   // Epoch reconfiguration (paper §V-D)
   kEpochVrf = 50,        // a member's VRF contribution to the next epoch's beacon
+
+  // Rumor-spreading transport (src/gossip/, DESIGN.md §12).  Values must stay
+  // below telemetry::MessageTelemetry::kMaxTypes (64).
+  kRumorPush = 60,       // round-driven push: live rumors + known-id digest
+  kRumorPullReq = 61,    // ids the receiver saw in a digest but doesn't hold
+  kRumorPullResp = 62,   // payloads answering a pull request
+  kBatchFrame = 63,      // coalesced (shard,channel) protocol messages + certs
 };
 
 /// Human-readable name for a message type (telemetry export); nullptr for
@@ -69,8 +76,17 @@ enum class MsgType : std::uint16_t {
     case MsgType::kTwoPcPrepare: return "twopc_prepare";
     case MsgType::kTwoPcCommit: return "twopc_commit";
     case MsgType::kEpochVrf: return "epoch_vrf";
+    case MsgType::kRumorPush: return "rumor_push";
+    case MsgType::kRumorPullReq: return "rumor_pull_req";
+    case MsgType::kRumorPullResp: return "rumor_pull_resp";
+    case MsgType::kBatchFrame: return "batch_frame";
   }
   return nullptr;
+}
+
+[[nodiscard]] constexpr bool is_rumor_transport_type(MsgType t) {
+  return t == MsgType::kRumorPush || t == MsgType::kRumorPullReq ||
+         t == MsgType::kRumorPullResp;
 }
 
 /// Base class for all payloads; concrete types live with their protocols.

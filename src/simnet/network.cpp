@@ -11,6 +11,8 @@ void Network::register_node(NodeId id, Handler handler) {
     egress_busy_until_.resize(id.value + 1, 0);
     down_.resize(id.value + 1, false);
     partition_group_.resize(id.value + 1, 0);
+    node_sent_msgs_.resize(id.value + 1, 0);
+    node_sent_bytes_.resize(id.value + 1, 0);
   }
   handlers_[id.value] = std::move(handler);
 }
@@ -134,6 +136,13 @@ void Network::deliver_at(SimTime when, NodeId to, Message msg) {
       e.b = msg.size_bytes;
       telemetry_->flight.record(to.value, e);
     }
+    // Rumor transport traffic is consumed by the mesh, which unpacks and
+    // hands accepted rumors to the node handler via deliver_local (keeping
+    // the carrying hop's causal context).
+    if (rumor_ != nullptr && is_rumor_transport_type(msg.type)) {
+      rumor_->on_message(to, msg);
+      return;
+    }
     handlers_[to.value](msg);
   });
 }
@@ -173,6 +182,12 @@ void Network::account(TrafficClass cls, MsgType type, std::uint32_t bytes) {
     telemetry_->net.record(static_cast<std::uint16_t>(type), bytes);
 }
 
+void Network::account_sender(NodeId from, std::uint32_t bytes) {
+  if (from.value >= node_sent_msgs_.size()) return;  // clients are not nodes
+  node_sent_msgs_[from.value] += 1;
+  node_sent_bytes_[from.value] += bytes;
+}
+
 void Network::set_telemetry(telemetry::Telemetry* t) {
   telemetry_ = t;
   if (t == nullptr) return;
@@ -184,6 +199,7 @@ void Network::set_telemetry(telemetry::Telemetry* t) {
 void Network::send(NodeId from, NodeId to, Message msg, TrafficClass cls) {
   if (from.value < down_.size() && down_[from.value]) return;
   account(cls, msg.type, msg.size_bytes);
+  account_sender(from, msg.size_bytes);
   const SimTime departure = reserve_egress(from, msg.size_bytes);
   stamp_span(msg, from.value, to.value, sim_.now(), departure);
   deliver_faulty(from, departure + config_.base_latency + jitter(), to, std::move(msg));
@@ -239,6 +255,7 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
     root_departure += ser;
     arrival[i] = root_departure + config_.base_latency + jitter();
     account(cls, msg.type, msg.size_bytes);
+    account_sender(from, msg.size_bytes);
     Message copy = msg;
     stamp_span(copy, from.value, order[i].value, root_send, root_departure);
     hop_span[i] = copy.span;
@@ -255,6 +272,7 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
     relay_busy[parent] = departure;
     arrival[child] = departure + config_.base_latency + jitter();
     account(cls, msg.type, msg.size_bytes);
+    account_sender(order[parent], msg.size_bytes);
     Message copy = msg;
     stamp_span_with_parent(copy, order[parent].value, order[child].value, arrival[parent],
                            departure, hop_span[parent]);
@@ -268,6 +286,7 @@ void Network::send_via_relay(NodeId from, NodeId to, Message msg, TrafficClass c
   if (from.value < down_.size() && down_[from.value]) return;
   account(cls, msg.type, msg.size_bytes);
   account(cls, msg.type, msg.size_bytes);  // second leg: relay -> destination
+  account_sender(from, msg.size_bytes);
   const SimTime departure = reserve_egress(from, msg.size_bytes);
   stamp_span(msg, from.value, to.value, sim_.now(), departure);
   // The relay's own serialization is charged as one extra payload time.
@@ -282,6 +301,32 @@ void Network::send_via_relay(NodeId from, NodeId to, Message msg, TrafficClass c
     return;
   }
   deliver_faulty(from, arrival, to, std::move(msg));
+}
+
+void Network::broadcast(BroadcastKind kind, NodeId from, std::span<const NodeId> group,
+                        std::uint64_t rumor_id, const Message& msg, TrafficClass cls) {
+  switch (config_.transport_for(kind)) {
+    case Transport::kNaive:
+      multicast(from, group, msg, cls);
+      return;
+    case Transport::kTree:
+      gossip(from, group, msg, cls);
+      return;
+    case Transport::kRumor:
+      if (rumor_ != nullptr) {
+        if (from.value < down_.size() && down_[from.value]) return;
+        rumor_->broadcast(from, group, rumor_id, msg, cls);
+      } else {
+        gossip(from, group, msg, cls);  // no mesh attached: degrade to tree
+      }
+      return;
+  }
+}
+
+void Network::deliver_local(NodeId to, const Message& msg) {
+  if (to.value >= handlers_.size() || !handlers_[to.value]) return;
+  if (down_[to.value]) return;
+  handlers_[to.value](msg);
 }
 
 void Network::client_send(NodeId to, Message msg) {

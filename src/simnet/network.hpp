@@ -37,6 +37,29 @@ namespace jenga::sim {
 
 enum class TrafficClass : std::uint8_t { kIntraShard = 0, kCrossShard = 1, kClient = 2 };
 
+/// How a group broadcast physically spreads (DESIGN.md §12).
+///   kNaive: sender unicasts to every member (O(n) copies through one uplink).
+///   kTree:  one-shot fanout tree (log-depth, fragile under loss).
+///   kRumor: push-pull rumor mongering via the attached RumorTransport
+///           (constant per-node fanout, pull-digest loss repair, dup-drop).
+enum class Transport : std::uint8_t { kNaive = 0, kTree = 1, kRumor = 2 };
+
+/// Message classes that a Transport can be chosen for independently.
+enum class BroadcastKind : std::uint8_t {
+  kProposal = 0,  // BFT pre-prepare value dissemination inside a group
+  kRelay = 1,     // certified grant/result batches relayed into a group
+  kBeacon = 2,    // epoch VRF contributions to the whole network
+};
+
+[[nodiscard]] constexpr const char* transport_name(Transport t) {
+  switch (t) {
+    case Transport::kNaive: return "naive";
+    case Transport::kTree: return "tree";
+    case Transport::kRumor: return "rumor";
+  }
+  return "?";
+}
+
 struct NetConfig {
   SimTime base_latency = 100 * kMillisecond;  // paper: 100 ms per message
   double bandwidth_bps = 20e6;                // paper: 20 Mbps per node
@@ -44,6 +67,56 @@ struct NetConfig {
   std::size_t gossip_fanout = 8;
   /// If false, serialization delay is skipped (pure-latency model for tests).
   bool model_bandwidth = true;
+  /// Per-message-class dissemination transport, indexed by BroadcastKind.
+  /// Defaults reproduce the pre-rumor behaviour (fanout trees) bit-exactly.
+  Transport transports[3] = {Transport::kTree, Transport::kTree, Transport::kTree};
+  /// Batching window for certified relay traffic in rumor mode: messages to
+  /// the same destination group flushed as one framed rumor per window.
+  SimTime batch_window = 100 * kMillisecond;
+
+  [[nodiscard]] Transport transport_for(BroadcastKind k) const {
+    return transports[static_cast<std::size_t>(k)];
+  }
+  void set_all_transports(Transport t) { transports[0] = transports[1] = transports[2] = t; }
+  [[nodiscard]] bool any_rumor() const {
+    return transports[0] == Transport::kRumor || transports[1] == Transport::kRumor ||
+           transports[2] == Transport::kRumor;
+  }
+};
+
+/// Deterministic content-derived rumor id: mixes the logical identity of a
+/// broadcast (group tag, height, digest, ...) so that the same logical rumor
+/// started by different relays dedups to one spread.
+[[nodiscard]] constexpr std::uint64_t rumor_id_mix(std::uint64_t a, std::uint64_t b = 0,
+                                                   std::uint64_t c = 0,
+                                                   std::uint64_t d = 0) {
+  std::uint64_t x = a * 0x9E3779B97F4A7C15ULL;
+  x ^= (b + 0xC2B2AE3D27D4EB4FULL) + (x << 6) + (x >> 2);
+  x *= 0xD1B54A32D192ED03ULL;
+  x ^= (c + 0x165667B19E3779F9ULL) + (x << 6) + (x >> 2);
+  x *= 0x9E3779B97F4A7C15ULL;
+  x ^= (d + 0xD6E8FEB86659FD93ULL) + (x << 6) + (x >> 2);
+  x ^= x >> 29;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 32;
+  return x;
+}
+
+/// Interface the rumor-spreading subsystem (src/gossip/RumorMesh) implements;
+/// kept abstract here so simnet does not depend on gossip.  The mesh sends
+/// its push/pull messages back through Network::send (so they pay the full
+/// timing/fault model) and hands accepted rumor payloads to the registered
+/// node handlers via Network::deliver_local.
+class RumorTransport {
+ public:
+  virtual ~RumorTransport() = default;
+  /// Starts spreading `msg` (identified by `rumor_id`) from `origin` inside
+  /// `group`.  Duplicate ids (e.g. several subgroup relays starting the same
+  /// certified batch) merge into one spread.
+  virtual void broadcast(NodeId origin, std::span<const NodeId> group,
+                         std::uint64_t rumor_id, const Message& msg, TrafficClass cls) = 0;
+  /// Consumes a kRumorPush / kRumorPullReq / kRumorPullResp delivery.
+  virtual void on_message(NodeId to, const Message& msg) = 0;
 };
 
 /// Probabilistic link-fault profile.  Each delivery attempt is an independent
@@ -121,6 +194,22 @@ class Network {
   void gossip(NodeId from, std::span<const NodeId> group, const Message& msg,
               TrafficClass cls);
 
+  /// Group dissemination via the transport configured for `kind`
+  /// (naive unicast / fanout tree / rumor mongering).  `rumor_id` is the
+  /// content-derived dedup key (rumor mode only; see rumor_id_mix).
+  void broadcast(BroadcastKind kind, NodeId from, std::span<const NodeId> group,
+                 std::uint64_t rumor_id, const Message& msg, TrafficClass cls);
+
+  /// Attaches the rumor-spreading subsystem (nullptr detaches).  Required
+  /// before any BroadcastKind is configured to Transport::kRumor; without a
+  /// mesh, rumor-mode broadcasts fall back to the fanout tree.
+  void set_rumor_mesh(RumorTransport* mesh) { rumor_ = mesh; }
+  [[nodiscard]] RumorTransport* rumor_mesh() const { return rumor_; }
+
+  /// Invokes `to`'s handler synchronously in the current causal context (the
+  /// rumor mesh unpacks accepted rumors inside the carrying push's delivery).
+  void deliver_local(NodeId to, const Message& msg);
+
   /// Message from a client (not one of the N nodes) into the system; pays
   /// latency but no node egress serialization.
   void client_send(NodeId to, Message msg);
@@ -132,6 +221,16 @@ class Network {
 
   [[nodiscard]] const TrafficStats& stats() const { return stats_; }
   void reset_stats() { stats_ = TrafficStats{}; }
+
+  /// Per-node egress accounting (messages/bytes each node has sent), the
+  /// measurement behind the dissemination bench's flatness criterion and the
+  /// net.node_* gauges the harness folds into the registry snapshot.
+  [[nodiscard]] std::span<const std::uint64_t> node_sent_msgs() const {
+    return node_sent_msgs_;
+  }
+  [[nodiscard]] std::span<const std::uint64_t> node_sent_bytes() const {
+    return node_sent_bytes_;
+  }
 
   [[nodiscard]] const NetConfig& config() const { return config_; }
   [[nodiscard]] Simulator& simulator() { return sim_; }
@@ -166,6 +265,11 @@ class Network {
   /// events as a bare one.  Also binds the causal tracer to the simulator's
   /// context cell so span parentage can be read at send time.
   void set_telemetry(telemetry::Telemetry* t);
+  [[nodiscard]] telemetry::Telemetry* telemetry() const { return telemetry_; }
+
+  /// The network's deterministic rng (the rumor mesh derives its own stream
+  /// from a fixed permutation of a draw so fault schedules stay untouched).
+  [[nodiscard]] Rng& rng() { return rng_; }
 
  private:
   [[nodiscard]] SimTime serialization_delay(std::uint32_t bytes) const;
@@ -181,6 +285,7 @@ class Network {
                               SimTime depart, std::uint64_t parent);
   /// Reserves the sender's egress link and returns the departure time.
   SimTime reserve_egress(NodeId from, std::uint32_t bytes);
+  void account_sender(NodeId from, std::uint32_t bytes);
   void deliver_at(SimTime when, NodeId to, Message msg);
   /// Applies partition / drop / duplicate / extra-delay faults, then
   /// delivers.  Returns true if at least one copy was scheduled (gossip uses
@@ -199,7 +304,10 @@ class Network {
   LinkFaults faults_;
   TrafficStats stats_;
   FaultStats fault_stats_;
+  std::vector<std::uint64_t> node_sent_msgs_;
+  std::vector<std::uint64_t> node_sent_bytes_;
   telemetry::Telemetry* telemetry_ = nullptr;
+  RumorTransport* rumor_ = nullptr;
 };
 
 }  // namespace jenga::sim

@@ -2,6 +2,10 @@
 // Schnorr provider (sign/verify/aggregate + bitmap), at hash speed.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string_view>
+#include <vector>
+
 #include "crypto/fastcrypto.hpp"
 #include "crypto/sha256.hpp"
 
@@ -92,6 +96,84 @@ TEST_F(FastMultisigTest, GroupSizeMismatchRejected) {
   const auto sig = fast_aggregate(keys_, part, msg_);
   std::vector<std::uint64_t> fewer(ids_.begin(), ids_.end() - 1);
   EXPECT_FALSE(fast_verify_multisig(fewer, msg_, sig));
+}
+
+// ---------------------------------------------------------------------------
+// Batched verification: many certificates from different groups over
+// different messages checked in one aggregated pass (gossip frame pooling).
+
+class FastBatchVerifyTest : public ::testing::Test {
+ protected:
+  struct Cert {
+    std::vector<std::uint64_t> ids;
+    Hash256 msg;
+    FastMultiSig sig;
+  };
+
+  Cert make_cert(std::uint64_t key_seed, std::size_t n, std::string_view msg,
+                 std::size_t skip = SIZE_MAX) {
+    Cert c;
+    std::vector<FastKey> keys;
+    std::vector<bool> part;
+    for (std::size_t i = 0; i < n; ++i) {
+      keys.push_back(fast_keypair(key_seed + i));
+      c.ids.push_back(keys.back().public_id);
+      part.push_back(i != skip);
+    }
+    c.msg = sha256(msg);
+    c.sig = fast_aggregate(keys, part, c.msg);
+    return c;
+  }
+
+  static FastBatchEntry entry_of(const Cert& c) {
+    return FastBatchEntry{c.ids, c.msg, &c.sig};
+  }
+};
+
+TEST_F(FastBatchVerifyTest, MixedGroupsAndMessagesAccepted) {
+  const Cert a = make_cert(500, 7, "shard-0 height 3");
+  const Cert b = make_cert(600, 10, "channel-2 height 9", /*skip=*/4);  // 9-of-10
+  const Cert c = make_cert(700, 4, "shard-1 height 5");
+  const std::vector<FastBatchEntry> entries{entry_of(a), entry_of(b), entry_of(c)};
+  EXPECT_TRUE(fast_verify_multisig_batch(entries, /*seed=*/42));
+  EXPECT_TRUE(fast_verify_multisig_batch(entries, /*seed=*/1234));  // any seed
+}
+
+TEST_F(FastBatchVerifyTest, EmptyBatchVacuouslyTrue) {
+  EXPECT_TRUE(fast_verify_multisig_batch({}, 42));
+}
+
+TEST_F(FastBatchVerifyTest, OneForgedEntryPoisonsTheBatch) {
+  const Cert a = make_cert(500, 7, "good one");
+  Cert b = make_cert(600, 7, "forged one");
+  b.sig.aggregate ^= 0x10;  // tampered aggregate
+  const std::vector<FastBatchEntry> entries{entry_of(a), entry_of(b)};
+  EXPECT_FALSE(fast_verify_multisig_batch(entries, 42));
+  // Per-entry fallback isolates the culprit.
+  EXPECT_TRUE(fast_verify_multisig(a.ids, a.msg, a.sig));
+  EXPECT_FALSE(fast_verify_multisig(b.ids, b.msg, b.sig));
+}
+
+TEST_F(FastBatchVerifyTest, WrongMessageRejected) {
+  Cert a = make_cert(500, 5, "signed message");
+  a.msg = sha256("claimed message");  // cert presented against another digest
+  const std::vector<FastBatchEntry> entries{entry_of(a)};
+  EXPECT_FALSE(fast_verify_multisig_batch(entries, 42));
+}
+
+TEST_F(FastBatchVerifyTest, BitmapTamperRejected) {
+  Cert a = make_cert(500, 6, "msg", /*skip=*/2);
+  a.sig.signers[2] = true;  // claim the missing signer participated
+  const std::vector<FastBatchEntry> entries{entry_of(a)};
+  EXPECT_FALSE(fast_verify_multisig_batch(entries, 42));
+}
+
+TEST_F(FastBatchVerifyTest, EmptySignerSetRejected) {
+  Cert a = make_cert(500, 4, "msg");
+  std::fill(a.sig.signers.begin(), a.sig.signers.end(), false);
+  a.sig.aggregate = 0;
+  const std::vector<FastBatchEntry> entries{entry_of(a)};
+  EXPECT_FALSE(fast_verify_multisig_batch(entries, 42));
 }
 
 TEST(FastCryptoWire, SizeConstantsSane) {

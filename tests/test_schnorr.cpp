@@ -1,6 +1,7 @@
 // Schnorr single signatures and MuSig-style aggregation sessions.
 #include <gtest/gtest.h>
 
+#include <initializer_list>
 #include <vector>
 
 #include "crypto/schnorr.hpp"
@@ -163,6 +164,73 @@ TEST_F(MultisigTest, MissingResponseBlocksAggregate) {
 TEST_F(MultisigTest, EmptyAggregateUnavailable) {
   MultisigSession session(group_, msg_);
   EXPECT_FALSE(session.aggregate().has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Random-linear-combination batch verification over several certificates.
+
+class SchnorrBatchTest : public MultisigTest {
+ protected:
+  // Runs a full commit/response session over `signers` and returns the
+  // aggregate (the fixture group signs `m`).
+  MultiSignature make_cert(std::initializer_list<std::size_t> signers,
+                           const std::vector<std::uint8_t>& m) {
+    MultisigSession session(group_, m);
+    std::vector<MultisigSession::Commitment> commits;
+    for (const std::size_t i : signers) {
+      commits.push_back(session.make_commitment(i, keys_[i], i));
+      EXPECT_TRUE(session.add_commitment(commits.back()));
+    }
+    for (const auto& c : commits)
+      EXPECT_TRUE(session.add_response(c.index, session.make_response(c, keys_[c.index])));
+    auto agg = session.aggregate();
+    EXPECT_TRUE(agg.has_value());
+    return *agg;
+  }
+};
+
+TEST_F(SchnorrBatchTest, ManyCertsOnePass) {
+  const auto m1 = msg_bytes("cert for height 1");
+  const auto m2 = msg_bytes("cert for height 2");
+  const auto m3 = msg_bytes("cert for height 3");
+  const MultiSignature s1 = make_cert({0, 1, 2, 3, 4}, m1);
+  const MultiSignature s2 = make_cert({0, 2, 4}, m2);  // 3-of-5 quorum
+  const MultiSignature s3 = make_cert({1, 2, 3}, m3);
+  const std::vector<MultisigBatchEntry> entries{
+      {group_, m1, &s1}, {group_, m2, &s2}, {group_, m3, &s3}};
+  EXPECT_TRUE(verify_multisig_batch(entries, /*seed=*/7));
+  EXPECT_TRUE(verify_multisig_batch(entries, /*seed=*/99));
+  EXPECT_TRUE(verify_multisig_batch({}, 7));  // empty batch is vacuous
+}
+
+TEST_F(SchnorrBatchTest, ForgedEntryPoisonsBatchAndFallbackIsolates) {
+  const auto m1 = msg_bytes("honest");
+  const auto m2 = msg_bytes("forged");
+  const MultiSignature s1 = make_cert({0, 1, 2}, m1);
+  MultiSignature s2 = make_cert({0, 1, 2}, m2);
+  s2.s = addmod(s2.s, U256(1), kOrderN);
+  const std::vector<MultisigBatchEntry> entries{{group_, m1, &s1}, {group_, m2, &s2}};
+  EXPECT_FALSE(verify_multisig_batch(entries, 7));
+  EXPECT_TRUE(verify_multisig(group_, m1, s1));
+  EXPECT_FALSE(verify_multisig(group_, m2, s2));
+}
+
+TEST_F(SchnorrBatchTest, BitmapTamperRejected) {
+  const auto m = msg_bytes("payload");
+  MultiSignature s = make_cert({0, 1, 2}, m);
+  s.signers[4] = true;
+  const std::vector<MultisigBatchEntry> entries{{group_, m, &s}};
+  EXPECT_FALSE(verify_multisig_batch(entries, 7));
+}
+
+TEST_F(SchnorrBatchTest, CrossMessageSwapRejected) {
+  const auto m1 = msg_bytes("for shard 0");
+  const auto m2 = msg_bytes("for shard 1");
+  const MultiSignature s1 = make_cert({0, 1, 2}, m1);
+  const MultiSignature s2 = make_cert({0, 1, 2}, m2);
+  // Present each cert against the other's message.
+  const std::vector<MultisigBatchEntry> entries{{group_, m2, &s1}, {group_, m1, &s2}};
+  EXPECT_FALSE(verify_multisig_batch(entries, 7));
 }
 
 TEST_F(MultisigTest, RogueKeyBitmapSizeMismatchRejected) {
