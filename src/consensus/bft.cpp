@@ -151,7 +151,12 @@ void Replica::arm_view_timer() {
   const std::uint64_t gen = ++timer_generation_;
   const std::uint64_t h = next_height_;
   const std::uint32_t v = view_;
-  net_.simulator().schedule_after(config_->view_timeout, [this, gen, h, v] {
+  // The failure detector (when attached) adapts the timeout: a suspected-dead
+  // leader is cut loose faster, a merely-degraded network gets more slack
+  // before replicas start voting the leader out.
+  SimTime timeout = config_->view_timeout;
+  if (view_timeout_hook_) timeout = view_timeout_hook_(self_, leader_for(v), timeout);
+  net_.simulator().schedule_after(timeout, [this, gen, h, v] {
     if (timer_generation_ == gen) on_view_timeout(h, v);
   });
 }

@@ -170,6 +170,14 @@ class Replica {
   /// rng draws, no scheduling.
   void set_telemetry(telemetry::Telemetry* t);
 
+  /// Advisory hook consulted each time the view timer is armed:
+  /// (self, current leader, configured timeout) -> effective timeout.  The
+  /// failure detector plugs in here (shorter timer for a suspected-dead
+  /// leader, longer for a merely degraded network); must return `base`
+  /// unchanged in healthy runs so clean schedules stay bit-identical.
+  using ViewTimeoutHook = std::function<SimTime(NodeId self, NodeId leader, SimTime base)>;
+  void set_view_timeout_hook(ViewTimeoutHook hook) { view_timeout_hook_ = std::move(hook); }
+
  private:
   [[nodiscard]] NodeId leader_for(std::uint32_t view) const;
   [[nodiscard]] std::optional<std::size_t> member_index(NodeId id) const;
@@ -243,6 +251,7 @@ class Replica {
   SimTime last_catch_up_served_ = -1;  // rate limit for reactive history pushes
 
   ReplicaStats stats_;
+  ViewTimeoutHook view_timeout_hook_;
 
   telemetry::Telemetry* telemetry_ = nullptr;
   telemetry::Histogram* round_hist_ = nullptr;        // "bft.round_us"

@@ -10,6 +10,7 @@
 #include "gossip/rumor.hpp"
 #include "ledger/placement.hpp"
 #include "ledger/state_sync.hpp"
+#include "security/detector.hpp"
 #include "vm/interpreter.hpp"
 
 namespace jenga::core {
@@ -34,10 +35,13 @@ struct CommitItem {
 };
 
 /// Transfer-processing item (stage 0: debit at source, 1: credit at dest,
-/// 2: finalize at source after the 2PC ack).
+/// 2: finalize at source after the 2PC ack, 3: refund a force-aborted
+/// attempt's debit at the source — recovery ladder only, DESIGN.md §14).
 struct TransferItem {
   TxPtr tx;
   std::uint8_t stage = 0;
+  /// Recovery-retry attempt the item belongs to (0 = original round).
+  std::uint32_t attempt = 0;
 };
 
 /// Multi-round execution visit (kNoGlobalLogic): run the step group starting
@@ -260,6 +264,14 @@ struct JengaSystem::ShardEngine {
   std::deque<std::pair<AccountId, std::uint64_t>> deferred_abort_fees;
   std::unordered_set<std::uint64_t> grant_dedup;   // (source<<32|height) keys
   std::unordered_set<std::uint64_t> result_dedup;  // (source<<32|height) keys
+  /// 2PC destination-side recovery records, keyed by attempt-scoped hashes
+  /// (twopc_key).  `twopc_credited`: the credit of that (tx, attempt) was
+  /// applied — a probe re-sends the lost ack instead of re-crediting.
+  /// `twopc_tombstones`: a force-abort settled the attempt as never-credited;
+  /// its credit must never apply afterwards, even if the original prepare is
+  /// still parked behind a lock or in flight.
+  std::unordered_set<Hash256> twopc_credited;
+  std::unordered_set<Hash256> twopc_tombstones;
   std::unordered_map<Hash256, std::uint32_t> continuation_dedup;  // tx -> max step seen
 
   std::uint64_t next_process_height = 0;
@@ -480,6 +492,15 @@ void JengaSystem::build_replicas() {
       shard_replicas_[i]->set_telemetry(telemetry_);
       if (channel_replicas_[i]) channel_replicas_[i]->set_telemetry(telemetry_);
     }
+    // Reshuffles rebuild replicas; the adaptive-timeout hook follows them.
+    if (detector_ != nullptr) {
+      consensus::Replica::ViewTimeoutHook hook =
+          [d = detector_](NodeId self, NodeId leader, SimTime base) {
+            return d->view_timeout(self, leader, base);
+          };
+      shard_replicas_[i]->set_view_timeout_hook(hook);
+      if (channel_replicas_[i]) channel_replicas_[i]->set_view_timeout_hook(std::move(hook));
+    }
   }
 }
 
@@ -591,6 +612,29 @@ void JengaSystem::model_recovery_sync(NodeId node, bool use_durable_image) {
   if (!(recovered.digest() == group_root)) {
     ++sync_stats_.root_mismatches;
     if (reg != nullptr) reg->counter("state_sync.root_mismatches").inc();
+  }
+}
+
+void JengaSystem::set_failure_detector(security::FailureDetector* detector) {
+  detector_ = detector;
+  if (mesh_) {
+    if (detector == nullptr) {
+      mesh_->set_cadence_hook(nullptr);
+    } else {
+      // Hotter pull-repair while the network is degraded (base divisor when
+      // healthy, so clean schedules stay bit-identical).
+      mesh_->set_cadence_hook(
+          [detector](std::uint32_t base) { return detector->pull_cadence(base); });
+    }
+  }
+  for (std::size_t i = 0; i < shard_replicas_.size(); ++i) {
+    consensus::Replica::ViewTimeoutHook hook;
+    if (detector != nullptr)
+      hook = [detector](NodeId self, NodeId leader, SimTime base) {
+        return detector->view_timeout(self, leader, base);
+      };
+    shard_replicas_[i]->set_view_timeout_hook(hook);
+    if (channel_replicas_[i]) channel_replicas_[i]->set_view_timeout_hook(hook);
   }
 }
 
@@ -995,6 +1039,43 @@ void JengaSystem::handle_result_batch(NodeId node, const sim::Message& msg) {
   }
 }
 
+Hash256 JengaSystem::twopc_key(const char* tag, const Hash256& h, std::uint32_t attempt) {
+  // Attempt 0 hashes exactly the pre-recovery key, so runs that never retry
+  // keep bit-identical dedup state.
+  if (attempt == 0) return crypto::sha256_tagged(tag, std::span(h.bytes));
+  std::array<std::uint8_t, 36> buf;
+  std::copy(h.bytes.begin(), h.bytes.end(), buf.begin());
+  buf[32] = static_cast<std::uint8_t>(attempt);
+  buf[33] = static_cast<std::uint8_t>(attempt >> 8);
+  buf[34] = static_cast<std::uint8_t>(attempt >> 16);
+  buf[35] = static_cast<std::uint8_t>(attempt >> 24);
+  return crypto::sha256_tagged(tag, std::span<const std::uint8_t>(buf));
+}
+
+void JengaSystem::send_two_pc(NodeId from, ShardId dest, const sim::Message& msg) {
+  const NodeId primary = shard_contact(dest);
+  if (detector_ != nullptr && detector_->armed() && detector_->suspect(from, primary)) {
+    const auto& members = lattice_->shard_members(dest);
+    if (members.size() > 1) {
+      // Hedge: duplicate the leg to the deterministically-next member of the
+      // destination group (no rng draw).  Both copies land inside the right
+      // shard, so whichever arrives second dies on the attempt-scoped dedup.
+      std::size_t slot = 0;
+      for (std::size_t i = 0; i < members.size(); ++i)
+        if (members[i].value == primary.value) {
+          slot = i;
+          break;
+        }
+      const NodeId backup = members[(slot + 1) % members.size()];
+      ++recovery_stats_.hedged_sends;
+      if (telemetry_ != nullptr)
+        telemetry_->registry.counter("recovery.hedged_sends").inc();
+      net_.send(from, backup, msg, sim::TrafficClass::kCrossShard);
+    }
+  }
+  net_.send(from, primary, msg, sim::TrafficClass::kCrossShard);
+}
+
 void JengaSystem::handle_two_pc(NodeId node, const sim::Message& msg) {
   const auto& p = sim::payload_as<TwoPcPayload>(msg);
   const Assignment asg = lattice_->assignment(node);
@@ -1006,17 +1087,106 @@ void JengaSystem::handle_two_pc(NodeId node, const sim::Message& msg) {
                            ? ledger::shard_of_account(p.tx->sender, config_.num_shards)
                            : ledger::shard_of_account(p.tx->to, config_.num_shards);
   if (asg.shard != want) {
-    net_.send(node, shard_contact(want), msg, sim::TrafficClass::kCrossShard);
+    send_two_pc(node, want, msg);
+    return;
+  }
+  if (p.op != TwoPcPayload::Op::kLeg) {
+    handle_two_pc_recovery(node, msg);
     return;
   }
   ShardEngine& eng = *shards_[asg.shard.value];
   const std::uint8_t stage = p.commit ? 2 : 1;
-  // Dedup: a (tx, stage) pair enters a shard's queue once.
-  const Hash256 dk = crypto::sha256_tagged(p.commit ? "2pc-c" : "2pc-p",
-                                           std::span(p.tx->hash.bytes));
+  // Dedup: a (tx, stage, attempt) triple enters a shard's queue once.
+  const Hash256 dk = twopc_key(p.commit ? "2pc-c" : "2pc-p", p.tx->hash, p.attempt);
   if (eng.seen_client.contains(dk)) return;
   eng.seen_client.insert(dk);
-  eng.transfers.push_back(TransferItem{p.tx, stage});
+  eng.transfers.push_back(TransferItem{p.tx, stage, p.attempt});
+}
+
+void JengaSystem::handle_two_pc_recovery(NodeId node, const sim::Message& msg) {
+  const auto& p = sim::payload_as<TwoPcPayload>(msg);
+  const Assignment asg = lattice_->assignment(node);
+  ShardEngine& eng = *shards_[asg.shard.value];
+  using Op = TwoPcPayload::Op;
+  const Hash256& h = p.tx->hash;
+  const ShardId sender_shard = ledger::shard_of_account(p.tx->sender, config_.num_shards);
+
+  auto reply = [&](Op op) {
+    auto pp = std::make_shared<TwoPcPayload>();
+    pp->tx = p.tx;
+    pp->commit = true;  // routes to the coordinator's (sender) shard
+    pp->op = op;
+    pp->attempt = p.attempt;
+    sim::Message m;
+    m.type = sim::MsgType::kTwoPcCommit;
+    m.from = node;
+    m.size_bytes = 160;
+    m.payload = std::move(pp);
+    send_two_pc(node, sender_shard, m);
+  };
+
+  switch (p.op) {
+    case Op::kProbe: {
+      // Destination side.  Credit already applied -> the ack must have been
+      // lost; re-send it (the coordinator's "2pc-c" dedup absorbs a race
+      // with the original).  Otherwise adopt the probe as the prepare,
+      // unless the round was already queued or force-settled.
+      if (eng.twopc_credited.contains(twopc_key("2pc-done", h, p.attempt))) {
+        reply(Op::kLeg);  // a plain re-ack; stage-2 dedup absorbs any race
+        break;
+      }
+      if (eng.twopc_tombstones.contains(twopc_key("2pc-tomb", h, p.attempt))) break;
+      const Hash256 dk = twopc_key("2pc-p", h, p.attempt);
+      if (eng.seen_client.contains(dk)) break;  // queued (parked behind a lock)
+      eng.seen_client.insert(dk);
+      eng.transfers.push_back(TransferItem{p.tx, 1, p.attempt});
+      break;
+    }
+    case Op::kAbortQuery: {
+      // Destination side: settle the attempt NOW, one way or the other.
+      if (eng.twopc_credited.contains(twopc_key("2pc-done", h, p.attempt))) {
+        reply(Op::kCredited);
+        break;
+      }
+      // Tombstone first: after this reply the coordinator refunds the debit,
+      // so the credit must be dead even if the original prepare is still in
+      // flight (dedup key) or parked in the transfer queue (stage-1 check).
+      eng.twopc_tombstones.insert(twopc_key("2pc-tomb", h, p.attempt));
+      eng.seen_client.insert(twopc_key("2pc-p", h, p.attempt));
+      reply(Op::kNeverCredited);
+      break;
+    }
+    case Op::kCredited: {
+      // Coordinator side: the destination vouches the credit applied — treat
+      // this as the lost ack (unless the real one landed meanwhile).
+      const auto it = twopc_inflight_.find(h);
+      if (it == twopc_inflight_.end() || it->second.attempt != p.attempt) break;
+      const Hash256 dk = twopc_key("2pc-c", h, p.attempt);
+      if (eng.seen_client.contains(dk)) break;
+      eng.seen_client.insert(dk);
+      ++recovery_stats_.acks_recovered;
+      if (telemetry_ != nullptr)
+        telemetry_->registry.counter("recovery.acks_recovered").inc();
+      eng.transfers.push_back(TransferItem{p.tx, 2, p.attempt});
+      break;
+    }
+    case Op::kNeverCredited: {
+      // Coordinator side: the attempt is dead (tombstoned at the
+      // destination).  Refund the debit; the stage-3 item retries the
+      // transfer as a fresh attempt or terminally aborts it.
+      const auto it = twopc_inflight_.find(h);
+      if (it == twopc_inflight_.end() || it->second.attempt != p.attempt) break;
+      twopc_inflight_.erase(it);
+      // A kCredited ack for this attempt can no longer exist (the
+      // destination only answers never-credited when nothing was applied,
+      // and the tombstone blocks any later credit), so erasing here cannot
+      // strand a commit.
+      eng.transfers.push_back(TransferItem{p.tx, 3, p.attempt});
+      break;
+    }
+    case Op::kLeg:
+      break;
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -1473,46 +1643,95 @@ void JengaSystem::shard_decide(ShardEngine& eng, NodeId node, std::uint64_t heig
           } else {
             // The debit is applied; until the 2PC round finalizes the tx must
             // not be force-aborted (the cutover waits for this set to empty).
-            twopc_inflight_.emplace(tx.hash, TwoPcEntry{sim_.now(), false});
+            TwoPcEntry ent;
+            ent.since = sim_.now();
+            ent.attempt = item.attempt;
+            ent.coordinator = node;
+            ent.tx = item.tx;
+            twopc_inflight_.insert_or_assign(tx.hash, std::move(ent));
             auto pp = std::make_shared<TwoPcPayload>();
             pp->tx = item.tx;
             pp->commit = false;
+            pp->attempt = item.attempt;
             sim::Message m;
             m.type = sim::MsgType::kTwoPcPrepare;
             m.from = node;
             m.size_bytes = ledger::kTxWireBytes + 96;
             m.payload = std::move(pp);
-            net_.send(node, shard_contact(dest), m, sim::TrafficClass::kCrossShard);
+            send_two_pc(node, dest, m);
           }
           break;
         }
         case 1: {  // credit at the destination shard
+          // A force-abort already settled this attempt as never-credited:
+          // the coordinator refunded the debit, so crediting now would mint.
+          if (eng.twopc_tombstones.contains(twopc_key("2pc-tomb", tx.hash, item.attempt)))
+            break;
           if (eng.locks.account_locked(tx.to)) {  // same hazard as the debit
             eng.transfers.push_back(item);
             break;
           }
           eng.store.set_balance(tx.to, eng.store.balance(tx.to).value_or(0) + tx.amount);
+          eng.twopc_credited.insert(twopc_key("2pc-done", tx.hash, item.attempt));
           committed.push_back(tx.hash);
           body_bytes += tx.wire_size();
           tx_shard_finished(tx.hash, true);
           auto pp = std::make_shared<TwoPcPayload>();
           pp->tx = item.tx;
           pp->commit = true;
+          pp->attempt = item.attempt;
           sim::Message m;
           m.type = sim::MsgType::kTwoPcCommit;
           m.from = node;
           m.size_bytes = 160;
           m.payload = std::move(pp);
-          net_.send(node,
-                    shard_contact(ledger::shard_of_account(tx.sender, config_.num_shards)), m,
-                    sim::TrafficClass::kCrossShard);
+          send_two_pc(node, ledger::shard_of_account(tx.sender, config_.num_shards), m);
           break;
         }
         case 2: {  // finalize at the sender's shard after the ack
-          twopc_inflight_.erase(tx.hash);
+          const auto it2 = twopc_inflight_.find(tx.hash);
+          // Stale ack of an attempt the ladder already settled: drop.  The
+          // attempt-scoped dedup key upstream makes this unreachable in
+          // practice; the guard keeps finalize idempotent regardless.
+          if (it2 == twopc_inflight_.end() || it2->second.attempt != item.attempt) break;
+          if (it2->second.flagged) {
+            ++recovery_stats_.resolved;
+            recovery_stats_.last_resolved_at = sim_.now();
+            if (telemetry_ != nullptr)
+              telemetry_->registry.counter("recovery.resolved").inc();
+          }
+          twopc_inflight_.erase(it2);
           committed.push_back(tx.hash);
           body_bytes += tx.wire_size();
           tx_shard_finished(tx.hash, true);
+          break;
+        }
+        case 3: {  // refund a force-aborted attempt's debit (recovery ladder)
+          // The refund writes the sender's balance, so it honors the same
+          // Phase-1 account lock as the debit did.
+          if (eng.locks.account_locked(tx.sender)) {
+            eng.transfers.push_back(item);
+            break;
+          }
+          eng.store.set_balance(tx.sender,
+                                eng.store.balance(tx.sender).value_or(0) + tx.amount);
+          ++recovery_stats_.refunds;
+          if (telemetry_ != nullptr) telemetry_->registry.counter("recovery.refunds").inc();
+          if (item.attempt + 1 < config_.recovery.max_attempts) {
+            ++recovery_stats_.retries;
+            if (telemetry_ != nullptr)
+              telemetry_->registry.counter("recovery.retries").inc();
+            eng.transfers.push_back(TransferItem{item.tx, 0, item.attempt + 1});
+          } else {
+            // Retry budget exhausted: terminally abort.  No shard ever
+            // counted this tx finished (credited attempts resolve via
+            // kCredited, never via refund), so both votes are cast here.
+            ++recovery_stats_.terminal_aborts;
+            if (telemetry_ != nullptr)
+              telemetry_->registry.counter("recovery.terminal_aborts").inc();
+            tx_shard_finished(tx.hash, false);
+            tx_shard_finished(tx.hash, false);
+          }
           break;
         }
         default:
@@ -2184,13 +2403,45 @@ void JengaSystem::twopc_watchdog_scan() {
   if (config_.twopc_stuck_timeout <= 0) return;
   const SimTime now = sim_.now();
   for (auto& [h, e] : twopc_inflight_) {
-    if (e.flagged || now - e.since < config_.twopc_stuck_timeout) continue;
-    e.flagged = true;
-    ++twopc_stuck_total_;
-    if (telemetry_ != nullptr) {
-      telemetry_->registry.counter("twopc.stuck").inc();
-      telemetry_->flight.trigger("twopc.stuck", &h);
+    if (!e.flagged) {
+      if (now - e.since < config_.twopc_stuck_timeout) continue;
+      e.flagged = true;
+      ++twopc_stuck_total_;
+      if (telemetry_ != nullptr) {
+        telemetry_->registry.counter("twopc.stuck").inc();
+        telemetry_->flight.trigger("twopc.stuck", &h);
+      }
     }
+    // Recovery ladder (DESIGN.md §14): first re-request the round, then
+    // force it to settle.  Sends only — entries are erased by the reply
+    // handlers, so iteration stays valid.
+    if (!config_.recovery.enabled || !e.tx) continue;
+    const LadderAction act = ladder_next(config_.recovery, e.ladder, now);
+    if (act == LadderAction::kWait) continue;
+    auto pp = std::make_shared<TwoPcPayload>();
+    pp->tx = e.tx;
+    pp->commit = false;  // routes to the destination (credit) shard
+    pp->op = act == LadderAction::kProbe ? TwoPcPayload::Op::kProbe
+                                         : TwoPcPayload::Op::kAbortQuery;
+    pp->attempt = e.attempt;
+    sim::Message m;
+    m.type = sim::MsgType::kTwoPcPrepare;
+    m.from = e.coordinator;
+    // A probe can be adopted as the prepare, so it carries the tx's weight.
+    m.size_bytes = act == LadderAction::kProbe ? ledger::kTxWireBytes + 96 : 160;
+    m.payload = std::move(pp);
+    if (act == LadderAction::kProbe) {
+      ++recovery_stats_.probes_sent;
+      if (telemetry_ != nullptr) telemetry_->registry.counter("recovery.probes").inc();
+    } else {
+      ++recovery_stats_.abort_queries;
+      if (telemetry_ != nullptr) {
+        telemetry_->registry.counter("recovery.abort_queries").inc();
+        telemetry_->flight.trigger("twopc.force_abort", &h);
+      }
+    }
+    send_two_pc(e.coordinator,
+                ledger::shard_of_account(e.tx->to, config_.num_shards), m);
   }
 }
 
@@ -2293,6 +2544,15 @@ bool JengaSystem::frame_item_seen(NodeId node, const sim::Message& inner) const 
 
 void JengaSystem::handle_batch_frame(NodeId node, const sim::Message& msg) {
   const auto& frame = sim::payload_as<gossip::BatchFramePayload>(msg);
+  // Forged-frame guard: a frame whose embedded id disagrees with the fold of
+  // its (sorted) item ids is smuggling items under another frame's dedup
+  // identity — reject it whole; honest relays re-frame the same items under
+  // the correct id, so nothing is lost.
+  if (!gossip::frame_id_matches(frame)) {
+    if (batcher_ != nullptr) batcher_->count_rejected_frame();
+    if (telemetry_ != nullptr) telemetry_->flight.trigger("batch.frame_rejected");
+    return;
+  }
   // Just unpack: each contained batch re-enters the normal handler path,
   // where its cert parks in the receiver's pooled-verification window.  The
   // frame's span stays the causal parent so trace_lint sees one hop per copy.

@@ -43,6 +43,7 @@
 #include "core/epoch.hpp"
 #include "core/lattice.hpp"
 #include "core/protocol_messages.hpp"
+#include "core/recovery.hpp"
 #include "ledger/block.hpp"
 #include "ledger/locks.hpp"
 #include "ledger/state_store.hpp"
@@ -51,6 +52,10 @@
 
 namespace jenga::exec {
 class Engine;
+}
+
+namespace jenga::security {
+class FailureDetector;
 }
 
 namespace jenga::gossip {
@@ -87,10 +92,15 @@ struct JengaConfig {
   std::uint32_t max_lock_retries = 24;
   /// 2PC inflight watchdog: a cross-shard transfer whose debit applied but
   /// whose round has not finalized within this window is flagged as stuck
-  /// (`twopc.stuck` counter, audited by security::check_invariants).  The
-  /// watchdog only observes — a genuinely wedged round is a liveness bug the
-  /// audit should fail loudly on, not silently patch.  0 disables.
+  /// (`twopc.stuck` counter, audited by security::check_invariants).  Beyond
+  /// flagging, the watchdog drives the recovery ladder below: a flagged
+  /// round is re-requested and, failing that, force-settled — so a gray
+  /// fault degrades latency, never liveness.  0 disables both.
   SimTime twopc_stuck_timeout = 60 * kSecond;
+  /// Stuck-2PC recovery ladder (probe -> force-abort -> refund + retry); see
+  /// core/recovery.hpp and DESIGN.md §14.  `recovery.enabled = false`
+  /// restores the observe-only watchdog.
+  RecoveryConfig recovery;
   Pipeline pipeline = Pipeline::kFull;
   /// Worker threads for batch transaction execution (src/exec/).  Results are
   /// bit-identical for every value; 1 = serial, no threads spawned.
@@ -250,6 +260,17 @@ class JengaSystem {
   /// rumor transport with a non-zero batch window).
   [[nodiscard]] gossip::Batcher* batcher() const { return batcher_.get(); }
 
+  /// Attaches the phi-accrual failure detector (nullptr detaches).  Wires
+  /// its suspicion signal into this layer's repair machinery: adaptive BFT
+  /// view timeouts on every replica, hotter rumor pull-repair cadence while
+  /// degraded, and hedged 2PC legs toward suspected contacts.  The detector
+  /// itself is passive until armed (see security/detector.hpp); attaching it
+  /// to a clean run changes nothing.
+  void set_failure_detector(security::FailureDetector* detector);
+  [[nodiscard]] security::FailureDetector* failure_detector() const { return detector_; }
+  /// Recovery-ladder activity (probes, force-aborts, refunds, hedges, ...).
+  [[nodiscard]] const RecoveryStats& recovery_stats() const { return recovery_stats_; }
+
   /// Marks a node Byzantine-silent (consensus-level fault injection).
   void set_node_silent(NodeId node);
   /// Generalized consensus-level fault injection: the mode applies to both of
@@ -388,9 +409,25 @@ class JengaSystem {
   void relay_gossip(NodeId node, const std::vector<NodeId>& group, const sim::Message& msg,
                     sim::BroadcastKind kind = sim::BroadcastKind::kRelay);
 
+  /// Handles recovery-ladder opcodes (TwoPcPayload::op != kLeg): probes and
+  /// force-abort queries at the destination shard, their replies at the
+  /// coordinator's shard.
+  void handle_two_pc_recovery(NodeId node, const sim::Message& msg);
+  /// Unicast a 2PC leg to the destination shard's contact; when the failure
+  /// detector suspects that contact from `from`'s vantage, the same message
+  /// is duplicated to the deterministically-next group member (hedged send —
+  /// attempt-scoped dedup makes the duplicate harmless).
+  void send_two_pc(NodeId from, ShardId dest, const sim::Message& msg);
+  /// Attempt-scoped 2PC dedup key ("2pc-p"/"2pc-c" + tx hash + attempt).
+  /// Attempt 0 hashes exactly the pre-recovery key, so clean runs keep
+  /// bit-identical dedup state.
+  [[nodiscard]] static Hash256 twopc_key(const char* tag, const Hash256& h,
+                                         std::uint32_t attempt);
+
   // Consensus app plumbing (payload types are internal to the .cpp).
   /// Flags inflight 2PC entries older than `twopc_stuck_timeout` (once each)
-  /// into `twopc_stuck_total_` and the `twopc.stuck` counter.
+  /// into `twopc_stuck_total_` and the `twopc.stuck` counter, then walks the
+  /// recovery ladder for every flagged round (when config_.recovery.enabled).
   void twopc_watchdog_scan();
 
   [[nodiscard]] std::optional<consensus::ConsensusValue> shard_propose(ShardEngine& eng,
@@ -496,9 +533,22 @@ class JengaSystem {
   struct TwoPcEntry {
     SimTime since = 0;
     bool flagged = false;
+    /// Retry attempt this entry belongs to (0 = original round).  Replies
+    /// carrying a different attempt are stale and ignored.
+    std::uint32_t attempt = 0;
+    /// Node whose decide opened the round; ladder traffic originates here.
+    NodeId coordinator{};
+    /// Recovery-ladder position (see core/recovery.hpp).
+    LadderState ladder;
+    /// The transfer itself, so the ladder can rebuild probe/query payloads.
+    TxPtr tx;
   };
   std::unordered_map<Hash256, TwoPcEntry> twopc_inflight_;
   std::uint64_t twopc_stuck_total_ = 0;
+  /// Failure detector feeding adaptive timeouts + hedging (not owned; the
+  /// harness wires it so all system variants share one construction path).
+  security::FailureDetector* detector_ = nullptr;
+  RecoveryStats recovery_stats_;
   /// Client-tx hashes already re-routed once after landing on a node whose
   /// new-epoch assignment no longer matches the submit-time contact.
   std::unordered_set<Hash256> rerouted_;

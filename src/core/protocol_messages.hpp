@@ -105,9 +105,25 @@ struct TxPayload : sim::Payload {
 /// Deliberately NOT epoch-tagged: a prepared transfer has already debited the
 /// sender, so its commit leg must land even if it crosses a reshuffle (the
 /// epoch cutover waits for in-flight 2PC rounds to finish for this reason).
+///
+/// Recovery extension (DESIGN.md §14): a wedged round — prepare or ack lost
+/// to a gray link — is repaired by the coordinator's recovery ladder via the
+/// `op` field.  `attempt` scopes every dedup key/tombstone, so a force-aborted
+/// attempt can be retried from scratch without fighting its own ghosts.
 struct TwoPcPayload : sim::Payload {
   TxPtr tx;
   bool commit = false;  // false: prepare leg, true: commit/ack leg
+  /// Recovery ladder opcode; kLeg is the plain 2PC protocol.
+  enum class Op : std::uint8_t {
+    kLeg = 0,         // normal prepare / commit-ack
+    kProbe = 1,       // coordinator re-requests the round (rung 1)
+    kAbortQuery = 2,  // coordinator asks to settle the round NOW (rung 2)
+    kNeverCredited = 3,  // participant: credit never applied (tombstoned)
+    kCredited = 4,       // participant: credit applied, here is your ack
+  };
+  Op op = Op::kLeg;
+  /// Retry attempt the message belongs to (0 = the original round).
+  std::uint32_t attempt = 0;
 };
 
 }  // namespace jenga::core

@@ -6,6 +6,18 @@
 
 namespace jenga::gossip {
 
+std::uint64_t fold_frame_id(const BatchFramePayload& frame) {
+  std::uint64_t id = 0xA0761D6478BD642FULL;
+  for (const auto& item : frame.items) id = sim::rumor_id_mix(id, item.rumor_id);
+  return id;
+}
+
+bool frame_id_matches(const BatchFramePayload& frame) {
+  for (std::size_t i = 1; i < frame.items.size(); ++i)
+    if (frame.items[i - 1].rumor_id > frame.items[i].rumor_id) return false;
+  return fold_frame_id(frame) == frame.frame_id;
+}
+
 void Batcher::enqueue(NodeId from, std::span<const NodeId> group, std::uint64_t rumor_id,
                       sim::Message msg, sim::TrafficClass cls) {
   if (group.empty()) return;
@@ -48,9 +60,11 @@ void Batcher::flush(std::uint64_t key) {
             [](const auto& a, const auto& b) { return a.rumor_id < b.rumor_id; });
 
   // The frame's identity is the fold of its (sorted) item ids: relays that
-  // framed the same certified items start the same rumor.
-  std::uint64_t frame_id = 0xA0761D6478BD642FULL;
-  for (const auto& item : payload->items) frame_id = sim::rumor_id_mix(frame_id, item.rumor_id);
+  // framed the same certified items start the same rumor.  Embedded in the
+  // payload so receivers can validate it against the items (forged-frame
+  // guard).
+  const std::uint64_t frame_id = fold_frame_id(*payload);
+  payload->frame_id = frame_id;
 
   sim::Message frame;
   frame.type = sim::MsgType::kBatchFrame;

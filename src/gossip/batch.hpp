@@ -30,18 +30,33 @@ struct BatchFramePayload : sim::Payload {
     sim::Message inner;
   };
   std::vector<Item> items;
+  /// The frame's own identity: the fold of its sorted item rumor ids (also
+  /// the rumor id the frame spreads under).  Receivers recompute the fold
+  /// and reject any frame whose embedded id disagrees — a forged or tampered
+  /// frame cannot smuggle items under another frame's identity.
+  std::uint64_t frame_id = 0;
 
   [[nodiscard]] std::uint32_t wire_size() const {
-    std::uint32_t n = 16;
+    std::uint32_t n = 24;
     for (const auto& it : items) n += 8 + it.inner.size_bytes;
     return n;
   }
 };
 
+/// Folds the frame's item ids into its identity.  The items must already be
+/// sorted by rumor_id (flush order); callers validating a received frame
+/// should check sortedness too — see frame_id_matches.
+[[nodiscard]] std::uint64_t fold_frame_id(const BatchFramePayload& frame);
+
+/// Forged-frame guard: true iff the items are sorted by rumor_id and their
+/// fold equals the embedded frame id.
+[[nodiscard]] bool frame_id_matches(const BatchFramePayload& frame);
+
 struct BatchStats {
   std::uint64_t items_enqueued = 0;
   std::uint64_t frames_sent = 0;
   std::uint64_t max_frame_items = 0;
+  std::uint64_t frames_rejected = 0;  // received frames failing the id guard
 };
 
 class Batcher {
@@ -56,6 +71,10 @@ class Batcher {
 
   [[nodiscard]] const BatchStats& stats() const { return stats_; }
   [[nodiscard]] SimTime window() const { return window_; }
+
+  /// Counts a received frame dropped by the id guard (the receive path lives
+  /// in the core engine, which owns no BatchStats of its own).
+  void count_rejected_frame() { ++stats_.frames_rejected; }
 
  private:
   struct Pending {

@@ -149,8 +149,19 @@ void RumorMesh::tick(std::uint64_t group_key, std::size_t slot) {
       ++it;
     }
   }
+  // Prune outstanding pulls by age rather than wholesale: pulls_inflight is
+  // also the solicitation record the forged-response guard checks, so a
+  // legitimately-late response to a recent request must still find its entry.
+  // Anything older than twice the re-pull gap is dead weight either way.
+  const SimTime pull_ttl = 4 * config_.round_interval;
+  for (auto it = ns.pulls_inflight.begin(); it != ns.pulls_inflight.end();) {
+    if (now - it->second > pull_ttl) {
+      it = ns.pulls_inflight.erase(it);
+    } else {
+      ++it;
+    }
+  }
   if (ns.rumors.empty()) {
-    ns.pulls_inflight.clear();
     return;  // quiet node: timer stays down until the next accept
   }
 
@@ -162,7 +173,11 @@ void RumorMesh::tick(std::uint64_t group_key, std::size_t slot) {
     }
     std::sort(fresh.begin(), fresh.end());
 
-    const bool ping_round = ns.ticks % std::max<std::uint32_t>(1, config_.anti_entropy_every) == 0;
+    // Anti-entropy cadence, optionally tightened by the failure detector
+    // while the network is degraded (hook returns the base divisor when not).
+    std::uint32_t every = std::max<std::uint32_t>(1, config_.anti_entropy_every);
+    if (cadence_hook_) every = std::max<std::uint32_t>(1, cadence_hook_(every));
+    const bool ping_round = ns.ticks % every == 0;
     if (!fresh.empty() || ping_round) {
       auto payload = std::make_shared<RumorPushPayload>();
       payload->group_key = group_key;
@@ -273,6 +288,19 @@ void RumorMesh::handle_pull_req(NodeId to, const sim::Message& msg) {
   if (sit == g.index_of.end()) return;
   NodeState& ns = node_state(p.group_key, sit->second);
 
+  // Per-(server, requester) rate limit: a suspect/byzantine peer hammering
+  // pull requests is throttled instead of amplified into pull responses.
+  const SimTime now = net_.simulator().now();
+  auto& window = ns.pull_req_log[msg.from.value];
+  if (now - window.first >= config_.pull_req_window) {
+    window.first = now;
+    window.second = 0;
+  }
+  if (++window.second > config_.pull_req_max) {
+    ++stats_.pulls_throttled;
+    return;
+  }
+
   auto payload = std::make_shared<RumorPushPayload>();
   payload->group_key = p.group_key;
   for (const std::uint64_t id : p.ids) {
@@ -307,6 +335,14 @@ void RumorMesh::handle_pull_resp(NodeId to, const sim::Message& msg) {
   for (const auto& e : p.entries) {
     if (ns.rumors.contains(e.id) || ns.retired.contains(e.id)) {
       ++stats_.dups_dropped;
+      continue;
+    }
+    // Solicited-response guard: only entries this node actually pulled are
+    // accepted.  A tampered or forged response (an id nobody asked for, or an
+    // id rewritten to smuggle a different payload) is dropped here — honest
+    // peers only ever answer with the exact ids from the request.
+    if (!ns.pulls_inflight.contains(e.id)) {
+      ++stats_.resp_rejected;
       continue;
     }
     sim::Message inner = e.inner;

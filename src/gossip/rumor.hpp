@@ -30,6 +30,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <unordered_map>
 #include <unordered_set>
@@ -58,6 +59,13 @@ struct RumorConfig {
   /// How long a rumor id is remembered (dup-drop + pull-serving window).
   /// Partitions must heal within this window to be repaired.
   SimTime retention = 30 * kSecond;
+  /// Pull-request rate limit per (serving member, requester): at most
+  /// `pull_req_max` kRumorPullReq served per window.  An unthrottled suspect
+  /// peer could otherwise amplify pull traffic unboundedly; the ceiling is
+  /// far above anything an honest peer emits (one request per missing-digest
+  /// discovery, already deduped by pulls_inflight).
+  SimTime pull_req_window = 300 * kMillisecond;
+  std::uint32_t pull_req_max = 64;
 };
 
 struct RumorStats {
@@ -66,6 +74,8 @@ struct RumorStats {
   std::uint64_t pull_requests = 0;      // kRumorPullReq messages
   std::uint64_t pull_responses = 0;     // kRumorPullResp messages
   std::uint64_t dups_dropped = 0;       // received copies of an already-known rumor
+  std::uint64_t pulls_throttled = 0;    // pull requests dropped by the rate limit
+  std::uint64_t resp_rejected = 0;      // unsolicited pull-response entries dropped
   std::uint64_t delivered = 0;          // inner messages handed to node handlers
   std::uint64_t covered_rumors = 0;     // rumors that reached every group member
   /// Rounds from a rumor's start to full group coverage (one entry per
@@ -115,6 +125,13 @@ class RumorMesh final : public sim::RumorTransport {
   [[nodiscard]] const RumorStats& stats() const { return stats_; }
   [[nodiscard]] const RumorConfig& config() const { return config_; }
 
+  /// Advisory hook for the anti-entropy cadence: base tick divisor -> the
+  /// divisor to use this round.  The failure detector plugs in here to run
+  /// pull repair hotter while the network is degraded; must return `base`
+  /// in healthy runs so clean schedules stay bit-identical.
+  using CadenceHook = std::function<std::uint32_t(std::uint32_t base)>;
+  void set_cadence_hook(CadenceHook hook) { cadence_hook_ = std::move(hook); }
+
  private:
   enum class Phase : std::uint8_t { kNew = 0, kKnown = 1 };
 
@@ -131,7 +148,11 @@ class RumorMesh final : public sim::RumorTransport {
     std::uint64_t ticks = 0;
     std::unordered_map<std::uint64_t, RumorState> rumors;
     /// Outstanding pulls: id -> when requested (re-pull allowed after a gap).
+    /// Doubles as the solicitation record: a pull-response entry whose id was
+    /// never requested is rejected as forged/unsolicited.
     std::unordered_map<std::uint64_t, SimTime> pulls_inflight;
+    /// Pull-request rate-limit windows, keyed by requester node id.
+    std::unordered_map<std::uint32_t, std::pair<SimTime, std::uint32_t>> pull_req_log;
     /// OLD rumors: ids retired after `retention`.  The payload is dropped but
     /// the id stays a tombstone, so a straggler push or a peer's digest ping
     /// can never resurrect an already-delivered rumor (without this, an
@@ -172,6 +193,7 @@ class RumorMesh final : public sim::RumorTransport {
   RumorConfig config_;
   Rng rng_;
   RumorStats stats_;
+  CadenceHook cadence_hook_;
   std::unordered_map<std::uint64_t, GroupState> groups_;
   /// Per-group per-member state, keyed (group_key ^ mixed slot).
   std::unordered_map<std::uint64_t, NodeState> node_state_;

@@ -110,6 +110,7 @@ RunResult run_experiment(const RunConfig& config) {
       jc.storage_backend = config.storage_backend;
       jc.storage_snapshot_interval = config.storage_snapshot_interval;
       jc.model_state_sync = config.model_state_sync;
+      jc.recovery = config.recovery;
       jc.pipeline = config.kind == SystemKind::kJenga ? core::Pipeline::kFull
                     : config.kind == SystemKind::kJengaNoLattice
                         ? core::Pipeline::kNoLattice
@@ -148,8 +149,21 @@ RunResult run_experiment(const RunConfig& config) {
   const std::uint64_t initial_balance =
       jenga ? jenga->total_account_balance() : baseline->total_account_balance();
 
+  // Failure detection (DESIGN.md §14): sampling on every kind is pure
+  // bookkeeping; actuation arms only when a fault plan runs (clean runs are
+  // bit-identical with self_healing on or off).
+  std::unique_ptr<security::FailureDetector> detector;
+  if (config.self_healing) {
+    detector = std::make_unique<security::FailureDetector>(sim, config.detector);
+    net.set_arrival_observer(detector.get());
+  }
+
   if (jenga) {
     jenga->set_telemetry(telemetry.get());
+    if (detector) {
+      jenga->set_failure_detector(detector.get());
+      if (config.faults_plan.event_count() > 0) detector->arm(true);
+    }
     jenga->start();
   } else {
     baseline->set_telemetry(telemetry.get());
@@ -303,6 +317,7 @@ RunResult run_experiment(const RunConfig& config) {
     result.epoch_transitions = jenga->epoch_stats().transitions;
     result.epoch_txs_requeued = jenga->epoch_stats().txs_requeued;
     result.state_sync = jenga->state_sync_stats();
+    result.recovery = jenga->recovery_stats();
     // Fold durability traffic into the registry (per-shard backend counters).
     if (config.storage_backend != core::StorageBackendKind::kNone) {
       auto& sreg = telemetry->registry;
@@ -346,6 +361,10 @@ RunResult run_experiment(const RunConfig& config) {
     reg.counter("net.rumor.dups_dropped").set(result.rumor.dups_dropped);
     reg.counter("net.rumor.delivered").set(result.rumor.delivered);
     reg.counter("net.rumor.covered").set(result.rumor.covered_rumors);
+    if (result.rumor.pulls_throttled > 0)
+      reg.counter("net.rumor.pull_throttled").set(result.rumor.pulls_throttled);
+    if (result.rumor.resp_rejected > 0)
+      reg.counter("net.rumor.resp_rejected").set(result.rumor.resp_rejected);
     auto& cov = reg.histogram("net.rumor.rounds_to_coverage");
     for (const std::uint32_t rounds : result.rumor.coverage_rounds) {
       cov.record(static_cast<std::int64_t>(rounds));
@@ -356,6 +375,20 @@ RunResult run_experiment(const RunConfig& config) {
     reg.counter("net.batch.frames").set(result.relay_batches.frames_sent);
     reg.gauge("net.batch.max_frame_items")
         .set(static_cast<std::int64_t>(result.relay_batches.max_frame_items));
+  }
+  if (result.relay_batches.frames_rejected > 0)
+    reg.counter("net.batch.frame_rejected").set(result.relay_batches.frames_rejected);
+  if (result.faults.gray_dropped > 0)
+    reg.counter("net.faults.gray_dropped").set(result.faults.gray_dropped);
+  if (detector) {
+    result.detector = detector->stats();
+    // Folded only when actuation armed: a clean detector-on snapshot must be
+    // byte-identical to a detector-off one.
+    if (detector->armed()) {
+      reg.counter("detector.samples").set(result.detector.samples);
+      reg.counter("detector.suspicions").set(result.detector.suspicions);
+      reg.counter("detector.recoveries").set(result.detector.recoveries);
+    }
   }
   {
     const core::CertVerifyStats& cc = result.cert_checks;
@@ -402,7 +435,11 @@ RunResult run_experiment(const RunConfig& config) {
   // Detach before the systems/network go out of scope (telemetry outlives
   // them via the shared_ptr in the result).
   net.set_telemetry(nullptr);
-  if (jenga) jenga->set_telemetry(nullptr);
+  net.set_arrival_observer(nullptr);
+  if (jenga) {
+    jenga->set_failure_detector(nullptr);
+    jenga->set_telemetry(nullptr);
+  }
   if (baseline) baseline->set_telemetry(nullptr);
   return result;
 }

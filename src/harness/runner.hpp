@@ -10,6 +10,7 @@
 #include "gossip/batch.hpp"
 #include "gossip/rumor.hpp"
 #include "mempool/ingress.hpp"
+#include "security/detector.hpp"
 #include "security/fault_injector.hpp"
 #include "telemetry/telemetry.hpp"
 #include "workload/arrival.hpp"
@@ -119,6 +120,16 @@ struct RunConfig {
   /// Scripted faults, armed before the run (Jenga kinds only; overload bursts
   /// additionally need an open-loop arrival mode to have a client to throttle).
   security::FaultPlan faults_plan;
+
+  // --- Self-healing (DESIGN.md §14) ---------------------------------------
+  /// Attach the phi-accrual failure detector (every kind; sampling is pure
+  /// bookkeeping).  Its actuation — adaptive view timeouts, hotter pull
+  /// repair, hedged 2PC legs — arms only when `faults_plan` is non-empty, so
+  /// clean runs stay bit-identical with this on or off.
+  bool self_healing = true;
+  security::DetectorConfig detector;
+  /// Stuck-2PC recovery ladder knobs (Jenga kinds; see core/recovery.hpp).
+  core::RecoveryConfig recovery;
 };
 
 /// Admission-layer outcome of an open-loop run (zeroed for legacy modes).
@@ -164,6 +175,11 @@ struct RunResult {
   std::uint64_t epoch_txs_requeued = 0;
   /// Recovery-time state sync counters (all 0 unless model_state_sync).
   core::StateSyncStats state_sync;
+  /// Failure-detector activity (all 0 unless self_healing; suspicions stay 0
+  /// unless a fault plan armed actuation).
+  security::DetectorStats detector;
+  /// Stuck-2PC recovery-ladder activity (Jenga kinds; all 0 in clean runs).
+  core::RecoveryStats recovery;
   /// Admission-layer outcome (enabled only for open-loop arrival modes).
   IngressReport ingress;
   /// Every run is instrumented (telemetry is cheap enough to stay on): the

@@ -1,0 +1,111 @@
+#include "security/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace jenga::security {
+
+void FailureDetector::on_arrival(NodeId from, NodeId to, SimTime now) {
+  PairState& p = pairs_[pair_key(to, from)];
+  if (p.intervals.empty()) p.intervals.resize(std::max<std::size_t>(1, config_.window), 0);
+  if (p.last_arrival >= 0) {
+    const SimTime raw = now - p.last_arrival;
+    const double interval =
+        static_cast<double>(std::max(raw, config_.min_interval));
+    if (p.count == p.intervals.size()) {
+      const double old = static_cast<double>(p.intervals[p.next]);
+      p.sum -= old;
+      p.sum_sq -= old * old;
+    } else {
+      ++p.count;
+    }
+    p.intervals[p.next] = static_cast<SimTime>(interval);
+    p.next = (p.next + 1) % p.intervals.size();
+    p.sum += interval;
+    p.sum_sq += interval * interval;
+    ++stats_.samples;
+
+    // Global degradation signal: one shared fast EWMA across every pair.  The
+    // baseline is the healthiest (minimum) level it reached after warmup, so
+    // a network-wide latency/serialization inflation shows up as the EWMA
+    // floating a factor above it.
+    ewma_ = ewma_ == 0 ? interval
+                       : config_.ewma_alpha * interval + (1 - config_.ewma_alpha) * ewma_;
+    if (stats_.samples >= config_.warmup_samples)
+      baseline_ = baseline_ == 0 ? ewma_ : std::min(baseline_, ewma_);
+  }
+  p.last_arrival = now;
+  if (p.suspected) {
+    // An arrival from a suspected peer clears the suspicion immediately.
+    p.suspected = false;
+    --suspect_count_;
+    ++stats_.recoveries;
+  }
+}
+
+double FailureDetector::phi_of(const PairState& p, SimTime now) const {
+  if (p.count < config_.min_samples || p.last_arrival < 0) return 0;
+  const double n = static_cast<double>(p.count);
+  const double mean = p.sum / n;
+  const double var = std::max(0.0, p.sum_sq / n - mean * mean);
+  // Sigma floor keeps phi finite for pathologically regular streams.
+  const double sigma =
+      std::max({std::sqrt(var), mean / 8.0, static_cast<double>(config_.min_interval)});
+  const double elapsed = static_cast<double>(now - p.last_arrival);
+  if (elapsed <= mean) return 0;
+  // P(interval >= elapsed) under N(mean, sigma^2); phi = -log10 of it.
+  const double z = (elapsed - mean) / (sigma * std::numbers::sqrt2);
+  const double tail = 0.5 * std::erfc(z);
+  if (tail <= 0) return 40.0;  // erfc underflow: effectively certain death
+  return -std::log10(tail);
+}
+
+double FailureDetector::phi(NodeId observer, NodeId peer) const {
+  const auto it = pairs_.find(pair_key(observer, peer));
+  if (it == pairs_.end()) return 0;
+  return phi_of(it->second, sim_.now());
+}
+
+bool FailureDetector::suspect(NodeId observer, NodeId peer) {
+  if (!armed_) return false;
+  const auto it = pairs_.find(pair_key(observer, peer));
+  if (it == pairs_.end()) return false;
+  PairState& p = it->second;
+  const bool over = phi_of(p, sim_.now()) >= config_.phi_suspect;
+  if (over && !p.suspected) {
+    p.suspected = true;
+    ++suspect_count_;
+    ++stats_.suspicions;
+    if (stats_.first_suspicion_at == 0) stats_.first_suspicion_at = sim_.now();
+  }
+  // Clearing happens on the next arrival (phi is monotone between arrivals).
+  return p.suspected;
+}
+
+bool FailureDetector::degraded() const {
+  if (!armed_ || baseline_ <= 0) return false;
+  return ewma_ > baseline_ * config_.degrade_factor;
+}
+
+SimTime FailureDetector::view_timeout(NodeId observer, NodeId leader, SimTime base) {
+  if (!armed_) return base;
+  if (suspect(observer, leader)) {
+    const auto shrunk =
+        static_cast<SimTime>(static_cast<double>(base) * config_.timeout_shrink);
+    return std::max(config_.view_floor, shrunk);
+  }
+  if (degraded()) {
+    const auto grown =
+        static_cast<SimTime>(static_cast<double>(base) * config_.timeout_grow);
+    return std::min(config_.view_ceiling, grown);
+  }
+  return base;
+}
+
+std::uint32_t FailureDetector::pull_cadence(std::uint32_t base) const {
+  if (!degraded()) return base;
+  return std::max<std::uint32_t>(1, base / 2);
+}
+
+}  // namespace jenga::security

@@ -88,6 +88,48 @@ void FaultInjector::arm(FaultPlan plan) {
     ++events_armed_;
   }
 
+  for (const auto& g : plan_.gray) {
+    switch (g.kind) {
+      case GrayFaultKind::kLinkDegrade:
+        sim_.schedule_at(g.at, [this, g] {
+          net_.set_link_delay(g.node, g.peer, g.extra_delay);
+          net_.set_link_delay(g.peer, g.node, g.extra_delay);
+        });
+        sim_.schedule_at(g.at + g.duration, [this, g] {
+          net_.set_link_delay(g.node, g.peer, 0);
+          net_.set_link_delay(g.peer, g.node, 0);
+        });
+        break;
+      case GrayFaultKind::kLossyNic:
+        sim_.schedule_at(g.at, [this, g] {
+          sim::NodeGray prof = net_.node_gray(g.node);
+          prof.ingress_drop_rate = g.drop_rate;
+          net_.set_node_gray(g.node, prof);
+        });
+        sim_.schedule_at(g.at + g.duration, [this, node = g.node] {
+          sim::NodeGray prof = net_.node_gray(node);
+          prof.ingress_drop_rate = 0.0;
+          net_.set_node_gray(node, prof);
+        });
+        break;
+      case GrayFaultKind::kSlowNode:
+        sim_.schedule_at(g.at, [this, g] {
+          sim::NodeGray prof = net_.node_gray(g.node);
+          prof.serialize_factor = g.serialize_factor;
+          prof.proc_delay = g.proc_delay;
+          net_.set_node_gray(g.node, prof);
+        });
+        sim_.schedule_at(g.at + g.duration, [this, node = g.node] {
+          sim::NodeGray prof = net_.node_gray(node);
+          prof.serialize_factor = 1.0;
+          prof.proc_delay = 0;
+          net_.set_node_gray(node, prof);
+        });
+        break;
+    }
+    ++events_armed_;
+  }
+
   for (const auto& hit : plan_.assassinations) {
     sim_.schedule_at(hit.at, [this, shard = hit.shard, at = hit.at,
                               recover_at = hit.recover_at] {

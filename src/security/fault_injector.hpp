@@ -109,6 +109,30 @@ struct OverloadBurst {
   double rate_multiplier = 1.0;
 };
 
+/// Gray (partial) failures: the victim stays up and keeps participating in
+/// consensus, it is just degraded — the failure mode crash detectors miss
+/// and the phi-accrual detector (security/detector.hpp) exists for.
+enum class GrayFaultKind : std::uint8_t {
+  kLinkDegrade = 0,  // extra latency on the node<->peer link, both directions
+  kLossyNic,         // node silently loses a fraction of inbound deliveries
+  kSlowNode,         // node serializes egress slower + stalls inbound processing
+};
+
+/// Between [at, at+duration) apply one gray degradation; the window restores
+/// the clean profile at its end.  Windows on one victim should be disjoint
+/// (the latest event wins, like OverloadBurst).
+struct GrayFault {
+  GrayFaultKind kind = GrayFaultKind::kSlowNode;
+  SimTime at = 0;
+  SimTime duration = 0;
+  NodeId node;                    // the victim (kLinkDegrade: endpoint A)
+  NodeId peer;                    // kLinkDegrade only: endpoint B
+  SimTime extra_delay = 0;        // kLinkDegrade: added one-way latency
+  double drop_rate = 0.0;         // kLossyNic: inbound delivery loss fraction
+  double serialize_factor = 1.0;  // kSlowNode: egress serialization multiplier
+  SimTime proc_delay = 0;         // kSlowNode: fixed extra inbound delay
+};
+
 struct FaultPlan {
   std::vector<FaultRamp> ramps;
   std::vector<PartitionWindow> partitions;
@@ -118,10 +142,12 @@ struct FaultPlan {
   std::vector<EpochBoundaryChurn> epoch_churn;
   std::vector<StorageFault> storage;
   std::vector<OverloadBurst> overload;
+  std::vector<GrayFault> gray;
 
   [[nodiscard]] std::size_t event_count() const {
     return ramps.size() + partitions.size() + crashes.size() + byzantine.size() +
-           assassinations.size() + epoch_churn.size() + storage.size() + overload.size();
+           assassinations.size() + epoch_churn.size() + storage.size() + overload.size() +
+           gray.size();
   }
 };
 

@@ -26,6 +26,19 @@ void Network::set_link_delay(NodeId from, NodeId to, SimTime extra) {
   }
 }
 
+void Network::set_node_gray(NodeId id, const NodeGray& g) {
+  if (g.any()) {
+    gray_[id.value] = g;
+  } else {
+    gray_.erase(id.value);  // keep gray_ empty so clean paths stay untouched
+  }
+}
+
+NodeGray Network::node_gray(NodeId id) const {
+  const auto it = gray_.find(id.value);
+  return it == gray_.end() ? NodeGray{} : it->second;
+}
+
 void Network::set_partition_group(NodeId id, std::uint8_t group) {
   if (partition_group_.size() <= id.value) partition_group_.resize(id.value + 1, 0);
   partition_group_[id.value] = group;
@@ -59,6 +72,19 @@ bool Network::deliver_faulty(NodeId from, SimTime when, NodeId to, Message msg) 
   if (!link_delay_.empty()) {
     const auto it = link_delay_.find(link_key);
     if (it != link_delay_.end()) when += it->second;
+  }
+  if (!gray_.empty()) {
+    if (const auto it = gray_.find(to.value); it != gray_.end()) {
+      const NodeGray& g = it->second;
+      when += g.proc_delay;  // degraded receive path: deterministic stall
+      // Lossy NIC: inbound loss at the receiver, charged separately from the
+      // link-level drop profile so chaos reports can attribute it.
+      if (g.ingress_drop_rate > 0 && rng_.chance(g.ingress_drop_rate)) {
+        ++fault_stats_.gray_dropped;
+        ++fault_stats_.per_link[link_key].dropped;
+        return false;
+      }
+    }
   }
   // Guard every rng draw behind its knob so fault-free runs consume the
   // exact same random stream as before the fault layer existed.
@@ -98,10 +124,17 @@ SimTime Network::jitter() {
   return static_cast<SimTime>(rng_.uniform(static_cast<std::uint64_t>(config_.jitter_max)));
 }
 
+SimTime Network::egress_ser(NodeId from, SimTime ser) const {
+  if (gray_.empty()) return ser;
+  const auto it = gray_.find(from.value);
+  if (it == gray_.end() || it->second.serialize_factor == 1.0) return ser;
+  return static_cast<SimTime>(static_cast<double>(ser) * it->second.serialize_factor);
+}
+
 SimTime Network::reserve_egress(NodeId from, std::uint32_t bytes) {
   assert(from.value < egress_busy_until_.size());
   const SimTime start = std::max(sim_.now(), egress_busy_until_[from.value]);
-  const SimTime departure = start + serialization_delay(bytes);
+  const SimTime departure = start + egress_ser(from, serialization_delay(bytes));
   egress_busy_until_[from.value] = departure;
   return departure;
 }
@@ -123,6 +156,11 @@ void Network::deliver_at(SimTime when, NodeId to, Message msg) {
     // The handler (and everything it schedules or sends) runs in the causal
     // context of this delivery; step() resets the context afterwards.
     sim_.set_context(msg.span);
+    // Inter-arrival sampling for the failure detector: node-to-node traffic
+    // only (clients are reliable out-of-band), pure bookkeeping.
+    if (arrival_observer_ != nullptr && msg.from.value < handlers_.size() &&
+        msg.from.value != to.value)
+      arrival_observer_->on_arrival(msg.from, to, sim_.now());
     if (telemetry_ != nullptr && telemetry_->flight.enabled()) {
       telemetry::FlightEvent e;
       e.at = sim_.now();
@@ -243,6 +281,7 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
   std::vector<SimTime> relay_busy(order.size(), 0);
 
   const SimTime ser = serialization_delay(msg.size_bytes);
+  const SimTime root_ser = egress_ser(from, ser);
 
   // Spans per hop: the root's children are caused by the current handler
   // context; a relay hop is caused by the relay's own inbound copy.
@@ -252,7 +291,7 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
   const SimTime root_send = sim_.now();
   SimTime root_departure = std::max(sim_.now(), egress_busy_until_[from.value]);
   for (std::size_t i = 0; i < order.size() && i < fanout; ++i) {
-    root_departure += ser;
+    root_departure += root_ser;
     arrival[i] = root_departure + config_.base_latency + jitter();
     account(cls, msg.type, msg.size_bytes);
     account_sender(from, msg.size_bytes);
@@ -268,7 +307,8 @@ void Network::gossip(NodeId from, std::span<const NodeId> group, const Message& 
   for (std::size_t child = fanout; child < order.size(); ++child) {
     const std::size_t parent = (child - fanout) / fanout;
     if (!received[parent]) continue;  // relay never got the message
-    const SimTime departure = std::max(arrival[parent], relay_busy[parent]) + ser;
+    const SimTime departure =
+        std::max(arrival[parent], relay_busy[parent]) + egress_ser(order[parent], ser);
     relay_busy[parent] = departure;
     arrival[child] = departure + config_.base_latency + jitter();
     account(cls, msg.type, msg.size_bytes);

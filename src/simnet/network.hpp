@@ -119,6 +119,31 @@ class RumorTransport {
   virtual void on_message(NodeId to, const Message& msg) = 0;
 };
 
+/// Passive observer of message arrivals, implemented by the phi-accrual
+/// failure detector (src/security/detector.*).  Kept abstract here so simnet
+/// does not depend on the detector.  Called inside the delivery event, after
+/// the down-recheck, for node-to-node traffic only; implementations must be
+/// pure bookkeeping (no scheduling, no rng) so an attached observer leaves
+/// the event stream bit-identical.
+class ArrivalObserver {
+ public:
+  virtual ~ArrivalObserver() = default;
+  virtual void on_arrival(NodeId from, NodeId to, SimTime now) = 0;
+};
+
+/// Per-node gray-failure profile (DESIGN.md §14): the node is alive and
+/// participating, just degraded.  Unlike LinkFaults these are scoped to one
+/// node, so a gray window perturbs only traffic touching that node.
+struct NodeGray {
+  double ingress_drop_rate = 0.0;  // lossy NIC: inbound deliveries silently lost
+  double serialize_factor = 1.0;   // slow node: egress serialization multiplier
+  SimTime proc_delay = 0;          // slow node: fixed extra inbound processing delay
+
+  [[nodiscard]] bool any() const {
+    return ingress_drop_rate > 0 || serialize_factor != 1.0 || proc_delay > 0;
+  }
+};
+
 /// Probabilistic link-fault profile.  Each delivery attempt is an independent
 /// Bernoulli draw; duplication schedules a second attempt (itself subject to
 /// the drop draw) shortly after the first.
@@ -139,6 +164,7 @@ struct FaultStats {
   std::uint64_t duplicated = 0;
   std::uint64_t partition_blocked = 0;
   std::uint64_t down_blocked = 0;
+  std::uint64_t gray_dropped = 0;  // inbound losses charged to a lossy NIC
 
   /// Per-directed-link drop/duplicate attribution, keyed (from << 32 | to).
   /// Lets a chaos report say *which* links the fault injector actually hit.
@@ -149,7 +175,7 @@ struct FaultStats {
   std::unordered_map<std::uint64_t, LinkFaultCounts> per_link;
 
   [[nodiscard]] std::uint64_t total() const {
-    return dropped + duplicated + partition_blocked + down_blocked;
+    return dropped + duplicated + partition_blocked + down_blocked + gray_dropped;
   }
 };
 
@@ -248,6 +274,18 @@ class Network {
   /// Extra fixed delay on the directed link from -> to (0 clears it).
   void set_link_delay(NodeId from, NodeId to, SimTime extra);
 
+  /// Installs (or clears, when `g.any()` is false) a per-node gray-failure
+  /// profile.  A lossy NIC draws its drops from the shared rng stream, but
+  /// only while at least one gray profile is installed — clean runs consume
+  /// an untouched stream.
+  void set_node_gray(NodeId id, const NodeGray& g);
+  [[nodiscard]] NodeGray node_gray(NodeId id) const;
+
+  /// Attaches a passive arrival observer (nullptr detaches); see
+  /// ArrivalObserver for the determinism contract.
+  void set_arrival_observer(ArrivalObserver* obs) { arrival_observer_ = obs; }
+  [[nodiscard]] ArrivalObserver* arrival_observer() const { return arrival_observer_; }
+
   /// Assigns `nodes` to partition `group`; traffic between nodes in
   /// different groups is blocked in both directions (checked when the send
   /// is initiated — messages already in flight still arrive).  Group 0 is
@@ -273,6 +311,8 @@ class Network {
 
  private:
   [[nodiscard]] SimTime serialization_delay(std::uint32_t bytes) const;
+  /// Scales `ser` by the node's gray serialize_factor (1.0 when clean).
+  [[nodiscard]] SimTime egress_ser(NodeId from, SimTime ser) const;
   [[nodiscard]] SimTime jitter();
   /// Assigns `msg` a causal span (when tracing is enabled) whose parent is
   /// the message being handled right now, and mirrors the send into the
@@ -301,6 +341,7 @@ class Network {
   std::vector<bool> down_;
   std::vector<std::uint8_t> partition_group_;
   std::unordered_map<std::uint64_t, SimTime> link_delay_;  // (from<<32|to)
+  std::unordered_map<std::uint32_t, NodeGray> gray_;       // empty when no gray fault armed
   LinkFaults faults_;
   TrafficStats stats_;
   FaultStats fault_stats_;
@@ -308,6 +349,7 @@ class Network {
   std::vector<std::uint64_t> node_sent_bytes_;
   telemetry::Telemetry* telemetry_ = nullptr;
   RumorTransport* rumor_ = nullptr;
+  ArrivalObserver* arrival_observer_ = nullptr;
 };
 
 }  // namespace jenga::sim

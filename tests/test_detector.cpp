@@ -1,0 +1,147 @@
+// Phi-accrual failure detector unit tests (src/security/detector.hpp,
+// DESIGN.md §14): suspicion grows with silence and only actuates when armed,
+// arrivals clear it, the degradation signal tracks network-wide inflation,
+// and the adaptive view-timeout / pull-cadence outputs respect their bounds.
+#include <gtest/gtest.h>
+
+#include "security/detector.hpp"
+#include "simnet/simulator.hpp"
+
+namespace jenga::security {
+namespace {
+
+constexpr NodeId kObserver{0};
+constexpr NodeId kPeer{1};
+
+/// Feeds `n` arrivals from kPeer to kObserver spaced `gap` apart, advancing
+/// the simulated clock alongside.
+void feed(sim::Simulator& sim, FailureDetector& d, int n, SimTime gap,
+          NodeId from = kPeer, NodeId to = kObserver) {
+  for (int i = 0; i < n; ++i) {
+    sim.run_until(sim.now() + gap);
+    d.on_arrival(from, to, sim.now());
+  }
+}
+
+TEST(FailureDetector, PhiGrowsWithSilence) {
+  sim::Simulator sim;
+  FailureDetector d(sim);
+  feed(sim, d, 20, 100 * kMillisecond);
+
+  // Right after an arrival there is nothing to suspect.
+  EXPECT_EQ(d.phi(kObserver, kPeer), 0.0);
+
+  // One missed heartbeat is barely suspicious; ten are damning.
+  sim.run_until(sim.now() + 200 * kMillisecond);
+  const double phi_2x = d.phi(kObserver, kPeer);
+  sim.run_until(sim.now() + 800 * kMillisecond);
+  const double phi_10x = d.phi(kObserver, kPeer);
+  EXPECT_GT(phi_2x, 0.0);
+  EXPECT_GT(phi_10x, phi_2x);
+  EXPECT_GE(phi_10x, 8.0);
+
+  // Direction matters: the reverse pair never heard anything.
+  EXPECT_EQ(d.phi(kPeer, kObserver), 0.0);
+}
+
+TEST(FailureDetector, NoSuspicionBelowMinSamples) {
+  sim::Simulator sim;
+  DetectorConfig cfg;
+  cfg.min_samples = 8;
+  FailureDetector d(sim, cfg);
+  d.arm(true);
+  feed(sim, d, 4, 100 * kMillisecond);  // 3 intervals < min_samples
+  sim.run_until(sim.now() + 60 * kSecond);
+  EXPECT_EQ(d.phi(kObserver, kPeer), 0.0);
+  EXPECT_FALSE(d.suspect(kObserver, kPeer));
+}
+
+TEST(FailureDetector, UnarmedSamplesButNeverActuates) {
+  sim::Simulator sim;
+  FailureDetector d(sim);
+  feed(sim, d, 20, 100 * kMillisecond);
+  sim.run_until(sim.now() + 60 * kSecond);
+
+  // Sampling ran, phi is computable and huge...
+  EXPECT_GT(d.stats().samples, 0u);
+  EXPECT_GE(d.phi(kObserver, kPeer), 8.0);
+  // ...but nothing actuates: the bit-identity contract for clean runs.
+  EXPECT_FALSE(d.suspect(kObserver, kPeer));
+  EXPECT_FALSE(d.any_suspected());
+  EXPECT_FALSE(d.degraded());
+  EXPECT_EQ(d.view_timeout(kObserver, kPeer, 120 * kSecond), 120 * kSecond);
+  EXPECT_EQ(d.pull_cadence(4), 4u);
+  EXPECT_EQ(d.stats().suspicions, 0u);
+}
+
+TEST(FailureDetector, SuspicionTransitionsAndArrivalClears) {
+  sim::Simulator sim;
+  FailureDetector d(sim);
+  d.arm(true);
+  feed(sim, d, 20, 100 * kMillisecond);
+  EXPECT_FALSE(d.suspect(kObserver, kPeer));
+
+  sim.run_until(sim.now() + 10 * kSecond);
+  EXPECT_TRUE(d.suspect(kObserver, kPeer));
+  EXPECT_TRUE(d.any_suspected());
+  EXPECT_EQ(d.stats().suspicions, 1u);
+  EXPECT_EQ(d.stats().first_suspicion_at, sim.now());
+  // Re-querying does not double count the transition.
+  EXPECT_TRUE(d.suspect(kObserver, kPeer));
+  EXPECT_EQ(d.stats().suspicions, 1u);
+
+  // The peer speaks again: suspicion clears immediately.
+  d.on_arrival(kPeer, kObserver, sim.now());
+  EXPECT_FALSE(d.any_suspected());
+  EXPECT_FALSE(d.suspect(kObserver, kPeer));
+  EXPECT_EQ(d.stats().recoveries, 1u);
+}
+
+TEST(FailureDetector, AdaptiveViewTimeoutShrinksForSuspectAndRespectsFloor) {
+  sim::Simulator sim;
+  FailureDetector d(sim);
+  d.arm(true);
+  feed(sim, d, 20, 100 * kMillisecond);
+  sim.run_until(sim.now() + 10 * kSecond);
+  ASSERT_TRUE(d.suspect(kObserver, kPeer));
+
+  // Suspected leader: 120s * 0.4 = 48s.
+  EXPECT_EQ(d.view_timeout(kObserver, kPeer, 120 * kSecond), 48 * kSecond);
+  // Floor: 3s * 0.4 would be 1.2s, clamped to the 2s floor.
+  EXPECT_EQ(d.view_timeout(kObserver, kPeer, 3 * kSecond), 2 * kSecond);
+  // A different (unsuspected) leader keeps the base timeout.
+  EXPECT_EQ(d.view_timeout(kObserver, NodeId{9}, 120 * kSecond), 120 * kSecond);
+}
+
+TEST(FailureDetector, DegradedSignalGrowsTimeoutAndTightensPullCadence) {
+  sim::Simulator sim;
+  DetectorConfig cfg;
+  cfg.warmup_samples = 64;
+  FailureDetector d(sim, cfg);
+  d.arm(true);
+
+  // Healthy phase: enough traffic to finish warmup and pin a low baseline.
+  feed(sim, d, 100, 10 * kMillisecond);
+  EXPECT_FALSE(d.degraded());
+  EXPECT_EQ(d.pull_cadence(4), 4u);
+
+  // Gray phase: every inter-arrival inflates 20x; the EWMA floats well above
+  // the healthy baseline.
+  feed(sim, d, 60, 200 * kMillisecond);
+  EXPECT_TRUE(d.degraded());
+  EXPECT_EQ(d.pull_cadence(4), 2u);
+  EXPECT_EQ(d.pull_cadence(1), 1u);  // floor: already every tick
+
+  // Degraded but no individual suspect: timeout grows, bounded by the
+  // ceiling (240s).
+  EXPECT_EQ(d.view_timeout(kObserver, NodeId{9}, 120 * kSecond), 240 * kSecond);
+  EXPECT_EQ(d.view_timeout(kObserver, NodeId{9}, 200 * kSecond), 240 * kSecond);
+
+  // Recovery: the network speeds back up, the EWMA falls, the signal clears.
+  feed(sim, d, 200, 10 * kMillisecond);
+  EXPECT_FALSE(d.degraded());
+  EXPECT_EQ(d.view_timeout(kObserver, NodeId{9}, 120 * kSecond), 120 * kSecond);
+}
+
+}  // namespace
+}  // namespace jenga::security
